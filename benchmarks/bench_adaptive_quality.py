@@ -1,0 +1,102 @@
+"""Extension bench: adaptive capture quality (§II-D closed-loop).
+
+Compares three policies on the Table V network schedule:
+
+* plain FrameFeedback at fixed q=90 (accuracy-first),
+* plain FrameFeedback at fixed q=50 (bytes-first),
+* FrameFeedback + the adaptive quality ladder.
+
+Scored on *correct answers per second*: offloaded successes weighted
+by the §II-D accuracy estimate at their capture quality, local
+successes at the model's native accuracy (local inference reads raw
+camera frames, not the JPEG).  The adaptive policy should track the
+better fixed policy in each regime — accuracy when bandwidth is
+plentiful, volume when it is not.
+"""
+
+import numpy as np
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.control.quality import AdaptiveQualityController
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import RunResult, Scenario, run_scenario
+from repro.models.accuracy import estimate_accuracy
+from repro.models.frames import FrameSpec
+from repro.models.zoo import MOBILENET_V3_SMALL
+from repro.workloads.schedules import table_v_schedule
+
+LOCAL_ACCURACY = MOBILENET_V3_SMALL.top1_accuracy
+
+
+def correct_per_second(result: RunResult) -> float:
+    """Accuracy-weighted throughput from the per-second traces."""
+    tr = result.traces
+    n = min(len(tr.offload_success), len(tr.capture_quality))
+    offload = tr.offload_success.values[:n]
+    local = tr.local_rate.values[:n]
+    quality = tr.capture_quality.values[:n]
+    acc = np.array([estimate_accuracy(MOBILENET_V3_SMALL, 224, q) for q in quality])
+    return float((offload * acc + local * LOCAL_ACCURACY).mean())
+
+
+def _run(factory, quality=None, seed=0, total_frames=4000):
+    spec = FrameSpec(jpeg_quality=quality) if quality is not None else FrameSpec()
+    device = DeviceConfig(total_frames=total_frames, frame_spec=spec)
+    return run_scenario(
+        Scenario(
+            controller_factory=factory,
+            device=device,
+            network=table_v_schedule(),
+            seed=seed,
+        )
+    )
+
+
+def test_adaptive_quality(benchmark, emit):
+    def sweep():
+        return {
+            "fixed q=90": _run(
+                lambda c: FrameFeedbackController(c.frame_rate), quality=90.0
+            ),
+            "fixed q=50": _run(
+                lambda c: FrameFeedbackController(c.frame_rate), quality=50.0
+            ),
+            "adaptive": _run(lambda c: AdaptiveQualityController(c.frame_rate)),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    scores = {}
+    for label, result in results.items():
+        score = correct_per_second(result)
+        scores[label] = score
+        rows.append(
+            [
+                label,
+                f"{result.qos.mean_throughput:6.2f}",
+                f"{score:6.2f}",
+                f"{result.traces.capture_quality.values.mean():5.1f}",
+            ]
+        )
+    emit(
+        "Adaptive capture quality on the Table V schedule:\n"
+        + ascii_table(
+            ["policy", "P (fps)", "correct/s", "mean q"], rows
+        )
+    )
+
+    # Honest outcome: JPEG accuracy is nearly flat above q~40 (the
+    # §II-D penalty only bites at harsh compression), so the
+    # bytes-first corner wins the mixed schedule outright — quality is
+    # cheap to give up and frames are not.  What the adaptive ladder
+    # must deliver is (a) a clear win over the accuracy-first default
+    # and (b) regime tracking: top quality while bandwidth is
+    # plentiful, descent when it is not.
+    assert scores["adaptive"] > scores["fixed q=90"] + 0.5
+    assert scores["adaptive"] >= 0.85 * scores["fixed q=50"]
+
+    q_trace = results["adaptive"].traces.capture_quality
+    assert q_trace.mean_over(5.0, 30.0) >= 85.0  # bw=10: stay sharp
+    assert q_trace.mean_over(110.0, 133.0) <= 70.0  # bw=4+loss: descend

@@ -1,0 +1,62 @@
+"""Extension bench: the full energy ledger per controller.
+
+§II-A.5 claims offloading saves power but only measures CPU; this
+bench adds the radio bill and reports watts, battery life on a 10 Wh
+pack, and — the metric that actually matters for a battery-powered
+analytics deployment — joules per successful inference, for every
+controller on the Table V schedule.
+"""
+
+from repro.device.battery import account_run
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import standard_controllers
+from repro.workloads.schedules import table_v_schedule
+
+
+def test_energy_ledger(benchmark, emit):
+    def sweep():
+        out = {}
+        for name, factory in standard_controllers().items():
+            result = run_scenario(
+                Scenario(
+                    controller_factory=factory,
+                    device=DeviceConfig(total_frames=4000),
+                    network=table_v_schedule(),
+                    seed=0,
+                )
+            )
+            out[name] = (result, account_run(result))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name, (result, acct) in results.items():
+        rows.append(
+            [
+                name,
+                f"{acct.mean_watts:5.2f}",
+                f"{acct.battery_hours(10.0):5.2f}",
+                f"{result.qos.successful:5d}",
+                f"{acct.joules_per_success(result.qos.successful):6.3f}",
+            ]
+        )
+    emit(
+        "Energy ledger on Table V (10 Wh pack; CPU + Wi-Fi radio):\n"
+        + ascii_table(
+            ["controller", "watts", "hours", "successes", "J/success"], rows
+        )
+    )
+
+    watts = {n: acct.mean_watts for n, (_r, acct) in results.items()}
+    jps = {
+        n: acct.joules_per_success(r.qos.successful)
+        for n, (r, acct) in results.items()
+    }
+    # local-only burns the most power (the §II-A.5 direction)
+    assert watts["LocalOnly"] == max(watts.values())
+    # FrameFeedback is the most energy-efficient per correct result:
+    # it spends CPU only on frames offloading can't carry
+    assert jps["FrameFeedback"] == min(jps.values())

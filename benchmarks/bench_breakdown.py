@@ -1,0 +1,74 @@
+"""Extension bench: T_n vs T_l attribution (paper Table I notation).
+
+The device cannot tell network timeouts from load timeouts — and
+FrameFeedback does not need to (§II-B).  The harness, omniscient,
+attributes every violation; this bench shows the Table V run's
+violations land on ``T_n`` and the Table VI run's on ``T_l``, plus the
+per-component latency profile of successful offloads.
+"""
+
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import framefeedback_factory
+from repro.workloads.schedules import table_v_schedule, table_vi_schedule
+
+
+def _run(network=None, load=None, seed=0):
+    device = DeviceConfig(total_frames=4000)
+    return run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=device,
+            network=network,
+            load=load,
+            duration=device.stream_duration + 2.0,
+            seed=seed,
+        )
+    )
+
+
+def test_timeout_attribution(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: {
+            "Table V (network)": _run(network=table_v_schedule()),
+            "Table VI (load)": _run(load=table_vi_schedule()),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, result in results.items():
+        rates = result.breakdown.cause_rates(0.0, result.elapsed)
+        rows.append(
+            [
+                label,
+                f"{rates['T_n']:5.2f}",
+                f"{rates['T_l']:5.2f}",
+                result.breakdown.total_violations,
+            ]
+        )
+    stats = results["Table VI (load)"].breakdown.component_stats()
+    comp = ascii_table(
+        ["component", "mean (ms)", "p50 (ms)", "p95 (ms)"],
+        [
+            [name, f"{s.mean * 1e3:6.1f}", f"{s.p50 * 1e3:6.1f}", f"{s.p95 * 1e3:6.1f}"]
+            for name, s in stats.items()
+        ],
+    )
+    emit(
+        "Timeout attribution (violations/s, FrameFeedback):\n"
+        + ascii_table(["scenario", "T_n", "T_l", "total"], rows)
+        + "\n\nSuccessful-offload latency components (Table VI run):\n"
+        + comp
+    )
+
+    net = results["Table V (network)"].breakdown.cause_rates(
+        0.0, results["Table V (network)"].elapsed
+    )
+    load = results["Table VI (load)"].breakdown.cause_rates(
+        0.0, results["Table VI (load)"].elapsed
+    )
+    assert net["T_n"] > 3 * max(net["T_l"], 0.05)
+    assert load["T_l"] > 3 * max(load["T_n"], 0.05)

@@ -1,0 +1,30 @@
+"""§IV-C extension bench: combined network + server-load stress.
+
+The paper mentions (and cuts for space) that the two latency sources
+combine "largely additively"; this bench runs Table V x Table VI
+simultaneously and checks the additivity direction.
+"""
+
+from repro.experiments.combined import run_additivity_check, run_combined
+
+
+def test_combined_stress(benchmark, emit):
+    combined = benchmark.pedantic(
+        lambda: run_combined(seed=0, total_frames=4000), rounds=1, iterations=1
+    )
+    additivity = run_additivity_check(seed=0, total_frames=2400)
+
+    lines = ["Sec IV-C combined stress (Table V x stretched Table VI):"]
+    for run in combined.runs.values():
+        lines.append("  " + run.qos.row())
+    lines.append(
+        "  FrameFeedback mean T:  "
+        f"network-only={additivity['network']:.2f}/s  "
+        f"load-only={additivity['load']:.2f}/s  "
+        f"both={additivity['both']:.2f}/s"
+    )
+    emit("\n".join(lines))
+
+    qos = {name: run.qos.mean_throughput for name, run in combined.runs.items()}
+    assert qos["FrameFeedback"] == max(qos.values())
+    assert additivity["both"] >= 0.8 * max(additivity["network"], additivity["load"])

@@ -1,0 +1,55 @@
+"""Extension bench: the full controller lineup, including AIMD, the
+ATOMS-lite reservation baseline and the clairvoyant oracle.
+
+Runs both paper scenarios (Table V network, Table VI load) with seven
+controllers and prints a cross-scenario league table.  The headline:
+FrameFeedback is the best *realizable* controller on the network
+scenario, the reservation scheme is competitive only under pure server
+load (its §V-B blind spot), and the oracle quantifies the price of
+feedback (regret, see bench_regret.py).
+"""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.report import ascii_table
+from repro.experiments.standard import extended_controllers
+
+
+def test_extended_controller_lineup(benchmark, emit):
+    fig3, fig4 = benchmark.pedantic(
+        lambda: (
+            run_fig3(seed=0, total_frames=4000, controllers=extended_controllers()),
+            run_fig4(seed=0, total_frames=4000, controllers=extended_controllers()),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    names = list(extended_controllers())
+    rows = []
+    for name in names:
+        rows.append(
+            [
+                name,
+                f"{fig3.runs[name].qos.mean_throughput:6.2f}",
+                f"{fig3.runs[name].qos.mean_violation_rate:5.2f}",
+                f"{fig4.runs[name].qos.mean_throughput:6.2f}",
+                f"{fig4.runs[name].qos.mean_violation_rate:5.2f}",
+            ]
+        )
+    emit(
+        "Whole-run means, extended lineup (Table V / Table VI scenarios):\n"
+        + ascii_table(
+            ["controller", "net P", "net T", "load P", "load T"], rows
+        )
+    )
+
+    q3 = {n: fig3.runs[n].qos.mean_throughput for n in names}
+    q4 = {n: fig4.runs[n].qos.mean_throughput for n in names}
+    # reservation's blind spot: fine under load, poor under network
+    assert q4["Reservation"] > 0.8 * q4["FrameFeedback"]
+    assert q3["Reservation"] < 0.8 * q3["FrameFeedback"]
+    # FrameFeedback beats every realizable baseline on both scenarios
+    for scenario in (q3, q4):
+        for name in ("LocalOnly", "AlwaysOffload", "AllOrNothing", "Reservation"):
+            assert scenario["FrameFeedback"] > scenario[name] - 0.5

@@ -1,0 +1,20 @@
+"""§II-A.5 bench: CPU usage local (50.2 %) vs offloading (22.3 %)."""
+
+import pytest
+
+from repro.experiments.energy import PAPER_LOCAL_CPU, PAPER_OFFLOAD_CPU, run_energy
+
+
+def test_energy_cpu_drop(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_energy(seed=0, total_frames=1800), rounds=1, iterations=1
+    )
+    emit(
+        "Sec II-A.5 CPU usage (paper vs measured)\n"
+        f"  local execution: paper {100 * PAPER_LOCAL_CPU:.1f}%  "
+        f"measured {100 * res.local_cpu:.1f}%\n"
+        f"  offloading:      paper {100 * PAPER_OFFLOAD_CPU:.1f}%  "
+        f"measured {100 * res.offload_cpu:.1f}%"
+    )
+    assert res.local_cpu == pytest.approx(PAPER_LOCAL_CPU, abs=0.05)
+    assert res.offload_cpu == pytest.approx(PAPER_OFFLOAD_CPU, abs=0.05)

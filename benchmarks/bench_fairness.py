@@ -1,0 +1,76 @@
+"""Ablation bench: FIFO vs FAIR batch policy under tenant asymmetry.
+
+DESIGN.md calls out the §II-A.3 fairness requirement ("distributing
+the available capacity fairly among clients") as a design choice worth
+ablating: the paper's own batcher is FIFO; the FAIR variant bounds how
+much a flooding tenant can starve a polite one.
+"""
+
+import numpy as np
+
+from repro.models.latency import GpuBatchModel
+from repro.server.batching import BatchPolicy
+from repro.server.requests import InferenceRequest
+from repro.server.server import EdgeServer
+from repro.sim import Environment
+
+
+def run_asymmetric_tenants(policy: BatchPolicy, seed: int = 0):
+    """One polite 30 fps tenant vs one 300 req/s flooder for 30 s."""
+    env = Environment()
+    server = EdgeServer(
+        env,
+        np.random.default_rng(seed),
+        cost_model=GpuBatchModel(),
+        batch_policy=policy,
+    )
+    outcomes = {"polite": [0, 0], "flood": [0, 0]}  # [completed, rejected]
+
+    def make_responder(tenant):
+        def respond(response):
+            outcomes[tenant][0 if response.ok else 1] += 1
+
+        return respond
+
+    def tenant(env, name, rate):
+        while env.now < 30.0:
+            server.submit(
+                InferenceRequest(
+                    tenant=name,
+                    model_name="mobilenet_v3_small",
+                    sent_at=env.now,
+                    payload_bytes=11_700,
+                    respond=make_responder(name),
+                )
+            )
+            yield env.timeout(1.0 / rate)
+
+    env.process(tenant(env, "polite", 30.0))
+    env.process(tenant(env, "flood", 300.0))
+    env.run(until=31.0)
+    return outcomes
+
+
+def test_fair_policy_protects_polite_tenant(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: {p: run_asymmetric_tenants(p) for p in BatchPolicy},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Fairness ablation (polite 30 fps vs 300 req/s flooder, 30 s):"]
+    rates = {}
+    for policy, outcome in results.items():
+        polite_ok, polite_rej = outcome["polite"]
+        served = polite_ok / max(polite_ok + polite_rej, 1)
+        rates[policy] = served
+        lines.append(
+            f"  {policy.value:5s}: polite tenant served {100 * served:5.1f}% "
+            f"({polite_ok} ok / {polite_rej} rejected); "
+            f"flooder {outcome['flood'][0]} ok / {outcome['flood'][1]} rejected"
+        )
+    emit("\n".join(lines))
+
+    # FAIR must serve the polite tenant strictly better than FIFO under
+    # overload, and nearly completely.
+    assert rates[BatchPolicy.FAIR] > rates[BatchPolicy.FIFO]
+    assert rates[BatchPolicy.FAIR] > 0.95

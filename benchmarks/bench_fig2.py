@@ -1,0 +1,23 @@
+"""Figure 2 bench: P_o traces per (K_P, K_D) with a 7 % loss injection.
+
+Paper shape to verify by eye in the output: the Table IV gains ramp to
+F_s, back off smoothly when loss hits at t = 27 s; hot gains swing; a
+sluggish K_P never reaches F_s.
+"""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.report import render_fig2
+
+
+def test_fig2_gain_comparison(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig2(duration=60.0, seed=0), rounds=1, iterations=1
+    )
+    emit(render_fig2(result))
+
+    # regression guards on the paper's qualitative claims
+    from repro.experiments.fig2 import gain_label
+
+    tuned = result.traces[gain_label(0.2, 0.26)]
+    assert tuned.max_over(0.0, 27.0) > 28.0  # reaches F_s pre-injection
+    assert tuned.mean_over(40.0, 60.0) < 0.75 * tuned.mean_over(20.0, 27.0)

@@ -1,0 +1,27 @@
+"""Figure 3 bench: 4,000 frames x 4 controllers under Table V network.
+
+Paper shape: equivalence at bw=10; FrameFeedback 1.5-3x over
+all-or-nothing at bw=4 and under loss; FF == LocalOnly at bw=1 while
+AlwaysOffload collapses.
+"""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.report import render_fig3
+
+
+def test_fig3_network_comparison(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig3(seed=0, total_frames=4000), rounds=1, iterations=1
+    )
+    emit(render_fig3(result))
+
+    phases = result.phases
+    # intermediate regimes: FrameFeedback wins by >= 1.3x
+    for idx in (1, 4, 5):
+        assert phases[idx].winner() == "FrameFeedback"
+        assert phases[idx].advantage_over("FrameFeedback", "AllOrNothing") > 1.3
+    # dead network: FF falls back to local-only throughput
+    assert abs(
+        phases[2].mean_throughput["FrameFeedback"]
+        - phases[2].mean_throughput["LocalOnly"]
+    ) < 1.5

@@ -1,0 +1,23 @@
+"""Figure 4 bench: 4,000 frames x 4 controllers under Table VI load.
+
+Paper shape: FrameFeedback fits offloading in below saturation,
+degrades gracefully to ~P_l at the 150 req/s peak, and recovers;
+baselines either collapse (AlwaysOffload) or flap (AllOrNothing).
+"""
+
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.report import render_fig4
+
+
+def test_fig4_server_load_comparison(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_fig4(seed=0, total_frames=4000), rounds=1, iterations=1
+    )
+    emit(render_fig4(result))
+
+    phases = result.phases
+    for ph in phases[1:-1]:  # every loaded phase
+        assert ph.winner() == "FrameFeedback", ph.label
+    peak = phases[4]  # 150 req/s
+    assert abs(peak.mean_throughput["FrameFeedback"] - 13.0) < 2.5
+    assert peak.mean_throughput["AlwaysOffload"] < 6.0

@@ -1,0 +1,63 @@
+"""Extension bench: fleet scaling — how many devices can one server carry?
+
+§II-A.1 motivates multi-tenancy ("a single device's video stream may
+under-utilize modern hardware"); this bench sweeps fleet size and
+reports per-device and aggregate throughput, GPU utilization, and
+Jain fairness — the capacity-planning curve a deployment would need.
+"""
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.experiments.fleet import FleetScenario, homogeneous_fleet, run_fleet
+from repro.experiments.report import ascii_table
+
+FLEET_SIZES = (1, 2, 4, 8, 12)
+
+
+def _sweep(total_frames=900, seed=0):
+    out = {}
+    for n in FLEET_SIZES:
+        scenario = FleetScenario(
+            members=homogeneous_fleet(n, total_frames=total_frames),
+            controller_factory=lambda c: FrameFeedbackController(c.frame_rate),
+            seed=seed,
+        )
+        out[n] = run_fleet(scenario)
+    return out
+
+
+def test_fleet_scaling(benchmark, emit):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n, result in results.items():
+        tp = list(result.throughputs().values())
+        rows.append(
+            [
+                n,
+                f"{sum(tp):7.1f}",
+                f"{sum(tp) / n:6.2f}",
+                f"{min(tp):6.2f}",
+                f"{result.gpu_utilization:5.2f}",
+                f"{result.mean_batch_size:5.1f}",
+                f"{result.jain_fairness():5.3f}",
+            ]
+        )
+    emit(
+        "Fleet scaling (FrameFeedback on every device, ideal radios):\n"
+        + ascii_table(
+            ["devices", "aggregate P", "per-device", "min", "GPU util", "batch", "Jain"],
+            rows,
+        )
+    )
+
+    # §II-A.1: a single tenant fragments the GPU into tiny batches;
+    # multi-tenancy amortizes the launch overhead into full ones
+    assert results[1].mean_batch_size < 3.0
+    assert results[12].mean_batch_size > 8.0
+    assert results[12].gpu_utilization > results[1].gpu_utilization
+    # aggregate throughput grows monotonically with fleet size
+    aggregates = [sum(results[n].throughputs().values()) for n in FLEET_SIZES]
+    assert all(b > a for a, b in zip(aggregates, aggregates[1:]))
+    # nobody ever starves below the local floor
+    for result in results.values():
+        assert min(result.throughputs().values()) > 11.0

@@ -1,0 +1,63 @@
+"""Extension bench: violation-reactive vs latency-predictive control.
+
+FrameFeedback reacts to violations; the Headroom variant reacts to the
+p95 RTT of frames that *succeeded*, backing off while there is still
+margin under the deadline.  Both run the paper's two scenarios; the
+trade is violations vs. capacity used.
+"""
+
+from repro.control.headroom import HeadroomController
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import framefeedback_factory
+from repro.workloads.schedules import table_v_schedule, table_vi_schedule
+
+
+def _run(factory, network=None, load=None, seed=0, total_frames=4000):
+    return run_scenario(
+        Scenario(
+            controller_factory=factory,
+            device=DeviceConfig(total_frames=total_frames),
+            network=network,
+            load=load,
+            seed=seed,
+        )
+    )
+
+
+def test_headroom_vs_framefeedback(benchmark, emit):
+    def sweep():
+        headroom = lambda c: HeadroomController(c.frame_rate, c.deadline)  # noqa: E731
+        return {
+            ("Table V", "FrameFeedback"): _run(framefeedback_factory(), network=table_v_schedule()),
+            ("Table V", "Headroom"): _run(headroom, network=table_v_schedule()),
+            ("Table VI", "FrameFeedback"): _run(framefeedback_factory(), load=table_vi_schedule()),
+            ("Table VI", "Headroom"): _run(headroom, load=table_vi_schedule()),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            scenario,
+            name,
+            f"{r.qos.mean_throughput:6.2f}",
+            f"{r.qos.mean_violation_rate:5.2f}",
+            f"{r.qos.timeouts:5d}",
+        ]
+        for (scenario, name), r in results.items()
+    ]
+    emit(
+        "Violation-reactive (FrameFeedback) vs latency-predictive (Headroom):\n"
+        + ascii_table(["scenario", "controller", "mean P", "mean T", "violations"], rows)
+    )
+
+    # network: equal throughput, roughly half the violations
+    ff_v, hr_v = results[("Table V", "FrameFeedback")], results[("Table V", "Headroom")]
+    assert hr_v.qos.mean_throughput > ff_v.qos.mean_throughput - 1.0
+    assert hr_v.qos.timeouts < 0.75 * ff_v.qos.timeouts
+    # load: violations cut >2x for at most ~10% throughput
+    ff_l, hr_l = results[("Table VI", "FrameFeedback")], results[("Table VI", "Headroom")]
+    assert hr_l.qos.timeouts < 0.5 * ff_l.qos.timeouts
+    assert hr_l.qos.mean_throughput > 0.88 * ff_l.qos.mean_throughput

@@ -1,0 +1,105 @@
+"""Substrate microbenchmarks (performance engineering, per the hpc guides).
+
+Not a paper artifact: these keep the simulator fast enough that the
+paper-scale runs above stay interactive.  Timed with pytest-benchmark's
+default multi-round statistics (they are microseconds, not minutes).
+"""
+
+import numpy as np
+
+from repro.control.base import Measurement
+from repro.control.framefeedback import FrameFeedbackController
+from repro.netem.link import ConditionBox, Link, LinkConditions
+from repro.sim import Environment
+from repro.sim.rng import RngRegistry
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule + dispatch 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(0.001)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 9.9
+
+
+def test_kernel_process_spawn_throughput(benchmark):
+    """Spawn 5k short-lived processes."""
+
+    def run():
+        env = Environment()
+        done = []
+
+        def child(env):
+            yield env.timeout(0.01)
+            done.append(1)
+
+        for _ in range(5_000):
+            env.process(child(env))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 5_000
+
+
+def test_link_frame_throughput(benchmark):
+    """Push 2k frames through a lossy link."""
+
+    def run():
+        env = Environment()
+        box = ConditionBox(LinkConditions(bandwidth=10.0, loss=0.05))
+        link = Link(env, np.random.default_rng(0), box, queue_bytes_cap=1e9)
+        delivered = []
+        for i in range(2_000):
+            link.send(11_700, i, lambda p: delivered.append(p))
+        env.run()
+        return len(delivered)
+
+    assert benchmark(run) > 1_900
+
+
+def test_controller_step_cost(benchmark):
+    """One FrameFeedback update (the per-second hot path on a Pi)."""
+    c = FrameFeedbackController(30.0)
+    m = Measurement(
+        time=0.0,
+        frame_rate=30.0,
+        offload_target=10.0,
+        offload_rate=10.0,
+        offload_success_rate=8.0,
+        timeout_rate=2.0,
+        timeout_rate_last=2.0,
+        local_rate=13.0,
+        throughput=21.0,
+    )
+    out = benchmark(lambda: c.update(m))
+    assert 0.0 <= out <= 30.0
+
+
+def test_full_scenario_60s_wall_time(benchmark):
+    """A full 60 s closed-loop scenario (the unit of all experiments)."""
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.experiments.standard import framefeedback_factory
+    from repro.netem.profiles import CONGESTED
+    from repro.workloads.schedules import steady_schedule
+
+    scenario = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=1800),
+        network=steady_schedule(CONGESTED),
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_scenario(scenario), rounds=3, iterations=1
+    )
+    assert result.qos.mean_throughput > 10.0

@@ -1,0 +1,75 @@
+"""Characterization bench: the latency/violation cliff (§I contribution 1).
+
+Open-loop sweep: offload at fixed rates on the congested (bw=4) link
+and report end-to-end RTT percentiles and the violation rate ``T`` at
+each offered rate.  The resulting hockey stick — flat RTT, then a
+queueing cliff just past ~13 fps — is the landscape FrameFeedback has
+to navigate blind; the closed loop's whole job is to sit just left of
+this cliff without knowing where it is.
+"""
+
+import numpy as np
+
+from repro.control.baselines import FixedRateController
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.netem.profiles import CONGESTED
+from repro.workloads.schedules import steady_schedule
+
+OFFERED_RATES = (3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 24.0, 30.0)
+
+
+def _sweep(seed=0, total_frames=1200):
+    device = DeviceConfig(total_frames=total_frames)
+    out = {}
+    for rate in OFFERED_RATES:
+        result = run_scenario(
+            Scenario(
+                controller_factory=lambda c, _rate=rate: FixedRateController(_rate),
+                device=device,
+                network=steady_schedule(CONGESTED),
+                seed=seed,
+            )
+        )
+        rtts = np.array(
+            [s.total for s in result.breakdown.samples if s.ok], dtype=float
+        )
+        out[rate] = {
+            "p50": float(np.percentile(rtts, 50)) if rtts.size else float("nan"),
+            "p95": float(np.percentile(rtts, 95)) if rtts.size else float("nan"),
+            "T": result.qos.mean_violation_rate,
+            "P": result.qos.mean_throughput,
+        }
+    return out
+
+
+def test_open_loop_latency_curve(benchmark, emit):
+    curve = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{rate:g}",
+            f"{row['p50'] * 1e3:6.1f}",
+            f"{row['p95'] * 1e3:6.1f}",
+            f"{row['T']:5.2f}",
+            f"{row['P']:6.2f}",
+        ]
+        for rate, row in curve.items()
+    ]
+    emit(
+        "Open-loop offload sweep on the bw=4 link "
+        "(fixed P_o, RTT of successes in ms):\n"
+        + ascii_table(["offered P_o", "RTT p50", "RTT p95", "T (/s)", "P"], rows)
+    )
+
+    # below the cliff: RTTs comfortable, violations ~0
+    assert curve[6.0]["T"] < 0.5
+    assert curve[6.0]["p95"] < 0.25
+    # past the cliff (link capacity ~13 fps): violations explode
+    assert curve[18.0]["T"] > 5.0
+    # total throughput peaks near the cliff, not at max offloading
+    best_rate = max(curve, key=lambda r: curve[r]["P"])
+    assert 9.0 <= best_rate <= 15.0
+    # RTT p95 is monotically worse across the cliff
+    assert curve[15.0]["p95"] > curve[6.0]["p95"]

@@ -1,0 +1,60 @@
+"""Extension bench: motion-derived network conditions (§II-A.4).
+
+A patrolling device walks away from and back toward the access point
+twice; link quality follows the log-distance path-loss model.  Unlike
+Table V's step changes, degradation here is *gradual* — the regime
+adaptive offloading is supposed to shine in, since there is always an
+intermediate rate worth finding.
+"""
+
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table, series_panel
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import standard_controllers
+from repro.workloads.mobility import mobility_schedule, patrol_loop
+
+
+def _sweep(seed=0):
+    schedule = mobility_schedule(patrol_loop(lap_seconds=60.0, laps=2), step=2.0)
+    device = DeviceConfig(total_frames=int(120 * 30))
+    out = {}
+    for name, factory in standard_controllers().items():
+        out[name] = run_scenario(
+            Scenario(
+                controller_factory=factory,
+                device=device,
+                network=schedule,
+                duration=121.0,
+                seed=seed,
+            )
+        )
+    return out
+
+
+def test_patrol_mobility(benchmark, emit):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{r.qos.mean_throughput:6.2f}",
+            f"{r.qos.mean_violation_rate:5.2f}",
+        ]
+        for name, r in results.items()
+    ]
+    panel = {name: r.traces.throughput for name, r in results.items()}
+    emit(
+        "Patrolling device, 2 laps away-and-back from the AP:\n"
+        + series_panel(panel, vmax=30.0)
+        + "\n\n"
+        + ascii_table(["controller", "mean P", "mean T"], rows)
+    )
+
+    qos = {n: r.qos.mean_throughput for n, r in results.items()}
+    # gradual degradation is FrameFeedback's home turf
+    assert qos["FrameFeedback"] == max(qos.values())
+    assert qos["FrameFeedback"] > qos["AllOrNothing"] + 1.0
+    # both laps show recovery: throughput near F_s at each return
+    ff = results["FrameFeedback"].traces.throughput
+    assert ff.mean_over(55.0, 62.0) > 20.0  # end of lap 1
+    assert ff.mean_over(115.0, 121.0) > 20.0  # end of lap 2

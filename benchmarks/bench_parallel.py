@@ -1,0 +1,68 @@
+"""Harness bench: process-parallel sweep throughput.
+
+Seed sweeps dominate wall time when studying robustness; this bench
+measures the pool speedup on an 8-seed Table V sweep and verifies the
+parallel results are bit-identical to serial execution (determinism
+survives process boundaries).
+"""
+
+import os
+import time
+
+from repro.experiments.parallel import run_many, seed_sweep_configs
+from repro.experiments.report import ascii_table
+
+BASE = {
+    "controller": "FrameFeedback",
+    "device": {"total_frames": 4000},  # full paper-scale runs: pool
+    "network": [  # startup (~0.5 s) must amortize
+        [0, 10, 0],
+        [30, 4, 0],
+        [45, 1, 0],
+        [60, 10, 0],
+        [90, 10, 7],
+        [105, 4, 7],
+    ],
+}
+
+SEEDS = range(8)
+
+
+def test_parallel_sweep(benchmark, emit):
+    configs = seed_sweep_configs(BASE, SEEDS)
+
+    t0 = time.perf_counter()
+    serial = run_many(configs, workers=1)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_many(configs, workers=4), rounds=1, iterations=1
+    )
+    parallel_wall = time.perf_counter() - t0
+
+    cores = os.cpu_count() or 1
+    emit(
+        f"8-seed Table V sweep, serial vs 4-way process pool ({cores} core(s)):\n"
+        + ascii_table(
+            ["mode", "wall (s)", "runs/s"],
+            [
+                ["serial", f"{serial_wall:5.2f}", f"{8 / serial_wall:5.2f}"],
+                ["pool x4", f"{parallel_wall:5.2f}", f"{8 / parallel_wall:5.2f}"],
+            ],
+        )
+        + f"\nspeedup: {serial_wall / parallel_wall:.2f}x"
+        + (" (single core: correctness/overhead check only)" if cores == 1 else "")
+    )
+
+    # determinism across process boundaries: identical scalars per seed
+    assert [s.mean_throughput for s in serial] == [
+        p.mean_throughput for p in parallel
+    ]
+    assert [s.successful for s in serial] == [p.successful for p in parallel]
+    if cores > 1:
+        # with real cores the pool must win outright
+        assert parallel_wall < serial_wall
+    else:
+        # on one core the pool may only add bounded overhead
+        assert parallel_wall < serial_wall * 1.5

@@ -1,0 +1,67 @@
+"""Substrate-validation bench: the link against Pollaczek–Khinchine.
+
+Feeds the emulated link Poisson single-packet frames at a sweep of
+utilizations and prints simulated mean queue wait against the M/D/1
+closed form — the external ground-truth check that the DES kernel,
+serializer and store mechanics together implement an actual queue.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import md1_wait
+from repro.experiments.report import ascii_table
+from repro.netem.link import ConditionBox, Link, LinkConditions
+from repro.netem.packet import PACKET_PAYLOAD_BYTES
+from repro.sim import Environment
+
+RHOS = (0.2, 0.4, 0.6, 0.8, 0.9)
+
+
+def measure(rho: float, n: int = 8000, seed: int = 0):
+    env = Environment()
+    cond = LinkConditions(
+        bandwidth=10.0, loss=0.0, propagation_delay=0.0, jitter_sigma=0.0
+    )
+    link = Link(env, np.random.default_rng(seed), ConditionBox(cond),
+                queue_bytes_cap=1e12)
+    service = cond.packet_time(PACKET_PAYLOAD_BYTES)
+    arrival_rate = rho / service
+    sent = {}
+    waits = []
+
+    def deliver(i):
+        waits.append(env.now - sent[i] - service)
+
+    def feeder(env):
+        rng = np.random.default_rng(seed + 1)
+        for i in range(n):
+            yield env.timeout(rng.exponential(1.0 / arrival_rate))
+            sent[i] = env.now
+            link.send(PACKET_PAYLOAD_BYTES, i, deliver)
+
+    env.process(feeder(env))
+    env.run()
+    return float(np.mean(waits)), md1_wait(arrival_rate, service)
+
+
+def test_link_is_an_md1_queue(benchmark, emit):
+    curve = benchmark.pedantic(
+        lambda: {rho: measure(rho) for rho in RHOS}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"{rho:.1f}",
+            f"{sim * 1e3:7.3f}",
+            f"{theory * 1e3:7.3f}",
+            f"{100 * abs(sim - theory) / theory:5.1f}%",
+        ]
+        for rho, (sim, theory) in curve.items()
+    ]
+    emit(
+        "Link queue wait vs M/D/1 theory (Poisson arrivals, ms):\n"
+        + ascii_table(["rho", "simulated", "P-K formula", "error"], rows)
+    )
+    for rho, (sim, theory) in curve.items():
+        assert sim == pytest.approx(theory, rel=0.12), f"rho={rho}"
+

@@ -1,0 +1,59 @@
+"""Extension bench: regret of feedback control vs. the clairvoyant oracle.
+
+How much throughput does *not knowing* the network/server state cost?
+The oracle reads the experiment's schedules and always sits at the
+computed sustainable rate; FrameFeedback must discover it from timeout
+feedback.  Regret is the per-phase and whole-run throughput gap.
+"""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.report import ascii_table
+from repro.experiments.standard import framefeedback_factory, oracle_factory
+
+
+def _controllers():
+    return {"FrameFeedback": framefeedback_factory(), "Oracle": oracle_factory()}
+
+
+def test_regret_vs_oracle(benchmark, emit):
+    fig3, fig4 = benchmark.pedantic(
+        lambda: (
+            run_fig3(seed=0, total_frames=4000, controllers=_controllers()),
+            run_fig4(seed=0, total_frames=4000, controllers=_controllers()),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, result in (("Table V", fig3), ("Table VI", fig4)):
+        for ph in result.phases:
+            ff = ph.mean_throughput["FrameFeedback"]
+            oracle = ph.mean_throughput["Oracle"]
+            rows.append(
+                [
+                    f"{label} {ph.label}",
+                    f"{ff:6.2f}",
+                    f"{oracle:6.2f}",
+                    f"{oracle - ff:+6.2f}",
+                ]
+            )
+    ff3 = fig3.runs["FrameFeedback"].qos.mean_throughput
+    or3 = fig3.runs["Oracle"].qos.mean_throughput
+    ff4 = fig4.runs["FrameFeedback"].qos.mean_throughput
+    or4 = fig4.runs["Oracle"].qos.mean_throughput
+    emit(
+        "Regret vs clairvoyant oracle (per phase and whole run):\n"
+        + ascii_table(["phase", "FrameFeedback", "Oracle", "regret"], rows)
+        + f"\nwhole-run: network {ff3:.2f} vs {or3:.2f} "
+        f"(regret {or3 - ff3:+.2f}); "
+        f"load {ff4:.2f} vs {or4:.2f} (regret {or4 - ff4:+.2f})"
+    )
+
+    # feedback costs something on network scenarios (oracle knows the
+    # schedule) but stays within ~25% overall...
+    assert or3 - ff3 < 0.3 * or3
+    # ...and under server load FrameFeedback is at least on par: the
+    # oracle's analytic capacity model is no better than measuring.
+    assert ff4 > or4 - 1.5

@@ -1,0 +1,54 @@
+"""Robustness bench: the paper's orderings across seeds.
+
+Single-seed wins can be luck; this bench reruns the Table V scenario
+(the paper's strongest claims) across 5 seeds and reports mean ± 95 %
+CI per controller plus FrameFeedback's win rate against each baseline.
+"""
+
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import Scenario
+from repro.experiments.seeds import compare_across_seeds, win_rate
+from repro.experiments.standard import standard_controllers
+from repro.workloads.schedules import table_v_schedule
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_fig3_ordering_across_seeds(benchmark, emit):
+    device = DeviceConfig(total_frames=4000)  # full Table V coverage
+    scenario = Scenario(
+        controller_factory=lambda c: None,  # replaced per controller
+        device=device,
+        network=table_v_schedule(),
+    )
+    summaries = benchmark.pedantic(
+        lambda: compare_across_seeds(scenario, standard_controllers(), SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            name,
+            f"{s.mean:6.2f}",
+            f"±{s.ci_half_width:4.2f}",
+            f"{s.std:4.2f}",
+            f"{100 * win_rate(summaries, 'FrameFeedback', name):5.0f}%"
+            if name != "FrameFeedback"
+            else "—",
+        ]
+        for name, s in summaries.items()
+    ]
+    emit(
+        f"Table V scenario across seeds {SEEDS} (whole-run mean P, fps):\n"
+        + ascii_table(
+            ["controller", "mean", "95% CI", "std", "FF win rate"], rows
+        )
+    )
+
+    ff = summaries["FrameFeedback"]
+    for name in ("LocalOnly", "AlwaysOffload", "AllOrNothing"):
+        # FrameFeedback wins on every seed, with non-overlapping CIs
+        assert win_rate(summaries, "FrameFeedback", name) == 1.0
+        assert ff.lo > summaries[name].hi

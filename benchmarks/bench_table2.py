@@ -1,0 +1,12 @@
+"""Table II bench: recover every P_l cell through the device pipeline."""
+
+from repro.experiments.report import render_table2
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_local_rates(benchmark, emit):
+    cells = benchmark.pedantic(
+        lambda: run_table2(duration=120.0, seed=0), rounds=1, iterations=1
+    )
+    emit(render_table2(cells))
+    assert all(cell.relative_error < 0.05 for cell in cells)

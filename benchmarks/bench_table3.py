@@ -1,0 +1,22 @@
+"""Table III bench: accuracy registry + the §II-D trade-off sweep."""
+
+import pytest
+
+from repro.experiments.report import render_table3
+from repro.experiments.table3 import run_table3, run_tradeoff_sweep
+
+
+def test_table3_accuracies(benchmark, emit):
+    rows, sweep = benchmark.pedantic(
+        lambda: (run_table3(), run_tradeoff_sweep()), rounds=1, iterations=1
+    )
+    emit(render_table3(rows, sweep))
+
+    paper = {
+        "EfficientNetB0": 0.771,
+        "EfficientNetB4": 0.829,
+        "MobileNetV3Small": 0.674,
+        "MobileNetV3Large": 0.752,
+    }
+    for row in rows:
+        assert row.top1 == pytest.approx(paper[row.display_name])

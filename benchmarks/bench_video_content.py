@@ -1,0 +1,59 @@
+"""Extension bench: content-driven frame-size variance.
+
+The paper streams fixed-size ImageNet frames; live video does not
+cooperate — scene complexity and cuts swing bytes-per-frame, which on
+a tight link behaves like bandwidth jitter.  This bench sweeps content
+variance on the congested (bw=4) link and reports what it costs each
+controller.
+"""
+
+from repro.device.config import DeviceConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import standard_controllers
+from repro.netem.profiles import CONGESTED
+from repro.workloads.schedules import steady_schedule
+from repro.workloads.video import VideoContentModel
+
+VARIANTS = {
+    "fixed": None,
+    "mild (sigma=.15)": VideoContentModel(mean_bytes=11_700, sigma=0.15, scene_cut_rate=0.1),
+    "busy (sigma=.35)": VideoContentModel(mean_bytes=11_700, sigma=0.35, scene_cut_rate=0.3),
+}
+
+
+def _sweep(seed=0, total_frames=1800):
+    out = {}
+    for label, video in VARIANTS.items():
+        device = DeviceConfig(total_frames=total_frames, video=video)
+        for name, factory in standard_controllers().items():
+            result = run_scenario(
+                Scenario(
+                    controller_factory=factory,
+                    device=device,
+                    network=steady_schedule(CONGESTED),
+                    seed=seed,
+                )
+            )
+            out[(label, name)] = result.qos
+    return out
+
+
+def test_content_variance_cost(benchmark, emit):
+    qos = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [name, *(f"{qos[(label, name)].mean_throughput:6.2f}" for label in VARIANTS)]
+        for name in standard_controllers()
+    ]
+    emit(
+        "Mean P (fps) on the bw=4 link under content-size variance:\n"
+        + ascii_table(["controller", *VARIANTS], rows)
+    )
+
+    for label in VARIANTS:
+        ff = qos[(label, "FrameFeedback")].mean_throughput
+        # FF stays the best adaptive policy and above the local floor
+        assert ff >= qos[(label, "LocalOnly")].mean_throughput - 0.5
+        assert ff > qos[(label, "AlwaysOffload")].mean_throughput
+        assert ff > qos[(label, "AllOrNothing")].mean_throughput

@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one paper table/figure: the timed body runs the
+experiment, and the rendered rows/series are printed straight to the
+terminal (bypassing capture) so `pytest benchmarks/ --benchmark-only`
+shows the same output the paper reports.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print around pytest's output capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

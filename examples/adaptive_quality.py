@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Adaptive capture quality: a second, slower loop around FrameFeedback.
+
+§II-D of the paper identifies the accuracy-vs-bytes lever and leaves
+it fixed; here the device walks a JPEG quality ladder in response to
+sustained congestion (down: more frames fit the link) or sustained
+clean saturation (up: spend headroom on accuracy), while the inner
+FrameFeedback loop keeps picking the offload rate.
+
+Run:  python examples/adaptive_quality.py   (~5 s)
+"""
+
+from repro.control.quality import AdaptiveQualityController
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.viz import line_chart
+from repro.workloads.schedules import table_v_schedule
+
+
+def main() -> None:
+    device = DeviceConfig(total_frames=4000)
+    result = run_scenario(
+        Scenario(
+            controller_factory=lambda cfg: AdaptiveQualityController(cfg.frame_rate),
+            device=device,
+            network=table_v_schedule(),
+            duration=device.stream_duration + 1.0,
+            seed=0,
+        )
+    )
+
+    print(result.qos.row())
+    print()
+    print(
+        line_chart(
+            {
+                "P_o target (fps)": result.traces.offload_target,
+                "JPEG quality": result.traces.capture_quality,
+            },
+            width=72,
+            height=14,
+            title="Offload rate and capture quality under the Table V schedule",
+            y_max=95.0,
+        )
+    )
+    print()
+    q = result.traces.capture_quality
+    for t0, t1, label in (
+        (0, 30, "bw=10        "),
+        (30, 45, "bw=4         "),
+        (45, 60, "bw=1         "),
+        (60, 90, "bw=10 again  "),
+        (90, 105, "bw=10 loss 7%"),
+        (105, 133, "bw=4  loss 7%"),
+    ):
+        print(f"  {label}: mean quality {q.mean_over(t0, t1):5.1f}")
+    print(
+        "\nThe ladder rides at q=90 while the link is generous, descends"
+        "\nthrough the constrained and lossy phases to fit more frames"
+        "\nwithin the 250 ms deadline, and climbs back when capacity returns."
+    )
+
+
+if __name__ == "__main__":
+    main()

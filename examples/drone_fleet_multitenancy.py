@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""A drone fleet sharing one GPU edge server (§II-A.1 multi-tenancy).
+
+Eight inspection drones stream frames to a single V100-class edge
+server.  Mid-mission, a batch job from another team floods the server.
+Each drone runs its own FrameFeedback controller; the question is
+whether the fleet collectively sheds load instead of collapsing, and
+whether the server's fair batching policy protects light users.
+
+This example drives the substrate API directly (environment, links,
+server, devices) rather than the Scenario convenience wrapper, showing
+how multi-device topologies are wired.
+
+Run:  python examples/drone_fleet_multitenancy.py
+"""
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.device.config import DeviceConfig
+from repro.device.device import EdgeDevice
+from repro.netem.link import ConditionBox, Link, LinkConditions
+from repro.server.batching import BatchPolicy
+from repro.server.server import EdgeServer
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.workloads.loadgen import BackgroundLoad, LoadSchedule
+
+N_DRONES = 8
+MISSION_SECONDS = 90.0
+
+#: the rogue batch job: nothing, then a 100 req/s flood, then nothing
+FLOOD = LoadSchedule.from_rows([(0, 0), (30, 100), (60, 0)])
+
+
+def build_fleet(policy: BatchPolicy, seed: int = 0):
+    env = Environment()
+    rng = RngRegistry(seed)
+    server = EdgeServer(env, rng.stream("server"), batch_policy=policy)
+    BackgroundLoad(env, server, FLOOD, rng.stream("flood"), tenant_prefix="batchjob")
+
+    devices = []
+    for i in range(N_DRONES):
+        # each drone has its own radio link; slightly different quality
+        box = ConditionBox(LinkConditions(bandwidth=8.0 + (i % 3)))
+        uplink = Link(env, rng.stream(f"up{i}"), box, name=f"up{i}")
+        downlink = Link(env, rng.stream(f"down{i}"), box, name=f"down{i}")
+        config = DeviceConfig(name=f"drone{i}", total_frames=int(MISSION_SECONDS * 30))
+        device = EdgeDevice(
+            env,
+            config,
+            FrameFeedbackController(config.frame_rate),
+            uplink=uplink,
+            downlink=downlink,
+            server=server,
+            rng=rng.stream(f"dev{i}"),
+        )
+        devices.append(device)
+    return env, server, devices
+
+
+def fleet_stats(policy: BatchPolicy):
+    env, server, devices = build_fleet(policy)
+    env.run(until=MISSION_SECONDS + 1.0)
+    throughputs = [d.traces.throughput.values.mean() for d in devices]
+    flood_means = [
+        d.traces.throughput.mean_over(32.0, 60.0) for d in devices
+    ]
+    return server, throughputs, flood_means
+
+
+def main() -> None:
+    for policy in (BatchPolicy.FIFO, BatchPolicy.FAIR):
+        server, mission, flood = fleet_stats(policy)
+        spread = max(flood) - min(flood)
+        print(f"batch policy = {policy.value}")
+        print(
+            f"  fleet mean throughput: {sum(mission) / len(mission):5.2f} fps "
+            f"per drone (whole mission)"
+        )
+        print(
+            f"  during the flood:      {sum(flood) / len(flood):5.2f} fps per "
+            f"drone, min {min(flood):5.2f}, max {max(flood):5.2f} "
+            f"(spread {spread:4.2f})"
+        )
+        print(
+            f"  server: {server.stats.completed} completed, "
+            f"{server.stats.rejected} rejected, "
+            f"GPU {server.gpu.frames_run} frames in {server.gpu.batches_run} batches "
+            f"(mean batch {server.gpu.frames_run / max(server.gpu.batches_run, 1):.1f})"
+        )
+        print()
+
+    print(
+        "Every drone keeps P >= P_l through the flood because its own\n"
+        "FrameFeedback loop scales offloading back instead of letting the\n"
+        "shared server time everyone out; the FAIR batch policy narrows the\n"
+        "per-drone spread during contention."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: run FrameFeedback against the paper's testbed in ~2 s.
+
+Builds one edge device (Pi 4B + MobileNetV3Small, 30 fps, 250 ms
+deadline), an ideal-then-congested network, and compares FrameFeedback
+with the three §IV-B baselines on identical seeds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeviceConfig, FrameFeedbackController, Scenario, run_scenario
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    LocalOnlyController,
+)
+from repro.experiments.report import series_panel
+from repro.netem.link import LinkConditions
+from repro.netem.schedule import NetworkSchedule, SchedulePhase
+
+
+def main() -> None:
+    # 60 s stream: 30 s of good network, then a congested stretch.
+    network = NetworkSchedule(
+        [
+            SchedulePhase(0.0, LinkConditions(bandwidth=10.0)),
+            SchedulePhase(30.0, LinkConditions(bandwidth=4.0, loss=0.02)),
+        ]
+    )
+    device = DeviceConfig(total_frames=1800)
+
+    controllers = {
+        "FrameFeedback": lambda cfg: FrameFeedbackController(cfg.frame_rate),
+        "LocalOnly": lambda cfg: LocalOnlyController(),
+        "AlwaysOffload": lambda cfg: AlwaysOffloadController(),
+        "AllOrNothing": lambda cfg: AllOrNothingController(),
+    }
+
+    print("controller        QoS summary")
+    print("-" * 78)
+    throughput = {}
+    for name, factory in controllers.items():
+        result = run_scenario(
+            Scenario(controller_factory=factory, device=device, network=network, seed=0)
+        )
+        throughput[name] = result.traces.throughput
+        print(result.qos.row())
+
+    print("\nper-second throughput (congestion starts at t=30s):")
+    print(series_panel(throughput, vmax=30.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""End-to-end over real sockets: the paper's topology on localhost.
+
+Starts a threaded TCP inference server implementing the §IV-A adaptive
+batching discipline (queue while the "GPU" runs, batch cap, reject the
+overflow), then drives the *same* FrameFeedback controller used by the
+simulator against it through the wall-clock runtime — frames are real
+byte payloads over real connections.
+
+Midway, a competing client floods the server so the controller has to
+shed load, then the flood stops and it recovers.
+
+Takes ~24 real seconds.  Run:  python examples/socket_offload.py
+"""
+
+import threading
+import time
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.realtime.netserver import InferenceServer, SocketRemote
+from repro.realtime.runtime import RealTimeLoop
+
+FLOOD_START, FLOOD_END = 8.0, 16.0
+FLOOD_RATE = 220  # req/s, beyond the toy server's capacity
+
+
+def flood(server_address, stop_event):
+    remote = SocketRemote(server_address, frame_bytes=4_000, timeout=0.5)
+    period = 1.0 / FLOOD_RATE
+    while not stop_event.is_set():
+        threading.Thread(target=remote.submit, daemon=True).start()
+        time.sleep(period)
+
+
+def main() -> None:
+    with InferenceServer(base_latency=0.022, per_item=0.0055) as server:
+        print(f"inference server on {server.address}, batch cap {server.batch_limit}")
+        remote = SocketRemote(server.address, frame_bytes=8_000, timeout=1.0)
+        loop = RealTimeLoop(
+            FrameFeedbackController(30.0),
+            remote=remote,
+            local_latency=0.077,  # Pi 4B MobileNetV3Small
+            deadline=0.25,
+        )
+
+        stop_flood = threading.Event()
+
+        def flood_window():
+            time.sleep(FLOOD_START)
+            print(f"--- flood starts ({FLOOD_RATE} req/s from a rival client) ---")
+            flood_stop = threading.Event()
+            t = threading.Thread(
+                target=flood, args=(server.address, flood_stop), daemon=True
+            )
+            t.start()
+            time.sleep(FLOOD_END - FLOOD_START)
+            flood_stop.set()
+            print("--- flood ends ---")
+
+        threading.Thread(target=flood_window, daemon=True).start()
+        print("running 24 s wall-clock...")
+        result = loop.run(duration=24.0)
+
+    print(f"\n{'t':>4s}  {'P_o':>6s}  {'P':>6s}  {'T':>5s}")
+    for t, po, p, timeout in zip(
+        result.times, result.offload_target, result.throughput, result.timeout_rate
+    ):
+        print(f"{t:4.0f}  {po:6.1f}  {p:6.1f}  {timeout:5.1f}  {'#' * int(po)}")
+    print(
+        f"\nserver totals: {server.stats.completed} completed, "
+        f"{server.stats.rejected} rejected, {server.stats.batches} batches"
+    )
+
+
+if __name__ == "__main__":
+    main()

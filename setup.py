@@ -1,0 +1,8 @@
+"""Shim so `pip install -e .` works offline via the legacy setuptools path.
+
+All metadata lives in pyproject.toml; setuptools >= 61-ish reads it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""FrameFeedback: closed-loop control for dynamic offloading of
+real-time edge inference — a full reproduction of the IPPS 2024 paper.
+
+Public API tour
+---------------
+Controllers (the paper's contribution, §III)::
+
+    from repro import FrameFeedbackController, FrameFeedbackSettings
+
+Baselines (§IV-B)::
+
+    from repro import (
+        LocalOnlyController, AlwaysOffloadController, AllOrNothingController,
+    )
+
+Running the paper's testbed (§IV)::
+
+    from repro import Scenario, run_scenario, DeviceConfig
+    from repro.workloads.schedules import table_v_schedule
+
+    scenario = Scenario(
+        controller_factory=lambda cfg: FrameFeedbackController(cfg.frame_rate),
+        device=DeviceConfig(total_frames=4000),
+        network=table_v_schedule(),
+    )
+    result = run_scenario(scenario)
+    print(result.qos.row())
+
+Experiments (one per paper table/figure) live in
+:mod:`repro.experiments`; substrates (DES kernel, NetEm-style link,
+GPU server, device pipelines) under :mod:`repro.sim`,
+:mod:`repro.netem`, :mod:`repro.server` and :mod:`repro.device`.
+"""
+
+from repro.control.base import Controller, Measurement
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    LocalOnlyController,
+)
+from repro.control.framefeedback import (
+    PAPER_SETTINGS,
+    FrameFeedbackController,
+    FrameFeedbackSettings,
+)
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import RunResult, Scenario, run_scenario
+from repro.netem.link import LinkConditions
+from repro.netem.schedule import NetworkSchedule
+from repro.workloads.loadgen import LoadSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllOrNothingController",
+    "AlwaysOffloadController",
+    "Controller",
+    "DeviceConfig",
+    "FrameFeedbackController",
+    "FrameFeedbackSettings",
+    "LinkConditions",
+    "LoadSchedule",
+    "LocalOnlyController",
+    "Measurement",
+    "NetworkSchedule",
+    "PAPER_SETTINGS",
+    "RunResult",
+    "Scenario",
+    "run_scenario",
+    "__version__",
+]

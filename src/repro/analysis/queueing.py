@@ -1,0 +1,55 @@
+"""Queueing-theory reference curves for substrate validation.
+
+The link is, for fixed-size frames and no loss, an M/D/1 queue
+(Poisson arrivals, deterministic serialization, one server); the GPU
+under light load behaves like a batch-service queue.  These closed
+forms give the suite an *external* ground truth: the simulator's
+measured waits must match textbook predictions, not just our own
+expectations (see ``tests/test_queueing_validation.py``).
+
+All formulas return *waiting time in queue* (excluding service).
+"""
+
+from __future__ import annotations
+
+
+def utilization(arrival_rate: float, service_time: float) -> float:
+    """Offered load ``rho = lambda * s``."""
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError("need arrival_rate >= 0 and service_time > 0")
+    return arrival_rate * service_time
+
+
+def md1_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean queue wait of M/D/1: ``W = rho * s / (2 (1 - rho))``.
+
+    (Pollaczek–Khinchine with zero service variance.)
+    """
+    rho = utilization(arrival_rate, service_time)
+    if rho >= 1.0:
+        return float("inf")
+    return rho * service_time / (2.0 * (1.0 - rho))
+
+
+def mm1_wait(arrival_rate: float, mean_service_time: float) -> float:
+    """Mean queue wait of M/M/1: ``W = rho * s / (1 - rho)``."""
+    rho = utilization(arrival_rate, mean_service_time)
+    if rho >= 1.0:
+        return float("inf")
+    return rho * mean_service_time / (1.0 - rho)
+
+
+def mg1_wait(
+    arrival_rate: float, mean_service_time: float, service_scv: float
+) -> float:
+    """Pollaczek–Khinchine: M/G/1 mean wait with squared CoV ``c^2``.
+
+    ``W = rho * s * (1 + c^2) / (2 (1 - rho))``; reduces to M/D/1 at
+    ``c^2 = 0`` and M/M/1 at ``c^2 = 1``.
+    """
+    if service_scv < 0:
+        raise ValueError(f"squared CoV must be >= 0, got {service_scv}")
+    rho = utilization(arrival_rate, mean_service_time)
+    if rho >= 1.0:
+        return float("inf")
+    return rho * mean_service_time * (1.0 + service_scv) / (2.0 * (1.0 - rho))

@@ -1,0 +1,37 @@
+"""Series smoothing (the "average trend" the paper plots over noisy P)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinking.
+
+    Edges average over the available samples only, so the output has
+    the same length as the input and no phantom zeros.
+    """
+    v = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or v.size == 0:
+        return v.copy()
+    kernel = np.ones(window)
+    sums = np.convolve(v, kernel, mode="same")
+    counts = np.convolve(np.ones_like(v), kernel, mode="same")
+    return sums / counts
+
+
+def ewma(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponentially weighted moving average."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    v = np.asarray(values, dtype=float)
+    out = np.empty_like(v)
+    if v.size == 0:
+        return out
+    acc = v[0]
+    for i, x in enumerate(v):
+        acc = alpha * x + (1.0 - alpha) * acc
+        out[i] = acc
+    return out

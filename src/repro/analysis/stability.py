@@ -1,0 +1,118 @@
+"""Control-stability metrics for Fig 2-style tuning comparisons.
+
+§III-B tunes by eye: "increase K_P until the PV oscillated under
+constant conditions ... increase K_D to reduce the oscillations".
+These functions make those judgments mechanical so the gain sweep in
+:mod:`repro.control.tuning` can reproduce the procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def oscillation_index(values: np.ndarray) -> float:
+    """How much a settled signal keeps swinging.
+
+    Defined as the mean absolute sample-to-sample change divided by the
+    signal's range (0 for a constant or monotone-smooth signal, toward
+    1 for a signal that reverses hard every sample).  Scale-free, so
+    a 30 fps and a 60 fps controller are comparable.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size < 3:
+        return 0.0
+    span = float(v.max() - v.min())
+    if span <= 1e-12:
+        return 0.0
+    steps = np.abs(np.diff(v))
+    return float(steps.mean() / span)
+
+
+def direction_changes(values: np.ndarray, tolerance: float = 1e-9) -> int:
+    """Number of sign reversals of the first difference."""
+    v = np.asarray(values, dtype=float)
+    if v.size < 3:
+        return 0
+    d = np.diff(v)
+    signs = np.sign(np.where(np.abs(d) <= tolerance, 0.0, d))
+    nz = signs[signs != 0]
+    if nz.size < 2:
+        return 0
+    return int(np.count_nonzero(nz[1:] != nz[:-1]))
+
+
+def overshoot(values: np.ndarray, final_value: float) -> float:
+    """Peak excursion beyond the final value, as a fraction of it."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0 or abs(final_value) <= 1e-12:
+        return 0.0
+    peak = float(v.max())
+    return max(0.0, (peak - final_value) / abs(final_value))
+
+
+def settling_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    final_value: float,
+    band: float = 0.10,
+) -> float:
+    """First time after which the signal stays within ``band`` of final.
+
+    Returns ``inf`` if the signal never settles.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have the same shape")
+    if v.size == 0:
+        return float("inf")
+    tol = band * max(abs(final_value), 1e-9)
+    outside = np.abs(v - final_value) > tol
+    if not outside.any():
+        return float(t[0])
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside == v.size - 1:
+        return float("inf")
+    return float(t[last_outside + 1])
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Rollup of the above over one controller trace."""
+
+    oscillation: float
+    direction_changes: int
+    overshoot: float
+    settling_time: float
+    mean: float
+    std: float
+
+
+def stability_report(
+    times: np.ndarray,
+    values: np.ndarray,
+    settle_fraction: float = 0.25,
+    band: float = 0.10,
+) -> StabilityReport:
+    """Compute all stability metrics for one trace.
+
+    ``final value`` is estimated as the mean of the trailing
+    ``settle_fraction`` of the trace.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return StabilityReport(0.0, 0, 0.0, float("inf"), float("nan"), float("nan"))
+    tail = v[int(v.size * (1.0 - settle_fraction)) :]
+    final = float(tail.mean()) if tail.size else float(v[-1])
+    return StabilityReport(
+        oscillation=oscillation_index(v),
+        direction_changes=direction_changes(v),
+        overshoot=overshoot(v, final),
+        settling_time=settling_time(t, v, final, band),
+        mean=float(v.mean()),
+        std=float(v.std()),
+    )

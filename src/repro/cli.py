@@ -1,0 +1,326 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Installed as ``framefeedback`` (see pyproject).  Examples::
+
+    framefeedback fig3                # Table V network comparison
+    framefeedback fig4 --frames 2000  # shorter server-load run
+    framefeedback table2              # P_l calibration round-trip
+    framefeedback all                 # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    from repro.experiments.fig2 import run_fig2
+    from repro.experiments.report import render_fig2
+
+    return render_fig2(run_fig2(seed=args.seed, duration=args.duration))
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.report import render_fig3
+
+    return render_fig3(run_fig3(seed=args.seed, total_frames=args.frames))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.report import render_fig4
+
+    return render_fig4(run_fig4(seed=args.seed, total_frames=args.frames))
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.report import render_table2
+    from repro.experiments.table2 import run_table2
+
+    return render_table2(run_table2(seed=args.seed))
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    from repro.experiments.report import render_table3
+    from repro.experiments.table3 import run_table3, run_tradeoff_sweep
+
+    return render_table3(run_table3(), run_tradeoff_sweep())
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    from repro.experiments.report import render_table4
+    from repro.experiments.table4 import paper_settings_rows, run_table4_ablation
+
+    return render_table4(paper_settings_rows(), run_table4_ablation(seed=args.seed))
+
+
+def _cmd_energy(args: argparse.Namespace) -> str:
+    from repro.experiments.energy import (
+        PAPER_LOCAL_CPU,
+        PAPER_OFFLOAD_CPU,
+        run_energy,
+    )
+
+    res = run_energy(seed=args.seed)
+    return (
+        "Sec II-A.5 CPU usage, local vs offloading (paper vs measured)\n"
+        f"local:     paper {100 * PAPER_LOCAL_CPU:.1f}%   "
+        f"measured {100 * res.local_cpu:.1f}%\n"
+        f"offload:   paper {100 * PAPER_OFFLOAD_CPU:.1f}%   "
+        f"measured {100 * res.offload_cpu:.1f}%"
+    )
+
+
+def _cmd_controllers(args: argparse.Namespace) -> str:
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.report import ascii_table
+    from repro.experiments.standard import extended_controllers
+
+    fig3 = run_fig3(seed=args.seed, total_frames=args.frames,
+                    controllers=extended_controllers())
+    fig4 = run_fig4(seed=args.seed, total_frames=args.frames,
+                    controllers=extended_controllers())
+    rows = [
+        [
+            name,
+            f"{fig3.runs[name].qos.mean_throughput:6.2f}",
+            f"{fig4.runs[name].qos.mean_throughput:6.2f}",
+        ]
+        for name in extended_controllers()
+    ]
+    return (
+        "Extended controller lineup, whole-run mean P (fps):\n"
+        + ascii_table(["controller", "Table V net", "Table VI load"], rows)
+    )
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> str:
+    from repro.device.config import DeviceConfig
+    from repro.experiments.report import ascii_table
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.experiments.standard import framefeedback_factory
+    from repro.workloads.schedules import table_v_schedule, table_vi_schedule
+
+    device = DeviceConfig(total_frames=args.frames)
+    rows = []
+    for label, net, load in (
+        ("Table V (network)", table_v_schedule(), None),
+        ("Table VI (load)", None, table_vi_schedule()),
+    ):
+        result = run_scenario(
+            Scenario(
+                controller_factory=framefeedback_factory(),
+                device=device,
+                network=net,
+                load=load,
+                duration=device.stream_duration + 2.0,
+                seed=args.seed,
+            )
+        )
+        rates = result.breakdown.cause_rates(0.0, result.elapsed)
+        rows.append([label, f"{rates['T_n']:5.2f}", f"{rates['T_l']:5.2f}"])
+    return "Timeout attribution (violations/s):\n" + ascii_table(
+        ["scenario", "T_n", "T_l"], rows
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    from repro.control.framefeedback import FrameFeedbackController
+    from repro.experiments.fleet import FleetScenario, homogeneous_fleet, run_fleet
+    from repro.experiments.report import ascii_table
+
+    rows = []
+    for n in (1, 2, 4, 8, 12):
+        result = run_fleet(
+            FleetScenario(
+                members=homogeneous_fleet(n, total_frames=min(args.frames, 900)),
+                controller_factory=lambda c: FrameFeedbackController(c.frame_rate),
+                seed=args.seed,
+            )
+        )
+        total = sum(result.throughputs().values())
+        rows.append(
+            [
+                n,
+                f"{total:7.1f}",
+                f"{total / n:6.2f}",
+                f"{result.gpu_utilization:5.2f}",
+                f"{result.mean_batch_size:5.1f}",
+                f"{result.jain_fairness():5.3f}",
+            ]
+        )
+    return "Fleet scaling (FrameFeedback per device):\n" + ascii_table(
+        ["devices", "aggregate P", "per-device", "GPU util", "batch", "Jain"], rows
+    )
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    """Run every reproduction claim and print the verdict table."""
+    from repro.experiments.validation import render_results, validate_all
+
+    results = validate_all(frames=args.frames)
+    return render_results(results)
+
+
+def _cmd_netem(args: argparse.Namespace) -> str:
+    """Emit the tc/NetEm script replaying a schedule on real hardware."""
+    from repro.netem.commands import schedule_script, unit_equivalence_note
+    from repro.workloads.schedules import fig2_schedule, table_v_schedule
+
+    schedules = {"tablev": table_v_schedule, "fig2": fig2_schedule}
+    name = args.schedule
+    if name not in schedules:
+        raise SystemExit(f"unknown schedule {name!r}; choose from {sorted(schedules)}")
+    script = schedule_script(schedules[name](), interface=args.iface)
+    return unit_equivalence_note() + "\n" + script
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.experiments.parallel import run_many, seed_sweep_configs
+    from repro.experiments.report import ascii_table
+    from repro.experiments.seeds import MetricSummary
+
+    if not args.config:
+        raise SystemExit("sweep requires --config <file.json>")
+    with open(args.config) as fh:
+        base = _json.load(fh)
+    configs = seed_sweep_configs(base, range(args.seeds))
+    summaries = run_many(configs, workers=args.workers)
+    throughput = MetricSummary.from_values(
+        "mean P", [s.mean_throughput for s in summaries]
+    )
+    violations = MetricSummary.from_values(
+        "mean T", [s.mean_violation_rate for s in summaries]
+    )
+    rows = [
+        [s.seed, f"{s.mean_throughput:6.2f}", f"{s.mean_violation_rate:5.2f}",
+         f"{s.successful}/{s.total_frames}"]
+        for s in summaries
+    ]
+    return (
+        f"{args.seeds}-seed sweep of {base.get('controller', 'FrameFeedback')} "
+        f"({args.workers or 'auto'} workers):\n"
+        + ascii_table(["seed", "mean P", "mean T", "ok/total"], rows)
+        + f"\n{throughput}\n{violations}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.experiments.report import series_panel
+    from repro.experiments.scenario import run_scenario
+    from repro.io import export_run, scenario_from_dict
+
+    if not args.config:
+        raise SystemExit("run requires --config <file.json>")
+    with open(args.config) as fh:
+        scenario = scenario_from_dict(_json.load(fh))
+    result = run_scenario(scenario)
+    lines = [result.qos.row()]
+    lines.append(
+        series_panel(
+            {
+                "P": result.traces.throughput,
+                "P_o": result.traces.offload_target,
+                "T": result.traces.timeout_rate,
+            },
+            vmax=scenario.device.frame_rate,
+        )
+    )
+    if args.export:
+        paths = export_run(result, args.export)
+        lines.append(f"exported: {paths['traces']}, {paths['qos']}")
+    return "\n".join(lines)
+
+
+def _cmd_combined(args: argparse.Namespace) -> str:
+    from repro.experiments.combined import run_additivity_check, run_combined
+
+    combined = run_combined(seed=args.seed, total_frames=args.frames)
+    additivity = run_additivity_check(seed=args.seed)
+    lines = ["Sec IV-C combined network + server-load stress (extension)"]
+    for name, run in combined.runs.items():
+        lines.append(f"  {run.qos.row()}")
+    lines.append(
+        "  FrameFeedback mean T: "
+        f"network-only={additivity['network']:.2f}/s  "
+        f"load-only={additivity['load']:.2f}/s  "
+        f"both={additivity['both']:.2f}/s"
+    )
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "energy": _cmd_energy,
+    "combined": _cmd_combined,
+    "controllers": _cmd_controllers,
+    "breakdown": _cmd_breakdown,
+    "fleet": _cmd_fleet,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "netem": _cmd_netem,
+    "validate": _cmd_validate,
+}
+
+_PAPER_ORDER = ["table2", "table3", "table4", "fig2", "fig3", "fig4", "energy", "combined"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="framefeedback",
+        description="Regenerate the FrameFeedback paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=[*_COMMANDS, "all"], help="what to run")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--frames", type=int, default=4000, help="stream length (fig3/fig4/combined)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=60.0, help="run length in seconds (fig2)"
+    )
+    parser.add_argument(
+        "--config", type=str, default=None, help="scenario JSON file (run)"
+    )
+    parser.add_argument(
+        "--export", type=str, default=None, help="directory for CSV/JSON artifacts (run)"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=8, help="number of seeds (sweep)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (sweep)"
+    )
+    parser.add_argument(
+        "--schedule", type=str, default="tablev", help="schedule name (netem)"
+    )
+    parser.add_argument(
+        "--iface", type=str, default="wlan0", help="network interface (netem)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = _PAPER_ORDER if args.command == "all" else [args.command]
+    for i, name in enumerate(commands):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(_COMMANDS[name](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

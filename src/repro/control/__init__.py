@@ -1,0 +1,47 @@
+"""Controllers: the paper's contribution plus its evaluation baselines.
+
+* :class:`~repro.control.framefeedback.FrameFeedbackController` — the
+  paper's PD law (Eqs. 3–5, Table IV settings);
+* :class:`~repro.control.pid.DiscretePid` — the textbook discrete PID
+  (Eq. 2) FrameFeedback is derived from, reusable standalone;
+* :mod:`~repro.control.baselines` — LocalOnly, AlwaysOffload and the
+  DeepDecision-style AllOrNothing heartbeat controller (§IV-B);
+* :mod:`~repro.control.tuning` — the §III-B Ziegler–Nichols-style
+  tuning procedure as an automated sweep.
+"""
+
+from repro.control.aimd import AimdController
+from repro.control.base import Controller, Measurement
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    FixedRateController,
+    LocalOnlyController,
+)
+from repro.control.framefeedback import FrameFeedbackController, FrameFeedbackSettings
+from repro.control.headroom import HeadroomController, HeadroomSettings
+from repro.control.oracle import OracleController
+from repro.control.pid import DiscretePid, PidGains
+from repro.control.quality import AdaptiveQualityController
+from repro.control.tuning import GainSweepResult, sweep_gains, tune_ziegler_nichols_like
+
+__all__ = [
+    "AdaptiveQualityController",
+    "AimdController",
+    "AllOrNothingController",
+    "AlwaysOffloadController",
+    "Controller",
+    "DiscretePid",
+    "FixedRateController",
+    "FrameFeedbackController",
+    "FrameFeedbackSettings",
+    "GainSweepResult",
+    "HeadroomController",
+    "HeadroomSettings",
+    "LocalOnlyController",
+    "Measurement",
+    "OracleController",
+    "PidGains",
+    "sweep_gains",
+    "tune_ziegler_nichols_like",
+]

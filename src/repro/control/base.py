@@ -1,0 +1,77 @@
+"""Controller interface and the per-step measurement record.
+
+The paper's Table I notation maps onto :class:`Measurement` fields:
+
+====  ===========================================  =======================
+Sym   Description                                  Field
+====  ===========================================  =======================
+F_s   source frame rate                            ``frame_rate``
+P     total successful inference rate              ``throughput``
+P_l   local processing rate (completions/s)        ``local_rate``
+P_o   offloading rate (attempts/s this bucket)     ``offload_rate``
+T     rate of offloaded frames timing out          ``timeout_rate`` (the
+      (windowed average, the controller's input)   last-bucket value is
+                                                   ``timeout_rate_last``)
+====  ===========================================  =======================
+
+``T_n`` vs ``T_l`` (network- vs load-induced timeouts) are *not*
+observable by the device — that is the paper's point; the breakdown is
+still recorded by the experiment harness from the simulator's
+omniscient view for analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measurement-period snapshot handed to the controller."""
+
+    time: float
+    frame_rate: float
+    #: the target ``P_o`` currently in force
+    offload_target: float
+    #: offload attempts/s in the closed bucket (measured ``P_o``)
+    offload_rate: float
+    #: successful offloads/s in the closed bucket
+    offload_success_rate: float
+    #: windowed average timeout rate ``T`` (the controller input)
+    timeout_rate: float
+    #: timeout rate of just the last bucket
+    timeout_rate_last: float
+    #: local completions/s (``P_l`` as achieved)
+    local_rate: float
+    #: successful inferences/s (``P``)
+    throughput: float
+    #: outcome of the most recent heartbeat probe, if one was sent
+    probe_ok: Optional[bool] = None
+    #: mean end-to-end RTT of this bucket's successful offloads (None
+    #: if none succeeded) — used by latency-headroom control variants
+    rtt_mean: Optional[float] = None
+    #: 95th-percentile RTT of this bucket's successful offloads
+    rtt_p95: Optional[float] = None
+
+
+class Controller(abc.ABC):
+    """Decides the next offload-rate target once per measurement period."""
+
+    #: set True by controllers that need a per-period heartbeat probe
+    wants_probe: bool = False
+
+    #: human-readable name used in reports/legends
+    name: str = "controller"
+
+    @abc.abstractmethod
+    def update(self, measurement: Measurement) -> float:
+        """Return the new ``P_o`` target (frames/s, clamped by caller)."""
+
+    def reset(self) -> None:
+        """Clear internal state between runs (default: nothing)."""
+
+    def initial_target(self, frame_rate: float) -> float:
+        """``P_o`` before the first measurement (default: 0)."""
+        return 0.0

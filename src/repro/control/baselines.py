@@ -1,0 +1,83 @@
+"""The paper's §IV-B baseline controllers.
+
+1. **Local Inference** — never offload (low throughput, high power).
+2. **Always Offload** — offload every frame, ignore all feedback.
+3. **All-or-Nothing Intervals** — DeepDecision's [30] intuition, as the
+   paper re-implements it: at each 1 s measurement step, send a
+   heartbeat request; if it returned before the deadline, offload *all*
+   frames next interval, otherwise classify locally.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, Measurement
+
+
+class LocalOnlyController(Controller):
+    """§IV-B.1: local execution only."""
+
+    name = "LocalOnly"
+
+    def update(self, measurement: Measurement) -> float:
+        return 0.0
+
+
+class FixedRateController(Controller):
+    """Open-loop: offload at a constant rate, ignore all feedback.
+
+    Not one of the paper's baselines; used by the characterization
+    benches to trace out *where* the latency/violation cliff sits on a
+    given link+server (the curve the closed loop has to discover).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.rate = rate
+        self.name = f"Fixed({rate:g})"
+
+    def initial_target(self, frame_rate: float) -> float:
+        return self.rate
+
+    def update(self, measurement: Measurement) -> float:
+        return self.rate
+
+
+class AlwaysOffloadController(Controller):
+    """§IV-B.2: offload all frames, at all times."""
+
+    name = "AlwaysOffload"
+
+    def initial_target(self, frame_rate: float) -> float:
+        return frame_rate
+
+    def update(self, measurement: Measurement) -> float:
+        return measurement.frame_rate
+
+
+class AllOrNothingController(Controller):
+    """§IV-B.3: DeepDecision-style heartbeat-gated total offloading.
+
+    The device sends one probe per measurement period (the harness does
+    this whenever ``wants_probe`` is set); the decision for the next
+    interval is simply the outcome of the latest settled probe.  Until
+    a probe has settled, the controller stays conservative (local).
+    """
+
+    name = "AllOrNothing"
+    wants_probe = True
+
+    def __init__(self) -> None:
+        self._offloading = False
+
+    def reset(self) -> None:
+        self._offloading = False
+
+    @property
+    def offloading(self) -> bool:
+        return self._offloading
+
+    def update(self, measurement: Measurement) -> float:
+        if measurement.probe_ok is not None:
+            self._offloading = measurement.probe_ok
+        return measurement.frame_rate if self._offloading else 0.0

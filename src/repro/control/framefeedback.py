@@ -1,0 +1,127 @@
+"""The FrameFeedback controller (§III, the paper's contribution).
+
+Control law, verbatim from Eqs. 4–5 with ``SP = F_s``:
+
+.. code-block:: text
+
+    PV = P_o            if T == 0        e = F_s - P_o
+    PV = T + 0.9 F_s    if T  > 0        e = 0.1 F_s - T
+
+    u  = K_P e + K_D de/dt               (Eq. 3; K_I = 0)
+    u  clamped to [-0.5 F_s, +0.1 F_s]   (Table IV update limits)
+    P_o <- clamp(P_o + u, 0, F_s)
+
+Design consequences the implementation preserves:
+
+* ``e = 0`` at ``T = 0.1 F_s``, so under total offload failure ``P_o``
+  settles at ``0.1 F_s`` — a standing probe of offload availability
+  that costs nothing (those frames would have been skipped locally
+  anyway, since ``P_l < F_s``) but makes recovery immediate;
+* the asymmetric update clamp backs off up to 5x faster than it ramps
+  up ("reacting more forcefully to timeouts", §III-B);
+* the ``T`` input is the *windowed average* rate supplied by the
+  device's measurement loop, which is the paper's argument for
+  dropping the integral term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.base import Controller, Measurement
+from repro.control.pid import DiscretePid, PidGains
+
+
+@dataclass(frozen=True)
+class FrameFeedbackSettings:
+    """Table IV, expressed as fractions of ``F_s`` where applicable."""
+
+    kp: float = 0.2
+    ki: float = 0.0
+    kd: float = 0.26
+    #: minimum update as a (negative) fraction of F_s
+    update_min_frac: float = -0.5
+    #: maximum update as a fraction of F_s
+    update_max_frac: float = 0.1
+    #: T threshold fraction: e(t)=0 at T = threshold_frac * F_s
+    t_threshold_frac: float = 0.1
+    #: controller period, seconds (Table IV "Measure Frequency 1")
+    measure_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.update_min_frac > 0 or self.update_max_frac < 0:
+            raise ValueError("update clamp must bracket zero")
+        if not 0.0 < self.t_threshold_frac < 1.0:
+            raise ValueError(
+                f"threshold fraction must be in (0,1), got {self.t_threshold_frac}"
+            )
+        if self.measure_period <= 0:
+            raise ValueError("measure period must be positive")
+
+
+#: the paper's published settings (Table IV)
+PAPER_SETTINGS = FrameFeedbackSettings()
+
+
+class FrameFeedbackController(Controller):
+    """Closed-loop offload-rate controller."""
+
+    def __init__(
+        self,
+        frame_rate: float,
+        settings: FrameFeedbackSettings = PAPER_SETTINGS,
+        name: str = "FrameFeedback",
+    ) -> None:
+        if frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate}")
+        self.frame_rate = frame_rate
+        self.settings = settings
+        self.name = name
+        self._pid = DiscretePid(
+            PidGains(kp=settings.kp, ki=settings.ki, kd=settings.kd),
+            output_min=settings.update_min_frac * frame_rate,
+            output_max=settings.update_max_frac * frame_rate,
+        )
+        self._target = self.initial_target(frame_rate)
+        #: last computed error, exposed for traces/analysis
+        self.last_error = 0.0
+        #: last applied update, exposed for traces/analysis
+        self.last_update = 0.0
+
+    # ------------------------------------------------------------------
+    def initial_target(self, frame_rate: float) -> float:
+        """Start at zero offloading and let feedback ramp it up.
+
+        This is what produces the visible ramp at the start of the
+        paper's Fig 2/3 traces (slope capped at ``0.1 F_s`` per step).
+        """
+        return 0.0
+
+    def reset(self) -> None:
+        self._pid.reset()
+        self._target = self.initial_target(self.frame_rate)
+        self.last_error = 0.0
+        self.last_update = 0.0
+
+    @property
+    def target(self) -> float:
+        return self._target
+
+    # ------------------------------------------------------------------
+    def error(self, measurement: Measurement) -> float:
+        """Piecewise error function (Eq. 5)."""
+        fs = self.frame_rate
+        t_rate = measurement.timeout_rate
+        if t_rate <= 0.0:
+            # No violations: drive P_o toward F_s.
+            return fs - self._target
+        # Violations: drive T toward the 10% threshold.
+        return self.settings.t_threshold_frac * fs - t_rate
+
+    def update(self, measurement: Measurement) -> float:
+        e = self.error(measurement)
+        u = self._pid.step(e, self.settings.measure_period)
+        self.last_error = e
+        self.last_update = u
+        self._target = min(max(self._target + u, 0.0), self.frame_rate)
+        return self._target

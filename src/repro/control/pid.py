@@ -1,0 +1,87 @@
+"""Textbook discrete PID (paper Eq. 2), reusable standalone.
+
+FrameFeedback is a PD specialization of this (``K_I = 0``, §III-A.1),
+but the full PID is implemented so the repository can ablate the
+integral term (EXPERIMENTS.md records that ablation) and so the
+control core is a generally useful component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """Proportional / integral / derivative coefficients."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+
+class DiscretePid:
+    """Discrete-time PID with output clamping and anti-windup.
+
+    ``u(t) = Kp e(t) + Ki * sum(e dt) + Kd * (e - e_prev)/dt`` with the
+    output clamped to ``[output_min, output_max]``.  When the output
+    saturates, integration is suspended for error of the saturating
+    sign (conditional anti-windup) so the integral never charges
+    against a clamp it cannot push through.
+    """
+
+    def __init__(
+        self,
+        gains: PidGains,
+        output_min: float = float("-inf"),
+        output_max: float = float("inf"),
+    ) -> None:
+        if output_min > output_max:
+            raise ValueError(f"output_min {output_min} > output_max {output_max}")
+        self.gains = gains
+        self.output_min = output_min
+        self.output_max = output_max
+        self._integral = 0.0
+        self._prev_error: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def integral(self) -> float:
+        return self._integral
+
+    @property
+    def previous_error(self) -> Optional[float]:
+        return self._prev_error
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._prev_error = None
+
+    def step(self, error: float, dt: float) -> float:
+        """One control step; returns the clamped output ``u``."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        g = self.gains
+
+        derivative = 0.0
+        if self._prev_error is not None and g.kd != 0.0:
+            derivative = (error - self._prev_error) / dt
+        self._prev_error = error
+
+        candidate_integral = self._integral + error * dt
+        unclamped = g.kp * error + g.ki * candidate_integral + g.kd * derivative
+
+        if unclamped > self.output_max:
+            output = self.output_max
+            # anti-windup: only integrate if it pulls away from the clamp
+            if error < 0:
+                self._integral = candidate_integral
+        elif unclamped < self.output_min:
+            output = self.output_min
+            if error > 0:
+                self._integral = candidate_integral
+        else:
+            output = unclamped
+            self._integral = candidate_integral
+        return output

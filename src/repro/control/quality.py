@@ -1,0 +1,117 @@
+"""Adaptive capture quality: the §II-D knob, made closed-loop.
+
+§II-D identifies the trade-off — lighter JPEG compression improves
+accuracy but costs bytes per frame, shrinking how many frames fit over
+the link before the deadline — and leaves it static.  This extension
+(in the spirit of the paper's DeepDecision/OsmoticGate related work,
+which adapt resolution/quality) closes a second, slower loop around
+the FrameFeedback rate loop:
+
+* if the system has been **rate-limited by the network** for a while
+  (violations present, offload rate stuck well below ``F_s``), step
+  the JPEG quality *down* one notch — smaller frames raise the link's
+  frame capacity, trading a little accuracy for many more results;
+* if offloading has been **saturated and clean** for a while, step
+  quality *up* — spend the headroom on accuracy.
+
+The quality loop runs an order of magnitude slower than the rate loop
+(``dwell`` periods per step) so the two loops cannot fight: by the
+time quality moves, the rate loop has settled around the previous
+operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.control.base import Controller, Measurement
+from repro.control.framefeedback import FrameFeedbackController, FrameFeedbackSettings
+
+#: default quality ladder, coarse enough that each step matters
+DEFAULT_LADDER: Tuple[float, ...] = (50.0, 65.0, 80.0, 90.0)
+
+
+class AdaptiveQualityController(Controller):
+    """FrameFeedback rate control + a slow JPEG-quality outer loop."""
+
+    name = "FrameFeedback+Q"
+    wants_probe = False
+
+    def __init__(
+        self,
+        frame_rate: float,
+        settings: FrameFeedbackSettings = FrameFeedbackSettings(),
+        ladder: Sequence[float] = DEFAULT_LADDER,
+        start_index: int = None,  # type: ignore[assignment]
+        dwell: int = 8,
+        congested_po_frac: float = 0.6,
+    ) -> None:
+        if not ladder or list(ladder) != sorted(ladder):
+            raise ValueError(f"quality ladder must be ascending, got {ladder}")
+        if dwell < 1:
+            raise ValueError(f"dwell must be >= 1, got {dwell}")
+        if not 0.0 < congested_po_frac < 1.0:
+            raise ValueError("congested P_o fraction must be in (0, 1)")
+        self.inner = FrameFeedbackController(frame_rate, settings)
+        self.frame_rate = frame_rate
+        self.ladder = tuple(float(q) for q in ladder)
+        self._index = len(self.ladder) - 1 if start_index is None else int(start_index)
+        if not 0 <= self._index < len(self.ladder):
+            raise ValueError(f"start index {self._index} outside ladder")
+        self.dwell = dwell
+        self.congested_po_frac = congested_po_frac
+        self._congested_streak = 0
+        self._clean_streak = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capture_quality(self) -> float:
+        """Read by the device after every update."""
+        return self.ladder[self._index]
+
+    @property
+    def last_error(self) -> float:
+        return self.inner.last_error
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._index = len(self.ladder) - 1
+        self._congested_streak = 0
+        self._clean_streak = 0
+
+    def initial_target(self, frame_rate: float) -> float:
+        return self.inner.initial_target(frame_rate)
+
+    # ------------------------------------------------------------------
+    def update(self, measurement: Measurement) -> float:
+        target = self.inner.update(measurement)
+
+        congested = (
+            measurement.timeout_rate > 0.0
+            and target < self.congested_po_frac * self.frame_rate
+        )
+        clean_and_full = (
+            measurement.timeout_rate_last == 0.0
+            and measurement.timeout_rate <= 0.5
+            and target >= 0.9 * self.frame_rate
+        )
+
+        # Leaky accumulators, not strict streaks: FrameFeedback's own
+        # equilibrium makes T oscillate around the threshold, so a
+        # congested link shows *intermittent* violations.  Evidence
+        # accumulates on matching periods and drains (not resets) on
+        # non-matching ones.
+        self._congested_streak = (
+            self._congested_streak + 1 if congested else max(self._congested_streak - 1, 0)
+        )
+        self._clean_streak = self._clean_streak + 1 if clean_and_full else 0
+
+        if self._congested_streak >= self.dwell and self._index > 0:
+            self._index -= 1
+            self._congested_streak = 0
+            self._clean_streak = 0
+        elif self._clean_streak >= self.dwell and self._index < len(self.ladder) - 1:
+            self._index += 1
+            self._clean_streak = 0
+            self._congested_streak = 0
+        return target

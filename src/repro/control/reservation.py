@@ -1,0 +1,32 @@
+"""Reservation-based controller (the ATOMS-lite client side, §V-B)."""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, Measurement
+from repro.server.admission import ReservationBroker
+
+
+class ReservationController(Controller):
+    """Offload exactly what the server-side broker grants.
+
+    The client asks for the full source rate each period and trusts
+    the grant completely — no probing, no reaction to timeouts.  That
+    is the reservation model's blind spot the paper calls out: the
+    broker knows server load, but nobody is watching the client's own
+    network path.
+    """
+
+    name = "Reservation"
+
+    def __init__(self, frame_rate: float, broker: ReservationBroker, tenant: str) -> None:
+        if frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate}")
+        self.frame_rate = frame_rate
+        self.broker = broker
+        self.tenant = tenant
+
+    def initial_target(self, frame_rate: float) -> float:
+        return self.broker.request(self.tenant, frame_rate)
+
+    def update(self, measurement: Measurement) -> float:
+        return self.broker.request(self.tenant, self.frame_rate)

@@ -1,0 +1,96 @@
+"""Controller transcripts: record/replay for golden-master regression.
+
+The control layer is pure: given the same sequence of
+:class:`Measurement` records, a controller must produce the same
+sequence of targets forever.  Transcripts freeze that contract:
+
+* :func:`record` drives a controller through a measurement sequence
+  and captures ``(measurement, target)`` pairs as a JSON-able dict;
+* :func:`replay` re-drives a *fresh* controller through the recorded
+  measurements and verifies each output against the transcript.
+
+``tests/test_transcripts.py`` keeps golden transcripts for the paper's
+control law (and the extension laws), so any refactor that changes
+controller arithmetic — even a floating-point reassociation — fails a
+test with the exact step where behaviour diverged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, List, Sequence
+
+from repro.control.base import Controller, Measurement
+
+#: bump when the transcript format changes
+FORMAT_VERSION = 1
+
+
+def _measurement_to_dict(m: Measurement) -> dict:
+    return dataclasses.asdict(m)
+
+
+def _measurement_from_dict(d: dict) -> Measurement:
+    return Measurement(**d)
+
+
+def record(
+    controller: Controller, measurements: Sequence[Measurement]
+) -> Dict[str, object]:
+    """Drive ``controller`` through ``measurements``; capture outputs."""
+    steps: List[dict] = []
+    for m in measurements:
+        target = controller.update(m)
+        steps.append(
+            {"measurement": _measurement_to_dict(m), "target": float(target)}
+        )
+    return {
+        "version": FORMAT_VERSION,
+        "controller": controller.name,
+        "initial_target": float(controller.initial_target(measurements[0].frame_rate))
+        if measurements
+        else 0.0,
+        "steps": steps,
+    }
+
+
+class TranscriptMismatch(AssertionError):
+    """Raised by :func:`replay` at the first diverging step."""
+
+    def __init__(self, step: int, expected: float, actual: float) -> None:
+        super().__init__(
+            f"step {step}: transcript target {expected!r}, controller "
+            f"produced {actual!r}"
+        )
+        self.step = step
+        self.expected = expected
+        self.actual = actual
+
+
+def replay(
+    controller_factory: Callable[[], Controller],
+    transcript: Dict[str, object],
+    rel_tol: float = 1e-9,
+) -> None:
+    """Verify a fresh controller reproduces ``transcript`` exactly."""
+    if transcript.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"transcript version {transcript.get('version')} != {FORMAT_VERSION}"
+        )
+    controller = controller_factory()
+    for i, step in enumerate(transcript["steps"]):  # type: ignore[index]
+        m = _measurement_from_dict(step["measurement"])
+        actual = controller.update(m)
+        expected = step["target"]
+        tol = rel_tol * max(abs(expected), 1.0)
+        if abs(actual - expected) > tol:
+            raise TranscriptMismatch(i, expected, actual)
+
+
+def dumps(transcript: Dict[str, object]) -> str:
+    return json.dumps(transcript, indent=1, sort_keys=True)
+
+
+def loads(text: str) -> Dict[str, object]:
+    return json.loads(text)

@@ -1,0 +1,36 @@
+"""Edge-device substrate: camera, splitter, local pipeline, offload client.
+
+An :class:`~repro.device.device.EdgeDevice` owns the whole §II system
+model on the device side:
+
+* a fixed-rate frame source (30 fps, 4000 frames in the paper's runs);
+* a deterministic splitter that routes frames to the offload stream at
+  the controller's target rate ``P_o`` and everything else to local;
+* a local inference pipeline that processes one frame at a time and
+  *skips* frames that arrive while busy (``P_l < F_s`` by assumption);
+* a pipelined offload client that ships frames over the uplink without
+  waiting for responses, and turns silence past the 250 ms deadline —
+  as well as server rejections — into timeout events ``T``;
+* a 1 Hz measurement loop that closes rate buckets, asks the attached
+  controller for a new ``P_o``, and records every series experiments
+  need.
+"""
+
+from repro.device.camera import FrameSource
+from repro.device.config import DeviceConfig
+from repro.device.device import DeviceTraces, EdgeDevice
+from repro.device.energy import CpuUtilizationModel
+from repro.device.local import LocalPipeline
+from repro.device.offload import OffloadClient
+from repro.device.splitter import TokenBucketSplitter
+
+__all__ = [
+    "CpuUtilizationModel",
+    "DeviceConfig",
+    "DeviceTraces",
+    "EdgeDevice",
+    "FrameSource",
+    "LocalPipeline",
+    "OffloadClient",
+    "TokenBucketSplitter",
+]

@@ -1,0 +1,64 @@
+"""Fixed-rate frame source (the webcam / ImageNet stream of §IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One captured frame."""
+
+    frame_id: int
+    captured_at: float
+    nbytes: int
+
+
+class FrameSource:
+    """Emits frames at a fixed rate, like a camera sensor.
+
+    The paper's experiments generate "a stream of 4,000 frames at 30
+    frames per second" (§IV-D); ``total_frames=None`` streams forever.
+    Frames are delivered synchronously to ``sink`` at their capture
+    instant — the sink decides routing.
+
+    ``nbytes`` is either a fixed size or a zero-argument callable
+    sampled per frame (see
+    :class:`~repro.workloads.video.VideoContentModel`).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        frame_rate: float,
+        nbytes: "Union[int, Callable[[], int]]",
+        sink: Callable[[Frame], None],
+        total_frames: Optional[int] = None,
+        name: str = "camera",
+    ) -> None:
+        if frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate}")
+        self.env = env
+        self.frame_rate = frame_rate
+        self.nbytes = nbytes
+        self._size_of = nbytes if callable(nbytes) else (lambda: nbytes)
+        self.sink = sink
+        self.total_frames = total_frames
+        self.frames_emitted = 0
+        self.done = env.event()
+        env.process(self._run(), name=name)
+
+    def _run(self):
+        env = self.env
+        period = 1.0 / self.frame_rate
+        frame_id = 0
+        while self.total_frames is None or frame_id < self.total_frames:
+            yield env.timeout(period)
+            frame = Frame(frame_id=frame_id, captured_at=env.now, nbytes=self._size_of())
+            self.frames_emitted += 1
+            self.sink(frame)
+            frame_id += 1
+        self.done.succeed(self.frames_emitted)

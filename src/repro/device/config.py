@@ -1,0 +1,71 @@
+"""Device configuration: one place for every §II/§IV constant."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.models.device_profiles import PI_4B_1_2, DeviceProfile
+from repro.models.frames import FrameSpec
+from repro.models.zoo import MOBILENET_V3_SMALL, ModelSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.video import VideoContentModel
+
+#: the paper's source frame rate (§I: "a typical frame rate of 30")
+DEFAULT_FRAME_RATE = 30.0
+
+#: §II-B: "we consider 250ms as a justifiable deadline"
+DEFAULT_DEADLINE = 0.250
+
+#: Table IV: "Measure Frequency 1" (one controller step per second)
+DEFAULT_MEASURE_PERIOD = 1.0
+
+#: §III-A.1: T is "the average ... from the last few seconds"
+DEFAULT_T_WINDOW_BUCKETS = 3
+
+#: §IV-D/E: streams of 4000 frames
+DEFAULT_STREAM_FRAMES = 4000
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Everything that defines one edge device in an experiment.
+
+    Defaults are the paper's evaluation setup: a Pi 4B rev 1.2 running
+    MobileNetV3Small on 224x224 frames at 30 fps with a 250 ms
+    deadline (§IV-A: "We use MobileNetV3 for these tests ... we only
+    used the same device and model for data collection").
+    """
+
+    name: str = "pi"
+    profile: DeviceProfile = PI_4B_1_2
+    model: ModelSpec = MOBILENET_V3_SMALL
+    frame_spec: FrameSpec = field(default_factory=FrameSpec)
+    frame_rate: float = DEFAULT_FRAME_RATE
+    deadline: float = DEFAULT_DEADLINE
+    measure_period: float = DEFAULT_MEASURE_PERIOD
+    t_window_buckets: int = DEFAULT_T_WINDOW_BUCKETS
+    total_frames: int = DEFAULT_STREAM_FRAMES
+    #: optional content-driven frame-size variation (None = fixed
+    #: sizes, the paper's setup)
+    video: "Optional[VideoContentModel]" = None
+
+    def __post_init__(self) -> None:
+        if self.frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {self.frame_rate}")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.measure_period <= 0:
+            raise ValueError("measure period must be positive")
+        if self.total_frames < 0:
+            raise ValueError("total frames must be >= 0")
+
+    @property
+    def frame_period(self) -> float:
+        return 1.0 / self.frame_rate
+
+    @property
+    def stream_duration(self) -> float:
+        """Seconds needed to emit the whole stream."""
+        return self.total_frames * self.frame_period

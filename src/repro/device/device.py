@@ -1,0 +1,300 @@
+"""The edge device: wiring plus the 1 Hz measurement/control loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.control.base import Controller, Measurement
+from repro.device.camera import Frame, FrameSource
+from repro.device.config import DeviceConfig
+from repro.device.energy import CpuUtilizationModel
+from repro.device.local import LocalPipeline
+from repro.device.offload import OffloadClient
+from repro.device.splitter import TokenBucketSplitter
+from repro.metrics.breakdown import BreakdownCollector
+from repro.metrics.counters import WindowedRate
+from repro.metrics.qos import QosReport
+from repro.metrics.streaming import StreamingHistogram
+from repro.metrics.timeseries import TimeSeries
+from repro.models.latency import LocalLatencyModel
+from repro.netem.link import Link
+from repro.server.server import EdgeServer
+from repro.sim.core import Environment
+
+
+@dataclass
+class DeviceTraces:
+    """Every per-second series an experiment might plot.
+
+    Matches the paper's figures: ``throughput`` is the dark series
+    (``P``), ``offload_target`` is the light ``P_o`` series shown for
+    FrameFeedback, ``timeout_rate`` is ``T``.
+    """
+
+    throughput: TimeSeries = field(default_factory=lambda: TimeSeries("P"))
+    offload_target: TimeSeries = field(default_factory=lambda: TimeSeries("P_o target"))
+    offload_rate: TimeSeries = field(default_factory=lambda: TimeSeries("P_o measured"))
+    offload_success: TimeSeries = field(default_factory=lambda: TimeSeries("P_o ok"))
+    local_rate: TimeSeries = field(default_factory=lambda: TimeSeries("P_l"))
+    timeout_rate: TimeSeries = field(default_factory=lambda: TimeSeries("T"))
+    timeout_window: TimeSeries = field(default_factory=lambda: TimeSeries("T avg"))
+    error: TimeSeries = field(default_factory=lambda: TimeSeries("e(t)"))
+    cpu_utilization: TimeSeries = field(default_factory=lambda: TimeSeries("cpu"))
+    capture_quality: TimeSeries = field(default_factory=lambda: TimeSeries("JPEG q"))
+
+
+class EdgeDevice:
+    """One §II edge device under a given controller."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: DeviceConfig,
+        controller: Controller,
+        uplink: Link,
+        downlink: Link,
+        server: EdgeServer,
+        rng: np.random.Generator,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.controller = controller
+        self.rng = rng
+        self.traces = DeviceTraces()
+        self.energy_model = CpuUtilizationModel(config.profile)
+
+        # --- actuation path -------------------------------------------------
+        self.splitter = TokenBucketSplitter(config.frame_rate)
+        self.splitter.set_target(controller.initial_target(config.frame_rate))
+
+        self.local = LocalPipeline(
+            env,
+            LocalLatencyModel(config.profile, config.model),
+            rng,
+            on_complete=self._on_local_complete,
+            name=f"{config.name}:local",
+        )
+
+        #: omniscient T_n/T_l attribution — analysis only, never
+        #: visible to the controller (the paper's §II-B observation)
+        self.breakdown = BreakdownCollector()
+        #: whole-run RTT distribution (bounded memory), for reports
+        self.rtt_histogram = StreamingHistogram(min_value=1e-3, max_value=5.0)
+        self.offload = OffloadClient(
+            env,
+            uplink=uplink,
+            downlink=downlink,
+            server=server,
+            tenant=config.name,
+            model_name=config.model.name,
+            deadline=config.deadline,
+            response_bytes=config.frame_spec.response_bytes,
+            on_success=self._on_offload_success,
+            on_timeout=self._on_offload_timeout,
+            on_probe_result=self._on_probe_result,
+            breakdown=self.breakdown,
+        )
+
+        # --- measurement state ----------------------------------------------
+        self._bucket_offload_attempts = 0
+        self._bucket_offload_success = 0
+        self._bucket_local_done = 0
+        self._bucket_timeouts = 0
+        self._bucket_rtts: list = []
+        self._t_window = WindowedRate(config.t_window_buckets)
+        self._probe_result: Optional[bool] = None
+        self._probe_counter = 0
+        self._prev_local_busy = 0.0
+
+        # cumulative QoS counters
+        self.frames_seen = 0
+        self.successes = 0
+        self.local_successes = 0
+        self.offload_successes = 0
+        self.timeouts = 0
+        self.local_skips = 0
+
+        #: runtime-adjustable JPEG quality (§II-D knob); controllers
+        #: exposing a ``capture_quality`` attribute drive it
+        self.capture_quality = config.frame_spec.jpeg_quality
+        self._video_sampler = (
+            config.video.sampler(rng) if config.video is not None else None
+        )
+        self.source = FrameSource(
+            env,
+            frame_rate=config.frame_rate,
+            nbytes=self._frame_nbytes,
+            sink=self._on_frame,
+            total_frames=config.total_frames or None,
+            name=f"{config.name}:camera",
+        )
+        env.process(self._measure_loop(), name=f"{config.name}:measure")
+
+    # ------------------------------------------------------------------
+    # data path callbacks
+    # ------------------------------------------------------------------
+    def _frame_nbytes(self) -> int:
+        """Per-frame size under the current capture quality."""
+        from repro.models.frames import frame_bytes
+
+        spec = self.config.frame_spec
+        base = frame_bytes(spec.resolution, self.capture_quality)
+        if self._video_sampler is None:
+            return base
+        # content variation scales around the quality-adjusted mean
+        raw = self._video_sampler()
+        return max(200, int(round(raw * base / spec.bytes_on_wire)))
+
+    def _on_frame(self, frame: Frame) -> None:
+        self.frames_seen += 1
+        if self.splitter.route():
+            self._bucket_offload_attempts += 1
+            self.offload.send(frame)
+        else:
+            if not self.local.offer(frame):
+                self.local_skips += 1
+
+    def _on_local_complete(self, frame: Frame, latency: float) -> None:
+        self._bucket_local_done += 1
+        self.local_successes += 1
+        self.successes += 1
+
+    def _on_offload_success(self, frame: Frame, rtt: float) -> None:
+        self._bucket_offload_success += 1
+        self._bucket_rtts.append(rtt)
+        self.rtt_histogram.record(max(rtt, 1e-6))
+        self.offload_successes += 1
+        self.successes += 1
+
+    def _on_offload_timeout(self, frame: Frame, reason: str) -> None:
+        self._bucket_timeouts += 1
+        self._t_window.record(1)
+        self.timeouts += 1
+
+    def _on_probe_result(self, ok: bool) -> None:
+        self._probe_result = ok
+
+    # ------------------------------------------------------------------
+    # measurement / control loop
+    # ------------------------------------------------------------------
+    def _measure_loop(self):
+        env = self.env
+        cfg = self.config
+        period = cfg.measure_period
+        while True:
+            if self.controller.wants_probe:
+                self._send_probe()
+            yield env.timeout(period)
+            measurement = self._close_buckets(period)
+            new_target = self.controller.update(measurement)
+            self.splitter.set_target(new_target)
+            quality = getattr(self.controller, "capture_quality", None)
+            if quality is not None:
+                self.capture_quality = float(quality)
+            self.traces.offload_target.append(env.now, self.splitter.target)
+            self.traces.capture_quality.append(env.now, self.capture_quality)
+            err = getattr(self.controller, "last_error", 0.0)
+            self.traces.error.append(env.now, err)
+
+    def _send_probe(self) -> None:
+        """One heartbeat request (AllOrNothing's profiling probe)."""
+        self._probe_counter += 1
+        probe_frame = Frame(
+            frame_id=-self._probe_counter,  # never collides with real ids
+            captured_at=self.env.now,
+            nbytes=self._frame_nbytes(),
+        )
+        self.offload.send(probe_frame, is_probe=True)
+
+    def _close_buckets(self, period: float) -> Measurement:
+        env = self.env
+        cfg = self.config
+
+        offload_rate = self._bucket_offload_attempts / period
+        success_rate = self._bucket_offload_success / period
+        local_rate = self._bucket_local_done / period
+        timeout_last = self._bucket_timeouts / period
+        throughput = success_rate + local_rate
+        self._t_window.close_bucket(period)
+        t_avg = self._t_window.average
+
+        # per-interval CPU utilization from local busy time + offloads
+        busy_now = self.local.busy_seconds
+        busy_frac = min(1.0, (busy_now - self._prev_local_busy) / period)
+        self._prev_local_busy = busy_now
+        cpu = self.energy_model.utilization(busy_frac, offload_rate)
+
+        self.traces.throughput.append(env.now, throughput)
+        self.traces.offload_rate.append(env.now, offload_rate)
+        self.traces.offload_success.append(env.now, success_rate)
+        self.traces.local_rate.append(env.now, local_rate)
+        self.traces.timeout_rate.append(env.now, timeout_last)
+        self.traces.timeout_window.append(env.now, t_avg)
+        self.traces.cpu_utilization.append(env.now, cpu)
+
+        rtt_mean = rtt_p95 = None
+        if self._bucket_rtts:
+            arr = np.asarray(self._bucket_rtts)
+            rtt_mean = float(arr.mean())
+            rtt_p95 = float(np.percentile(arr, 95))
+
+        measurement = Measurement(
+            time=env.now,
+            frame_rate=cfg.frame_rate,
+            offload_target=self.splitter.target,
+            offload_rate=offload_rate,
+            offload_success_rate=success_rate,
+            timeout_rate=t_avg,
+            timeout_rate_last=timeout_last,
+            local_rate=local_rate,
+            throughput=throughput,
+            probe_ok=self._probe_result,
+            rtt_mean=rtt_mean,
+            rtt_p95=rtt_p95,
+        )
+
+        self._bucket_offload_attempts = 0
+        self._bucket_offload_success = 0
+        self._bucket_local_done = 0
+        self._bucket_timeouts = 0
+        self._bucket_rtts = []
+        return measurement
+
+    # ------------------------------------------------------------------
+    def qos_report(self, elapsed: Optional[float] = None) -> QosReport:
+        """Whole-run QoS rollup for this device."""
+        elapsed = elapsed if elapsed is not None else self.env.now
+        mean_p = (
+            float(self.traces.throughput.values.mean())
+            if len(self.traces.throughput)
+            else 0.0
+        )
+        mean_t = (
+            float(self.traces.timeout_rate.values.mean())
+            if len(self.traces.timeout_rate)
+            else 0.0
+        )
+        return QosReport(
+            name=self.controller.name,
+            total_frames=self.frames_seen,
+            successful=self.successes,
+            timeouts=self.timeouts,
+            rejected=self.offload.rejections,
+            dropped_local=self.local_skips,
+            mean_throughput=mean_p,
+            mean_violation_rate=mean_t,
+            extras={
+                "offload_successes": float(self.offload_successes),
+                "local_successes": float(self.local_successes),
+                "mean_cpu_utilization": (
+                    float(self.traces.cpu_utilization.values.mean())
+                    if len(self.traces.cpu_utilization)
+                    else 0.0
+                ),
+                "rtt_p50": self.rtt_histogram.quantile(0.5),
+                "rtt_p95": self.rtt_histogram.quantile(0.95),
+            },
+        )

@@ -1,0 +1,66 @@
+"""CPU-utilization model (the §II-A.5 energy observation).
+
+The paper does not optimize power but reports the side-effect:
+
+    "Raspberry Pi CPU usage drops from 50.2% to 22.3% on average when
+    transitioning from local execution to offloading."
+
+We model device CPU utilization (fraction of total CPU) as
+
+    util = capture_overhead + local_share * inference_weight + encode_cost * offload_rate
+
+* ``capture_overhead`` — camera capture + preprocessing, always paid;
+* ``local_share`` — the local inference engine's busy fraction, scaled
+  by how much of the SoC a single-pipeline inference actually loads
+  (TF on a Pi keeps roughly half the cores busy for MobileNet-class
+  models — inferred from the paper's own 50.2 % local figure);
+* ``encode_cost`` — JPEG encode + socket work per offloaded frame
+  (calibrated against the paper's 22.3 % offloading figure at 30 fps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.device_profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class CpuUtilizationModel:
+    """Predicts average device CPU utilization for an interval."""
+
+    profile: DeviceProfile
+    #: SoC fraction a fully-busy local inference pipeline consumes
+    inference_weight: float = 0.42
+    #: SoC fraction consumed per offloaded frame per second
+    encode_cost_per_fps: float = 0.0048
+
+    def utilization(
+        self, local_busy_fraction: float, offload_rate: float
+    ) -> float:
+        """Average CPU utilization (0..1).
+
+        Args:
+            local_busy_fraction: local engine busy fraction (0..1).
+            offload_rate: offloaded frames per second.
+        """
+        if not 0.0 <= local_busy_fraction <= 1.0:
+            raise ValueError(
+                f"busy fraction must be in [0, 1], got {local_busy_fraction}"
+            )
+        if offload_rate < 0:
+            raise ValueError(f"negative offload rate {offload_rate}")
+        util = (
+            self.profile.capture_overhead_util
+            + self.inference_weight * local_busy_fraction
+            + self.encode_cost_per_fps * offload_rate
+        )
+        return min(1.0, util)
+
+    def local_only_utilization(self) -> float:
+        """Utilization with the local engine saturated, no offloading."""
+        return self.utilization(1.0, 0.0)
+
+    def full_offload_utilization(self, frame_rate: float) -> float:
+        """Utilization when every frame offloads (local engine idle)."""
+        return self.utilization(0.0, frame_rate)

@@ -1,0 +1,212 @@
+"""Pipelined offload client with deadline bookkeeping.
+
+§II-B: "an offloaded inference task is successful if its result
+returns before its deadline" and "we consider pipelined offloading to
+overlap frame processing".  So the client
+
+* ships frames over the uplink *without* waiting for responses;
+* starts a watchdog per frame: if no successful response has arrived
+  by ``deadline`` seconds after capture, the frame counts toward the
+  timeout rate ``T`` at that instant (this covers network drops, slow
+  responses, *and* responses that never come);
+* counts server rejections toward ``T`` the moment the rejection
+  response arrives (§II-A.3 folds rejections into ``T_l``).
+
+A late success (response after the deadline) is discarded: the frame
+already counted as a violation and real-time results have no value
+past their deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.device.camera import Frame
+from repro.metrics.breakdown import BreakdownCollector, LatencySample
+from repro.netem.link import Link
+from repro.server.requests import InferenceRequest, Response
+from repro.server.server import EdgeServer
+from repro.sim.core import Environment
+
+
+@dataclass
+class _Outstanding:
+    frame: Frame
+    sent_at: float
+    settled: bool = False
+    is_probe: bool = False
+
+
+class OffloadClient:
+    """The device side of the offload path."""
+
+    def __init__(
+        self,
+        env: Environment,
+        uplink: Link,
+        downlink: Link,
+        server: EdgeServer,
+        tenant: str,
+        model_name: str,
+        deadline: float,
+        response_bytes: int,
+        on_success: Callable[[Frame, float], None],
+        on_timeout: Callable[[Frame, str], None],
+        on_probe_result: Optional[Callable[[bool], None]] = None,
+        breakdown: Optional[BreakdownCollector] = None,
+    ) -> None:
+        self.env = env
+        self.uplink = uplink
+        self.downlink = downlink
+        self.server = server
+        self.tenant = tenant
+        self.model_name = model_name
+        self.deadline = deadline
+        self.response_bytes = response_bytes
+        self.on_success = on_success
+        self.on_timeout = on_timeout
+        self.on_probe_result = on_probe_result
+        #: optional omniscient-analysis collector (T_n/T_l attribution);
+        #: never consulted by any controller — that is the paper's point
+        self.breakdown = breakdown
+        self._outstanding: Dict[int, _Outstanding] = {}
+        #: frames already counted as violations whose attribution waits
+        #: for a (late) response: frame_id -> (record, violation time)
+        self._late_pending: Dict[int, tuple] = {}
+        self.sent = 0
+        self.probes_sent = 0
+        self.successes = 0
+        self.timeouts = 0
+        self.rejections = 0
+        #: end-to-end latency of the last successful offload (probe incl.)
+        self.last_rtt: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    def send(self, frame: Frame, is_probe: bool = False) -> None:
+        """Ship one frame; non-blocking (pipelined)."""
+        record = _Outstanding(frame=frame, sent_at=self.env.now, is_probe=is_probe)
+        self._outstanding[frame.frame_id] = record
+        if is_probe:
+            self.probes_sent += 1
+        else:
+            self.sent += 1
+        request = InferenceRequest(
+            tenant=self.tenant,
+            model_name=self.model_name,
+            sent_at=self.env.now,
+            payload_bytes=frame.nbytes,
+            respond=self._on_server_response,
+            frame_id=frame.frame_id,
+            # deadline hint for DEADLINE_AWARE servers; note this
+            # presumes synchronized clocks (the very machinery ATOMS
+            # needs and the paper's design avoids) — the default FIFO
+            # policy never reads it
+            deadline_at=self.env.now + self.deadline,
+        )
+        # A dropped uplink send needs no special handling: the watchdog
+        # will fire at the deadline, which is exactly what the real
+        # system observes (silence).
+        self.uplink.send(frame.nbytes, request, self.server.submit)
+        self.env.process(self._watchdog(frame.frame_id), name="offload-watchdog")
+
+    # ------------------------------------------------------------------
+    def _on_server_response(self, response: Response) -> None:
+        """Server-side completion: route the response down the link."""
+        self.downlink.send(self.response_bytes, response, self._on_response_arrival)
+
+    def _on_response_arrival(self, response: Response) -> None:
+        record = self._outstanding.get(response.frame_id)
+        if record is None or record.settled:
+            self._attribute_late(response)
+            return  # already counted as a timeout (late response)
+        rtt = self.env.now - record.sent_at
+        if self.breakdown is not None and not record.is_probe and response.ok:
+            self.breakdown.record_response(
+                LatencySample(
+                    sent_at=record.sent_at,
+                    uplink=max(0.0, response.arrived_at - record.sent_at),
+                    server=max(0.0, response.completed_at - response.arrived_at),
+                    downlink=max(0.0, self.env.now - response.completed_at),
+                    ok=rtt <= self.deadline,
+                ),
+                at=self.env.now,
+            )
+        if response.ok and rtt <= self.deadline:
+            self._settle(record, response.frame_id)
+            self.last_rtt = rtt
+            if record.is_probe:
+                self._probe_done(True)
+            else:
+                self.successes += 1
+                self.on_success(record.frame, rtt)
+        elif not response.ok:
+            # Rejection: a definitive failure, counted immediately.
+            self._settle(record, response.frame_id)
+            self.rejections += 1
+            if record.is_probe:
+                self._probe_done(False)
+            else:
+                if self.breakdown is not None:
+                    self.breakdown.record_rejection(self.env.now)
+                self.timeouts += 1
+                self.on_timeout(record.frame, "rejected")
+        # else: a successful response past the deadline — leave the
+        # record for the watchdog (or it already fired).
+
+    def _watchdog(self, frame_id: int):
+        yield self.env.timeout(self.deadline)
+        record = self._outstanding.get(frame_id)
+        if record is None or record.settled:
+            return
+        self._settle(record, frame_id)
+        if record.is_probe:
+            self._probe_done(False)
+            return
+        self.timeouts += 1
+        self.on_timeout(record.frame, "deadline")
+        if self.breakdown is not None:
+            # Attribution is deferred: a late response (if one ever
+            # comes) tells us whether network or server ate the budget;
+            # true silence is a network loss.
+            self._late_pending[frame_id] = (record, self.env.now)
+            self.env.process(self._attribution_grace(frame_id))
+
+    def _attribution_grace(self, frame_id: int):
+        yield self.env.timeout(max(4.0 * self.deadline, 1.0))
+        pending = self._late_pending.pop(frame_id, None)
+        if pending is not None:
+            _record, violated_at = pending
+            self.breakdown.record_silent_timeout(violated_at)
+
+    def _attribute_late(self, response: Response) -> None:
+        """A response for a frame already counted as violated."""
+        pending = self._late_pending.pop(response.frame_id, None)
+        if pending is None or self.breakdown is None:
+            return
+        record, violated_at = pending
+        if response.ok:
+            self.breakdown.record_response(
+                LatencySample(
+                    sent_at=record.sent_at,
+                    uplink=max(0.0, response.arrived_at - record.sent_at),
+                    server=max(0.0, response.completed_at - response.arrived_at),
+                    downlink=max(0.0, self.env.now - response.completed_at),
+                    ok=False,
+                ),
+                at=violated_at,
+            )
+        else:
+            self.breakdown.record_rejection(violated_at)
+
+    def _settle(self, record: _Outstanding, frame_id: int) -> None:
+        record.settled = True
+        self._outstanding.pop(frame_id, None)
+
+    def _probe_done(self, ok: bool) -> None:
+        if self.on_probe_result is not None:
+            self.on_probe_result(ok)

@@ -1,0 +1,42 @@
+"""Deterministic frame router: offload stream at rate ``P_o``, rest local.
+
+The controller outputs a *rate* target; per frame the device needs a
+*binary* decision.  A token bucket converts one into the other with
+zero long-run error and the most even spacing possible: each frame adds
+``P_o / F_s`` credit, and a full credit buys one offload.  (Even
+spacing matters — bursty offload traffic would self-inflict queueing
+delay the controller would then misread as congestion.)
+"""
+
+from __future__ import annotations
+
+
+class TokenBucketSplitter:
+    """Routes frames between offload and local deterministically."""
+
+    def __init__(self, frame_rate: float) -> None:
+        if frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate}")
+        self.frame_rate = frame_rate
+        self._target = 0.0
+        self._credit = 0.0
+
+    @property
+    def target(self) -> float:
+        """Current offload-rate target ``P_o`` (frames/s)."""
+        return self._target
+
+    def set_target(self, rate: float) -> None:
+        """Set ``P_o``; values are clamped to [0, F_s]."""
+        self._target = min(max(rate, 0.0), self.frame_rate)
+
+    def route(self) -> bool:
+        """Decide one frame: True = offload, False = local."""
+        self._credit += self._target / self.frame_rate
+        if self._credit >= 1.0 - 1e-9:
+            self._credit -= 1.0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._credit = 0.0

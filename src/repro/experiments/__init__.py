@@ -1,0 +1,36 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Wiring lives in :mod:`repro.experiments.scenario`; each ``figN.py`` /
+``tableN.py`` module builds the paper's exact configuration and
+returns structured results; :mod:`repro.experiments.report` formats
+them as the rows/series the paper prints.
+"""
+
+from repro.experiments.fleet import FleetMember, FleetScenario, run_fleet
+from repro.experiments.parallel import run_many
+from repro.experiments.scenario import (
+    RunResult,
+    Scenario,
+    ScenarioContext,
+    run_scenario,
+)
+from repro.experiments.seeds import compare_across_seeds, run_across_seeds, win_rate
+from repro.experiments.standard import extended_controllers, standard_controllers
+from repro.experiments.validation import validate_all
+
+__all__ = [
+    "FleetMember",
+    "FleetScenario",
+    "RunResult",
+    "Scenario",
+    "ScenarioContext",
+    "compare_across_seeds",
+    "extended_controllers",
+    "run_across_seeds",
+    "run_fleet",
+    "run_many",
+    "run_scenario",
+    "standard_controllers",
+    "validate_all",
+    "win_rate",
+]

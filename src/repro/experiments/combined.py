@@ -1,0 +1,93 @@
+"""Combined network + server-load stress (§IV-C's mentioned-but-unplotted case).
+
+    "Combining both sources of end-to-end latency largely works
+    additively to create more unsuccessful offload requests."
+
+The paper cuts this for space; the reproduction runs it: Table V's
+network schedule and Table VI's load schedule applied simultaneously
+(Table VI's 100 s envelope is stretched to Table V's ~133 s run).  The
+additivity claim is checked by comparing FrameFeedback's achieved
+offloading under (network only), (load only) and (both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import RunResult, Scenario, run_scenario
+from repro.experiments.standard import ControllerFactory, standard_controllers
+from repro.workloads.loadgen import LoadSchedule
+from repro.workloads.schedules import TABLE_VI_LOAD, table_v_schedule
+
+
+def stretched_table_vi(factor: float) -> LoadSchedule:
+    """Table VI with its timeline scaled by ``factor``."""
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    return LoadSchedule.from_rows(
+        [(start * factor, rate) for start, rate in TABLE_VI_LOAD]
+    )
+
+
+@dataclass
+class CombinedResult:
+    runs: Dict[str, RunResult]
+
+    def mean_throughput(self, name: str) -> float:
+        return self.runs[name].qos.mean_throughput
+
+
+def run_combined(
+    seed: int = 0,
+    total_frames: int = 4000,
+    controllers: "Dict[str, ControllerFactory] | None" = None,
+) -> CombinedResult:
+    """Both schedules at once, every controller."""
+    device = DeviceConfig(total_frames=total_frames)
+    duration = device.stream_duration + 1.0
+    load = stretched_table_vi(duration / 100.0)
+    controllers = controllers or standard_controllers()
+    runs = {}
+    for name, factory in controllers.items():
+        scenario = Scenario(
+            controller_factory=factory,
+            device=device,
+            network=table_v_schedule(),
+            load=load,
+            duration=duration,
+            seed=seed,
+        )
+        runs[name] = run_scenario(scenario)
+    return CombinedResult(runs=runs)
+
+
+def run_additivity_check(seed: int = 0, total_frames: int = 2400) -> Dict[str, float]:
+    """FrameFeedback's mean timeout rate under each stressor alone and both.
+
+    Returns ``{"network": T_n-ish, "load": T_l-ish, "both": T}`` —
+    the §IV-C additivity claim predicts both >= max(network, load).
+    """
+    from repro.experiments.standard import framefeedback_factory
+
+    device = DeviceConfig(total_frames=total_frames)
+    duration = device.stream_duration + 1.0
+    load = stretched_table_vi(duration / 100.0)
+
+    def mean_t(network, load_schedule) -> float:
+        scenario = Scenario(
+            controller_factory=framefeedback_factory(),
+            device=device,
+            network=network,
+            load=load_schedule,
+            duration=duration,
+            seed=seed,
+        )
+        return run_scenario(scenario).qos.mean_violation_rate
+
+    return {
+        "network": mean_t(table_v_schedule(), None),
+        "load": mean_t(None, load),
+        "both": mean_t(table_v_schedule(), load),
+    }

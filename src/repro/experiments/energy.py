@@ -1,0 +1,53 @@
+"""The §II-A.5 energy observation: CPU usage local vs. offloading.
+
+    "Raspberry Pi CPU usage drops from 50.2% to 22.3% on average when
+    transitioning from local execution to offloading."
+
+Reproduced by running the full device under LocalOnly and under
+AlwaysOffload on an ideal link and averaging the per-second CPU
+utilization series the device records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.baselines import AlwaysOffloadController, LocalOnlyController
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.netem.profiles import IDEAL
+from repro.workloads.schedules import steady_schedule
+
+#: the paper's reported averages
+PAPER_LOCAL_CPU = 0.502
+PAPER_OFFLOAD_CPU = 0.223
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    local_cpu: float
+    offload_cpu: float
+
+    @property
+    def drop(self) -> float:
+        return self.local_cpu - self.offload_cpu
+
+
+def run_energy(seed: int = 0, total_frames: int = 1800) -> EnergyResult:
+    """Measure mean CPU utilization under the two extreme policies."""
+    device = DeviceConfig(total_frames=total_frames)
+
+    def mean_cpu(factory) -> float:
+        scenario = Scenario(
+            controller_factory=factory,
+            device=device,
+            network=steady_schedule(IDEAL),
+            seed=seed,
+        )
+        result = run_scenario(scenario)
+        return float(result.traces.cpu_utilization.values.mean())
+
+    return EnergyResult(
+        local_cpu=mean_cpu(lambda c: LocalOnlyController()),
+        offload_cpu=mean_cpu(lambda c: AlwaysOffloadController()),
+    )

@@ -1,0 +1,84 @@
+"""Figure 2: controller gain comparison under a loss injection.
+
+The paper plots the offloading rate ``P_o`` for controllers with
+different ``(K_P, K_D)`` coefficients on an otherwise-ideal link, with
+7 % packet loss introduced after 27 seconds.  Well-tuned gains settle
+smoothly onto a reduced rate; aggressive gains oscillate; sluggish
+gains under-react.  This module reproduces the traces and scores them
+with :mod:`repro.analysis.stability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stability import StabilityReport, stability_report
+from repro.control.framefeedback import FrameFeedbackSettings
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import framefeedback_factory
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.schedules import fig2_schedule
+
+#: the gain grid plotted: paper settings plus the instructive failures
+DEFAULT_GAIN_GRID: Tuple[Tuple[float, float], ...] = (
+    (0.2, 0.26),  # Table IV (the published tuning)
+    (0.2, 0.0),  # no derivative: overshoots after the loss hits
+    (0.4, 0.26),  # hot proportional gain: oscillates
+    (0.05, 0.26),  # sluggish: never reaches F_s before the loss
+)
+
+#: seconds of ideal conditions before the loss injection (§III-B/Fig 2)
+LOSS_INJECTION_TIME = 27.0
+
+
+@dataclass
+class Fig2Result:
+    """P_o traces and stability scores per gain setting."""
+
+    traces: Dict[str, TimeSeries]
+    reports: Dict[str, StabilityReport]
+    loss_injection_time: float
+    duration: float
+
+    def labels(self) -> List[str]:
+        return list(self.traces)
+
+
+def gain_label(kp: float, kd: float) -> str:
+    return f"Kp={kp:g} Kd={kd:g}"
+
+
+def run_fig2(
+    gains: Sequence[Tuple[float, float]] = DEFAULT_GAIN_GRID,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> Fig2Result:
+    """Run the Fig 2 experiment for every gain pair."""
+    device = DeviceConfig(total_frames=int(duration * 30))
+    traces: Dict[str, TimeSeries] = {}
+    reports: Dict[str, StabilityReport] = {}
+    for kp, kd in gains:
+        settings = FrameFeedbackSettings(kp=kp, kd=kd)
+        scenario = Scenario(
+            controller_factory=framefeedback_factory(settings),
+            device=device,
+            network=fig2_schedule(),
+            duration=duration,
+            seed=seed,
+        )
+        result = run_scenario(scenario)
+        label = gain_label(kp, kd)
+        trace = result.traces.offload_target
+        traces[label] = trace
+        # score only the post-injection segment: that is where tuning
+        # quality shows (§III-B: stability under disturbance)
+        after = trace.slice(LOSS_INJECTION_TIME + 3.0, duration)
+        reports[label] = stability_report(after.times, after.values)
+    return Fig2Result(
+        traces=traces,
+        reports=reports,
+        loss_injection_time=LOSS_INJECTION_TIME,
+        duration=duration,
+    )

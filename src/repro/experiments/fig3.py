@@ -1,0 +1,80 @@
+"""Figure 3: controller comparison under the Table V network schedule.
+
+4,000 frames at 30 fps (~133 s) per controller; NetEm-style schedule
+degrades bandwidth/loss at the Table V boundaries.  The paper's
+reading of its own figure, which the reproduction should recover:
+
+* all offloading controllers match under very good (bw=10) conditions;
+* under intermediate conditions (bw=4, and bw=10 + 7 % loss)
+  FrameFeedback finds a supportable partial rate and beats the
+  all-or-nothing baseline by ~1.5–3x;
+* under hopeless conditions (bw=1) FrameFeedback ≈ LocalOnly while
+  AlwaysOffload collapses to ~0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import RunResult, Scenario, run_scenario
+from repro.experiments.standard import ControllerFactory, standard_controllers
+from repro.metrics.qos import PhaseSummary, summarize_phases
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.schedules import TABLE_V_NETWORK, table_v_schedule
+
+PHASE_LABELS = (
+    "bw=10 loss=0",
+    "bw=4  loss=0",
+    "bw=1  loss=0",
+    "bw=10 loss=0",
+    "bw=10 loss=7%",
+    "bw=4  loss=7%",
+)
+
+
+@dataclass
+class Fig3Result:
+    """Per-controller run results plus the per-phase summary."""
+
+    runs: Dict[str, RunResult]
+    phases: List[PhaseSummary]
+    duration: float
+
+    @property
+    def throughput(self) -> Dict[str, TimeSeries]:
+        return {name: run.traces.throughput for name, run in self.runs.items()}
+
+    @property
+    def framefeedback_offload(self) -> TimeSeries:
+        """The light P_o series the paper overlays for FrameFeedback."""
+        return self.runs["FrameFeedback"].traces.offload_target
+
+
+def run_fig3(
+    seed: int = 0,
+    total_frames: int = 4000,
+    controllers: Optional[Dict[str, ControllerFactory]] = None,
+) -> Fig3Result:
+    """Run the Fig 3 experiment for every controller (same seed)."""
+    device = DeviceConfig(total_frames=total_frames)
+    duration = device.stream_duration + 1.0
+    controllers = controllers or standard_controllers()
+    runs: Dict[str, RunResult] = {}
+    for name, factory in controllers.items():
+        scenario = Scenario(
+            controller_factory=factory,
+            device=device,
+            network=table_v_schedule(),
+            duration=duration,
+            seed=seed,
+        )
+        runs[name] = run_scenario(scenario)
+    phases = summarize_phases(
+        {name: run.traces.throughput for name, run in runs.items()},
+        boundaries=[row[0] for row in TABLE_V_NETWORK],
+        end=duration,
+        labels=PHASE_LABELS,
+    )
+    return Fig3Result(runs=runs, phases=phases, duration=duration)

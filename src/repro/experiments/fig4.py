@@ -1,0 +1,68 @@
+"""Figure 4: controller comparison under the Table VI server load.
+
+Same protocol as Fig 3 (4,000 frames at 30 fps) but the network stays
+ideal and *other devices* inject request volume per Table VI, ramping
+0 -> 150 -> 0 req/s.  Expected shape (§IV-E): "Up until about 150
+additional requests, our Pi can fit in some offloading when controlled
+by FrameFeedback.  The other controllers have lower throughput due to
+their inability to adapt in a fine-grained way."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import RunResult, Scenario, run_scenario
+from repro.experiments.standard import ControllerFactory, standard_controllers
+from repro.metrics.qos import PhaseSummary, summarize_phases
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.schedules import TABLE_VI_LOAD, table_vi_schedule
+
+PHASE_LABELS = tuple(f"load={int(rate)}/s" for _, rate in TABLE_VI_LOAD)
+
+
+@dataclass
+class Fig4Result:
+    """Per-controller run results plus the per-phase summary."""
+
+    runs: Dict[str, RunResult]
+    phases: List[PhaseSummary]
+    duration: float
+
+    @property
+    def throughput(self) -> Dict[str, TimeSeries]:
+        return {name: run.traces.throughput for name, run in self.runs.items()}
+
+    @property
+    def framefeedback_offload(self) -> TimeSeries:
+        return self.runs["FrameFeedback"].traces.offload_target
+
+
+def run_fig4(
+    seed: int = 0,
+    total_frames: int = 4000,
+    controllers: Optional[Dict[str, ControllerFactory]] = None,
+) -> Fig4Result:
+    """Run the Fig 4 experiment for every controller (same seed)."""
+    device = DeviceConfig(total_frames=total_frames)
+    duration = device.stream_duration + 1.0
+    controllers = controllers or standard_controllers()
+    runs: Dict[str, RunResult] = {}
+    for name, factory in controllers.items():
+        scenario = Scenario(
+            controller_factory=factory,
+            device=device,
+            load=table_vi_schedule(),
+            duration=duration,
+            seed=seed,
+        )
+        runs[name] = run_scenario(scenario)
+    phases = summarize_phases(
+        {name: run.traces.throughput for name, run in runs.items()},
+        boundaries=[row[0] for row in TABLE_VI_LOAD],
+        end=duration,
+        labels=PHASE_LABELS,
+    )
+    return Fig4Result(runs=runs, phases=phases, duration=duration)

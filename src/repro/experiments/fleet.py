@@ -1,0 +1,162 @@
+"""Multi-device fleets sharing one edge server (§II-A.1 multi-tenancy).
+
+The paper's testbed runs three Pis concurrently against one server
+(§IV-A); :class:`FleetScenario` generalizes :class:`Scenario` to N
+devices, each with its own radio link, controller instance, and seed
+stream, all submitting to one shared :class:`EdgeServer`.  Fairness
+questions (who starves when the server saturates?) only exist at this
+level, which is why the batch-policy ablation lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.control.base import Controller
+from repro.device.config import DeviceConfig
+from repro.device.device import EdgeDevice
+from repro.metrics.qos import QosReport
+from repro.models.latency import GpuBatchModel
+from repro.netem.link import ConditionBox, Link, LinkConditions
+from repro.netem.schedule import NetworkSchedule
+from repro.server.batching import BatchPolicy
+from repro.server.server import EdgeServer, ServerStats
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.workloads.loadgen import BackgroundLoad, LoadSchedule
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """One device's slot in the fleet."""
+
+    config: DeviceConfig
+    #: per-member link conditions (None -> defaults); members may have
+    #: heterogeneous radios, as real deployments do
+    link: Optional[LinkConditions] = None
+    #: per-member network schedule overrides ``link`` when present
+    network: Optional[NetworkSchedule] = None
+
+
+@dataclass
+class FleetScenario:
+    """N devices + one server + optional background load."""
+
+    members: Sequence[FleetMember]
+    controller_factory: Callable[[DeviceConfig], Controller]
+    load: Optional[LoadSchedule] = None
+    duration: Optional[float] = None
+    seed: int = 0
+    gpu_model: GpuBatchModel = field(default_factory=GpuBatchModel)
+    batch_policy: BatchPolicy = BatchPolicy.FIFO
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("fleet needs at least one member")
+        names = [m.config.name for m in self.members]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names: {names}")
+
+    @property
+    def run_duration(self) -> float:
+        if self.duration is not None:
+            return self.duration
+        return max(m.config.stream_duration for m in self.members) + 2.0
+
+
+@dataclass
+class FleetResult:
+    """Per-device results plus shared-server statistics."""
+
+    devices: Dict[str, QosReport]
+    server_stats: ServerStats
+    gpu_utilization: float
+    elapsed: float
+    #: GPU frames per batch — small values are the §II-A.1 hardware
+    #: fragmentation a single tenant causes
+    mean_batch_size: float = 0.0
+
+    def throughputs(self) -> Dict[str, float]:
+        return {name: qos.mean_throughput for name, qos in self.devices.items()}
+
+    @property
+    def fleet_mean_throughput(self) -> float:
+        values = list(self.throughputs().values())
+        return sum(values) / len(values)
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index over per-device throughput (1 = equal)."""
+        x = np.array(list(self.throughputs().values()))
+        if not x.any():
+            return 1.0
+        return float(x.sum() ** 2 / (len(x) * (x**2).sum()))
+
+
+def run_fleet(scenario: FleetScenario) -> FleetResult:
+    """Execute a fleet scenario deterministically."""
+    env = Environment()
+    rng = RngRegistry(scenario.seed)
+    server = EdgeServer(
+        env,
+        rng.stream("server"),
+        cost_model=scenario.gpu_model,
+        batch_policy=scenario.batch_policy,
+    )
+    if scenario.load is not None:
+        BackgroundLoad(env, server, scenario.load, rng.stream("background"))
+
+    devices: List[EdgeDevice] = []
+    for member in scenario.members:
+        name = member.config.name
+        box = ConditionBox(
+            member.network.at(0.0)
+            if member.network is not None
+            else (member.link or LinkConditions())
+        )
+        uplink = Link(env, rng.stream(f"uplink:{name}"), box, name=f"up:{name}")
+        downlink = Link(env, rng.stream(f"downlink:{name}"), box, name=f"down:{name}")
+        if member.network is not None:
+            member.network.install(env, box)
+        controller = scenario.controller_factory(member.config)
+        devices.append(
+            EdgeDevice(
+                env,
+                member.config,
+                controller,
+                uplink=uplink,
+                downlink=downlink,
+                server=server,
+                rng=rng.stream(f"device:{name}"),
+            )
+        )
+
+    duration = scenario.run_duration
+    env.run(until=duration)
+    return FleetResult(
+        devices={d.config.name: d.qos_report(duration) for d in devices},
+        server_stats=server.stats,
+        gpu_utilization=server.gpu.utilization(duration),
+        elapsed=duration,
+        mean_batch_size=server.gpu.frames_run / max(server.gpu.batches_run, 1),
+    )
+
+
+def homogeneous_fleet(
+    n: int,
+    total_frames: int = 1800,
+    link: Optional[LinkConditions] = None,
+    name_prefix: str = "pi",
+) -> List[FleetMember]:
+    """N identical members (the paper's three-Pi setup generalized)."""
+    if n < 1:
+        raise ValueError(f"need at least one device, got {n}")
+    return [
+        FleetMember(
+            config=DeviceConfig(name=f"{name_prefix}{i}", total_frames=total_frames),
+            link=link,
+        )
+        for i in range(n)
+    ]

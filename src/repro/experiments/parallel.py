@@ -1,0 +1,124 @@
+"""Process-parallel experiment execution.
+
+Sweeps (seed grids, gain grids, scenario matrices) are embarrassingly
+parallel: every run is an independent, deterministic function of its
+config.  This module fans runs out over a process pool.
+
+Because controller factories are closures (not picklable), jobs travel
+as the *declarative* scenario dicts of :mod:`repro.io.config`; each
+worker rebuilds its scenario and returns a picklable
+:class:`RunSummary` (QoS scalars + requested trace arrays), never the
+full RunResult.
+
+Usage::
+
+    from repro.experiments.parallel import run_many, seed_sweep_configs
+
+    configs = seed_sweep_configs(base_config, seeds=range(16))
+    summaries = run_many(configs, workers=8)
+
+Falls back to in-process execution for ``workers=1`` (and transparently
+in environments where process pools are unavailable), so callers never
+need two code paths.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RunSummary:
+    """Picklable subset of a RunResult."""
+
+    config: dict
+    controller: str
+    seed: int
+    mean_throughput: float
+    mean_violation_rate: float
+    successful: int
+    timeouts: int
+    total_frames: int
+    traces: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+#: trace names a job may request (keep the IPC payload bounded)
+TRACE_NAMES = (
+    "throughput",
+    "offload_target",
+    "offload_rate",
+    "timeout_rate",
+    "local_rate",
+    "capture_quality",
+)
+
+
+def execute_config(config: dict, trace_names: Sequence[str] = ()) -> RunSummary:
+    """Run one serialized scenario (the worker entry point)."""
+    from repro.experiments.scenario import run_scenario
+    from repro.io.config import scenario_from_dict
+
+    unknown = set(trace_names) - set(TRACE_NAMES)
+    if unknown:
+        raise ValueError(f"unknown trace names: {sorted(unknown)}")
+
+    scenario = scenario_from_dict(config)
+    result = run_scenario(scenario)
+    traces = {
+        name: np.asarray(getattr(result.traces, name).values)
+        for name in trace_names
+    }
+    return RunSummary(
+        config=config,
+        controller=result.controller_name,
+        seed=scenario.seed,
+        mean_throughput=result.qos.mean_throughput,
+        mean_violation_rate=result.qos.mean_violation_rate,
+        successful=result.qos.successful,
+        timeouts=result.qos.timeouts,
+        total_frames=result.qos.total_frames,
+        traces=traces,
+    )
+
+
+def run_many(
+    configs: Sequence[dict],
+    workers: Optional[int] = None,
+    trace_names: Sequence[str] = (),
+) -> List[RunSummary]:
+    """Execute many serialized scenarios, in parallel when possible.
+
+    Results are returned in the order of ``configs`` regardless of
+    completion order (determinism of the *sweep*, not just each run).
+    """
+    if not configs:
+        return []
+    if workers is None:
+        workers = min(len(configs), os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    if workers == 1 or len(configs) == 1:
+        return [execute_config(c, trace_names) for c in configs]
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(execute_config, c, tuple(trace_names)) for c in configs]
+            return [f.result() for f in futures]
+    except (OSError, PermissionError):  # sandboxed / fork-restricted envs
+        return [execute_config(c, trace_names) for c in configs]
+
+
+def seed_sweep_configs(base: dict, seeds: Iterable[int]) -> List[dict]:
+    """The same scenario across seeds."""
+    return [{**base, "seed": int(s)} for s in seeds]
+
+
+def controller_sweep_configs(base: dict, controllers: Iterable[str]) -> List[dict]:
+    """The same scenario across controllers (registry names)."""
+    return [{**base, "controller": name} for name in controllers]

@@ -1,0 +1,193 @@
+"""Terminal reporting: ASCII tables and series plots for every experiment.
+
+Benchmarks call these so their output shows the same rows/series the
+paper's tables and figures report, making paper-vs-measured comparison
+a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig4 import Fig4Result
+from repro.experiments.table2 import Table2Cell
+from repro.experiments.table3 import Table3Row, TradeoffPoint
+from repro.experiments.table4 import AblationRow
+from repro.metrics.qos import PhaseSummary
+from repro.metrics.timeseries import TimeSeries
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A plain monospaced table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}s}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def spark(series: TimeSeries, width: int = 60, vmax: Optional[float] = None) -> str:
+    """One-line density plot of a series (paper-figure-at-a-glance)."""
+    v = series.values
+    if v.size == 0:
+        return "(empty)"
+    top = vmax if vmax is not None else max(float(v.max()), 1e-9)
+    # bucket-average onto `width` columns
+    idx = np.linspace(0, v.size, width + 1).astype(int)
+    cols = []
+    for i in range(width):
+        seg = v[idx[i] : max(idx[i + 1], idx[i] + 1)]
+        level = float(np.clip(seg.mean() / top, 0.0, 1.0))
+        cols.append(_BLOCKS[int(round(level * (len(_BLOCKS) - 1)))])
+    return "".join(cols)
+
+
+def series_panel(
+    series_by_name: Dict[str, TimeSeries], width: int = 60, vmax: Optional[float] = None
+) -> str:
+    """Stacked sparklines with a shared scale."""
+    if vmax is None:
+        vmax = max(
+            (float(s.values.max()) for s in series_by_name.values() if len(s)),
+            default=1.0,
+        )
+    label_w = max(len(n) for n in series_by_name)
+    lines = [
+        f"{name:<{label_w}s} |{spark(series, width, vmax)}| max={vmax:.1f}"
+        for name, series in series_by_name.items()
+    ]
+    return "\n".join(lines)
+
+
+def phase_table(phases: List[PhaseSummary]) -> str:
+    """Per-phase mean throughput for every controller."""
+    controllers = list(phases[0].mean_throughput) if phases else []
+    headers = ["phase", *controllers, "winner"]
+    rows = []
+    for ph in phases:
+        rows.append(
+            [
+                ph.label,
+                *(f"{ph.mean_throughput[c]:6.2f}" for c in controllers),
+                ph.winner(),
+            ]
+        )
+    return ascii_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# experiment-specific renderers
+# ----------------------------------------------------------------------
+def render_fig2(result: Fig2Result) -> str:
+    lines = [
+        "Fig 2: P_o traces per gain setting "
+        f"(7% loss injected at t={result.loss_injection_time:g}s)",
+        series_panel(result.traces, vmax=30.0),
+        "",
+        ascii_table(
+            ["gains", "oscillation", "reversals", "overshoot", "mean P_o"],
+            [
+                [
+                    label,
+                    f"{rep.oscillation:.3f}",
+                    rep.direction_changes,
+                    f"{rep.overshoot:.2f}",
+                    f"{rep.mean:.2f}",
+                ]
+                for label, rep in result.reports.items()
+            ],
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_fig3(result: Fig3Result) -> str:
+    panel = dict(result.throughput)
+    panel["FF P_o (target)"] = result.framefeedback_offload
+    lines = [
+        "Fig 3: total inference throughput P under the Table V network schedule",
+        series_panel(panel, vmax=30.0),
+        "",
+        phase_table(result.phases),
+    ]
+    return "\n".join(lines)
+
+
+def render_fig4(result: Fig4Result) -> str:
+    panel = dict(result.throughput)
+    panel["FF P_o (target)"] = result.framefeedback_offload
+    lines = [
+        "Fig 4: total inference throughput P under the Table VI server load",
+        series_panel(panel, vmax=30.0),
+        "",
+        phase_table(result.phases),
+    ]
+    return "\n".join(lines)
+
+
+def render_table2(cells: List[Table2Cell]) -> str:
+    rows = [
+        [
+            cell.device.display_name,
+            cell.model.display_name,
+            f"{cell.paper_rate:g}",
+            f"{cell.measured_rate:.2f}",
+            f"{100 * cell.relative_error:.1f}%",
+        ]
+        for cell in cells
+    ]
+    return "Table II: local processing rates P_l (paper vs measured)\n" + ascii_table(
+        ["device", "model", "paper P_l", "measured P_l", "error"], rows
+    )
+
+
+def render_table3(rows: List[Table3Row], sweep: List[TradeoffPoint]) -> str:
+    acc = ascii_table(
+        ["Model", "Top-1 Accuracy"],
+        [[r.display_name, f"{100 * r.top1:.1f}%"] for r in rows],
+    )
+    trade = ascii_table(
+        ["resolution", "quality", "est. accuracy", "bytes/frame"],
+        [
+            [
+                p.resolution,
+                f"{p.jpeg_quality:g}",
+                f"{100 * p.estimated_accuracy:.1f}%",
+                p.bytes_per_frame,
+            ]
+            for p in sweep
+        ],
+    )
+    return (
+        "Table III: top-1 model accuracy\n"
+        + acc
+        + "\n\nSec II-D accuracy/bytes trade-off (MobileNetV3Small estimator)\n"
+        + trade
+    )
+
+
+def render_table4(settings_rows: List[tuple], ablation: List[AblationRow]) -> str:
+    table = ascii_table(["Variable", "Value"], settings_rows)
+    abl = ascii_table(
+        ["configuration", "mean P (fps)", "mean T (/s)"],
+        [
+            [row.label, f"{row.mean_throughput:.2f}", f"{row.mean_violation_rate:.2f}"]
+            for row in ablation
+        ],
+    )
+    return (
+        "Table IV: PID settings\n"
+        + table
+        + "\n\nSetting ablation under the Table V scenario\n"
+        + abl
+    )

@@ -1,0 +1,102 @@
+"""The paper's standard controller lineup (§IV-B) as factories."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.control.base import Controller
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    LocalOnlyController,
+)
+from repro.control.framefeedback import (
+    FrameFeedbackController,
+    FrameFeedbackSettings,
+)
+from repro.device.config import DeviceConfig
+
+ControllerFactory = Callable[[DeviceConfig], Controller]
+
+
+def framefeedback_factory(
+    settings: FrameFeedbackSettings = FrameFeedbackSettings(),
+) -> ControllerFactory:
+    """Factory for a FrameFeedback controller with given settings."""
+
+    def make(config: DeviceConfig) -> Controller:
+        return FrameFeedbackController(config.frame_rate, settings)
+
+    return make
+
+
+def standard_controllers() -> Dict[str, ControllerFactory]:
+    """All four §IV controllers keyed by their report names."""
+    return {
+        "FrameFeedback": framefeedback_factory(),
+        "LocalOnly": lambda config: LocalOnlyController(),
+        "AlwaysOffload": lambda config: AlwaysOffloadController(),
+        "AllOrNothing": lambda config: AllOrNothingController(),
+    }
+
+
+def aimd_factory() -> ControllerFactory:
+    """TCP-style AIMD extension baseline."""
+    from repro.control.aimd import AimdController
+
+    return lambda config: AimdController(config.frame_rate)
+
+
+def oracle_factory():
+    """Clairvoyant oracle; needs the scenario context (schedules)."""
+    from repro.control.oracle import OracleController
+
+    def make(config: DeviceConfig, context) -> Controller:
+        return OracleController(
+            frame_rate=config.frame_rate,
+            frame_bytes=config.frame_spec.bytes_on_wire,
+            deadline=config.deadline,
+            network=context.network,
+            load=context.load,
+            gpu_model=context.gpu_model,
+            model_name=config.model.name,
+        )
+
+    return make
+
+
+def reservation_factory():
+    """ATOMS-lite reservation baseline; builds a broker on the server."""
+    from repro.control.reservation import ReservationController
+    from repro.server.admission import ReservationBroker
+
+    def make(config: DeviceConfig, context) -> Controller:
+        broker = ReservationBroker(context.env, context.server, context.gpu_model)
+        return ReservationController(config.frame_rate, broker, config.name)
+
+    return make
+
+
+def headroom_factory() -> ControllerFactory:
+    """Latency-predictive FrameFeedback variant."""
+    from repro.control.headroom import HeadroomController
+
+    return lambda config: HeadroomController(config.frame_rate, config.deadline)
+
+
+def adaptive_quality_factory() -> ControllerFactory:
+    """FrameFeedback + the §II-D JPEG-quality ladder."""
+    from repro.control.quality import AdaptiveQualityController
+
+    return lambda config: AdaptiveQualityController(config.frame_rate)
+
+
+def extended_controllers() -> Dict[str, ControllerFactory]:
+    """Standard lineup plus the extension controllers."""
+    out = standard_controllers()
+    out["AIMD"] = aimd_factory()
+    out["Reservation"] = reservation_factory()
+    out["Headroom"] = headroom_factory()
+    out["FrameFeedback+Q"] = adaptive_quality_factory()
+    out["Oracle"] = oracle_factory()
+    return out

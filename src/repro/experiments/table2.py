@@ -1,0 +1,90 @@
+"""Table II: local processing rates ``P_l`` per device/model.
+
+The paper measured these on hardware; here they are cost-model inputs,
+so the reproduction *recovers* them by running the full local pipeline
+(camera at 30 fps -> skip-when-busy engine -> completion counting) and
+measuring the achieved rate — a round-trip check that the device
+substrate reproduces its own calibration through the system dynamics,
+not just by echoing constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.device.camera import FrameSource
+from repro.device.local import LocalPipeline
+from repro.models.device_profiles import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    local_rate,
+)
+from repro.models.latency import LocalLatencyModel
+from repro.models.zoo import EFFICIENTNET_B0, MOBILENET_V3_SMALL, ModelSpec
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+
+#: the two models Table II reports
+TABLE2_MODELS: Tuple[ModelSpec, ...] = (MOBILENET_V3_SMALL, EFFICIENTNET_B0)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One measured cell of Table II."""
+
+    device: DeviceProfile
+    model: ModelSpec
+    paper_rate: float
+    measured_rate: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.measured_rate - self.paper_rate) / self.paper_rate
+
+
+def measure_local_rate(
+    device: DeviceProfile,
+    model: ModelSpec,
+    duration: float = 120.0,
+    frame_rate: float = 30.0,
+    seed: int = 0,
+) -> float:
+    """Measure the local pipeline's completion rate for one cell."""
+    env = Environment()
+    rng = RngRegistry(seed)
+    pipeline = LocalPipeline(
+        env,
+        LocalLatencyModel(device, model),
+        rng.stream(f"local:{device.name}:{model.name}"),
+    )
+    FrameSource(
+        env,
+        frame_rate=frame_rate,
+        nbytes=0,
+        sink=lambda frame: pipeline.offer(frame),
+        total_frames=None,
+    )
+    # Skip a warmup second so the measured window is steady-state.
+    env.run(until=1.0)
+    start_completed = pipeline.completed
+    env.run(until=1.0 + duration)
+    return (pipeline.completed - start_completed) / duration
+
+
+def run_table2(duration: float = 120.0, seed: int = 0) -> List[Table2Cell]:
+    """Measure every Table II cell."""
+    cells: List[Table2Cell] = []
+    for device in DEVICE_PROFILES.values():
+        for model in TABLE2_MODELS:
+            paper = local_rate(device, model)
+            measured = measure_local_rate(device, model, duration, seed=seed)
+            cells.append(
+                Table2Cell(
+                    device=device,
+                    model=model,
+                    paper_rate=paper,
+                    measured_rate=measured,
+                )
+            )
+    return cells

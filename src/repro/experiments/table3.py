@@ -1,0 +1,76 @@
+"""Table III: top-1 model accuracy, plus the §II-D trade-off sweep.
+
+Table III itself is a registry of published constants (the paper cites
+[27], [28] for them).  The reproduction prints it and additionally
+quantifies §II-D's qualitative claims with the accuracy estimator:
+raising resolution or JPEG quality raises estimated accuracy *and*
+bytes per frame — the tension FrameFeedback's offloading budget lives
+under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.models.accuracy import AccuracyModel
+from repro.models.frames import frame_bytes
+from repro.models.zoo import MODEL_ZOO, ModelSpec
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    model: ModelSpec
+
+    @property
+    def display_name(self) -> str:
+        return self.model.display_name
+
+    @property
+    def top1(self) -> float:
+        return self.model.top1_accuracy
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (resolution, quality) operating point for a model."""
+
+    model: ModelSpec
+    resolution: int
+    jpeg_quality: float
+    estimated_accuracy: float
+    bytes_per_frame: int
+
+
+def run_table3() -> List[Table3Row]:
+    """The Table III rows, in the paper's order."""
+    order = (
+        "efficientnet_b0",
+        "efficientnet_b4",
+        "mobilenet_v3_small",
+        "mobilenet_v3_large",
+    )
+    return [Table3Row(MODEL_ZOO[name]) for name in order]
+
+
+def run_tradeoff_sweep(
+    model_name: str = "mobilenet_v3_small",
+    resolutions: Tuple[int, ...] = (112, 224, 448),
+    qualities: Tuple[float, ...] = (30.0, 60.0, 85.0, 95.0),
+) -> List[TradeoffPoint]:
+    """Accuracy/bytes sweep quantifying §II-D."""
+    model = MODEL_ZOO[model_name]
+    estimator = AccuracyModel(model)
+    points: List[TradeoffPoint] = []
+    for res in resolutions:
+        for q in qualities:
+            points.append(
+                TradeoffPoint(
+                    model=model,
+                    resolution=res,
+                    jpeg_quality=q,
+                    estimated_accuracy=estimator.estimate(res, q),
+                    bytes_per_frame=frame_bytes(res, q),
+                )
+            )
+    return points

@@ -1,0 +1,231 @@
+"""Executable reproduction claims: EXPERIMENTS.md as code.
+
+Each :class:`Claim` states one falsifiable sentence from the paper's
+evaluation (or from this repository's extension findings), how it is
+measured, and the acceptance predicate.  :func:`validate_all` runs the
+whole list and returns structured verdicts — the programmatic answer
+to "does this repository still reproduce the paper?".
+
+``framefeedback validate`` prints the table; CI asserts every claim in
+``tests/test_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One verdict: the claim, the measured value(s), pass/fail."""
+
+    claim_id: str
+    statement: str
+    measured: str
+    passed: bool
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    statement: str
+    #: returns (measured-description, passed)
+    check: Callable[[int], Tuple[str, bool]]
+
+    def run(self, frames: int) -> ClaimResult:
+        measured, passed = self.check(frames)
+        return ClaimResult(self.claim_id, self.statement, measured, passed)
+
+
+# ----------------------------------------------------------------------
+# claim checks (each builds what it needs lazily)
+# ----------------------------------------------------------------------
+def _fig3(frames: int):
+    from repro.experiments.fig3 import run_fig3
+
+    return run_fig3(seed=0, total_frames=frames)
+
+
+def _check_fig3_intermediate(frames: int):
+    result = _fig3(frames)
+    ph = result.phases[1]  # bw=4
+    adv = ph.advantage_over("FrameFeedback", "AllOrNothing")
+    return f"bw=4 advantage {adv:.2f}x", 1.3 <= adv and ph.winner() == "FrameFeedback"
+
+
+def _check_fig3_dead_network(frames: int):
+    result = _fig3(frames)
+    ph = result.phases[2]  # bw=1
+    ff = ph.mean_throughput["FrameFeedback"]
+    local = ph.mean_throughput["LocalOnly"]
+    always = ph.mean_throughput["AlwaysOffload"]
+    return (
+        f"bw=1: FF {ff:.1f} vs local {local:.1f}, always {always:.1f}",
+        abs(ff - local) < 2.0 and always < 2.0,
+    )
+
+
+def _check_fig3_always_suboptimal(frames: int):
+    result = _fig3(frames)
+    ff = result.runs["FrameFeedback"].qos.mean_throughput
+    always = result.runs["AlwaysOffload"].qos.mean_throughput
+    return f"whole-run FF {ff:.1f} vs AlwaysOffload {always:.1f}", ff > always
+
+
+def _check_fig4_graceful(frames: int):
+    from repro.experiments.fig4 import run_fig4
+
+    result = run_fig4(seed=0, total_frames=frames)
+    peak = result.phases[4]  # 150 req/s
+    ff = peak.mean_throughput["FrameFeedback"]
+    loaded_winners = [ph.winner() for ph in result.phases[1:-1]]
+    return (
+        f"peak-load FF {ff:.1f} fps; loaded-phase winners {set(loaded_winners)}",
+        abs(ff - 13.0) < 3.0 and set(loaded_winners) == {"FrameFeedback"},
+    )
+
+
+def _check_probe_fixed_point(frames: int):
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.experiments.standard import framefeedback_factory
+    from repro.netem.profiles import DEAD
+    from repro.workloads.schedules import steady_schedule
+
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=frames),
+            network=steady_schedule(DEAD),
+            seed=0,
+        )
+    )
+    tail = result.traces.offload_target.values[-15:].mean()
+    return f"dead-link P_o settles at {tail:.2f} fps", abs(tail - 3.0) < 1.5
+
+
+def _check_table2_roundtrip(frames: int):
+    from repro.experiments.table2 import run_table2
+
+    cells = run_table2(duration=max(frames / 30.0, 30.0))
+    worst = max(cell.relative_error for cell in cells)
+    return f"worst P_l round-trip error {100 * worst:.1f}%", worst < 0.05
+
+
+def _check_energy(frames: int):
+    from repro.experiments.energy import run_energy
+
+    res = run_energy(seed=0, total_frames=frames)
+    return (
+        f"CPU {100 * res.local_cpu:.1f}% local vs {100 * res.offload_cpu:.1f}% offload",
+        abs(res.local_cpu - 0.502) < 0.05 and abs(res.offload_cpu - 0.223) < 0.05,
+    )
+
+
+def _check_fig2_tuning(frames: int):
+    from repro.experiments.fig2 import gain_label, run_fig2
+
+    result = run_fig2(duration=max(frames / 30.0, 45.0), seed=0)
+    tuned = result.reports[gain_label(0.2, 0.26)]
+    hot = result.reports[gain_label(0.4, 0.26)]
+    return (
+        f"overshoot tuned {tuned.overshoot:.2f} vs hot-Kp {hot.overshoot:.2f}",
+        tuned.overshoot < hot.overshoot,
+    )
+
+
+def _check_attribution(frames: int):
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.experiments.standard import framefeedback_factory
+    from repro.netem.profiles import SEVERE
+    from repro.workloads.schedules import steady_schedule
+
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=frames),
+            network=steady_schedule(SEVERE),
+            seed=0,
+        )
+    )
+    rates = result.breakdown.cause_rates(0.0, result.elapsed)
+    return (
+        f"network-stress attribution T_n={rates['T_n']:.2f} T_l={rates['T_l']:.2f}",
+        rates["T_n"] > 0.3 and rates["T_l"] < 0.2,
+    )
+
+
+CLAIMS: List[Claim] = [
+    Claim(
+        "fig3-intermediate",
+        "FrameFeedback beats all-or-nothing by >=1.3x under intermediate "
+        "network conditions (paper: '50% and up to 3x')",
+        _check_fig3_intermediate,
+    ),
+    Claim(
+        "fig3-dead",
+        "On a dead link FrameFeedback matches LocalOnly while "
+        "AlwaysOffload collapses (Fig 3, bw=1 phase)",
+        _check_fig3_dead_network,
+    ),
+    Claim(
+        "fig3-always-suboptimal",
+        "'Clearly, the only-offloading strategy is suboptimal' (§IV-D)",
+        _check_fig3_always_suboptimal,
+    ),
+    Claim(
+        "fig4-graceful",
+        "FrameFeedback wins every loaded phase and degrades to ~P_l at "
+        "the 150 req/s peak (§IV-E)",
+        _check_fig4_graceful,
+    ),
+    Claim(
+        "probe-fixed-point",
+        "Under total offload failure P_o settles at 0.1 F_s (§III-A.1)",
+        _check_probe_fixed_point,
+    ),
+    Claim(
+        "table2-roundtrip",
+        "Table II local rates are recovered through the full device "
+        "pipeline within 5%",
+        _check_table2_roundtrip,
+    ),
+    Claim(
+        "energy",
+        "CPU usage ~50.2% local vs ~22.3% offloading (§II-A.5)",
+        _check_energy,
+    ),
+    Claim(
+        "fig2-tuning",
+        "Table IV gains overshoot less after the loss injection than "
+        "hot proportional gains (Fig 2 / §III-B)",
+        _check_fig2_tuning,
+    ),
+    Claim(
+        "tn-tl-attribution",
+        "Pure network stress attributes to T_n, not T_l (Table I split)",
+        _check_attribution,
+    ),
+]
+
+
+def validate_all(frames: int = 4000, claims: Optional[List[Claim]] = None) -> List[ClaimResult]:
+    """Run every claim at the given stream length."""
+    return [claim.run(frames) for claim in (claims or CLAIMS)]
+
+
+def render_results(results: List[ClaimResult]) -> str:
+    from repro.experiments.report import ascii_table
+
+    rows = [
+        ["PASS" if r.passed else "FAIL", r.claim_id, r.measured]
+        for r in results
+    ]
+    n_pass = sum(r.passed for r in results)
+    return (
+        "Reproduction claims:\n"
+        + ascii_table(["verdict", "claim", "measured"], rows)
+        + f"\n{n_pass}/{len(results)} claims hold"
+    )

@@ -1,0 +1,103 @@
+"""Content-addressed result cache for serialized scenarios.
+
+Sweep notebooks re-run the same configs constantly; since every run is
+a pure function of its config dict, results can be cached by content
+hash.  The cache stores the :class:`~repro.experiments.parallel
+.RunSummary` scalars plus requested traces as JSON; hits skip the
+simulation entirely.
+
+Keyed on ``sha256(canonical-json(config) + trace names + CACHE_EPOCH)``
+— bump :data:`CACHE_EPOCH` when substrate calibration changes so stale
+physics never resurfaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.parallel import RunSummary, execute_config
+
+#: bump on any calibration / semantics change that invalidates results
+CACHE_EPOCH = 1
+
+
+def config_key(config: dict, trace_names: Sequence[str] = ()) -> str:
+    """Stable content hash of a scenario config."""
+    payload = json.dumps(
+        {"config": config, "traces": sorted(trace_names), "epoch": CACHE_EPOCH},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+class ResultCache:
+    """Directory-backed cache of :class:`RunSummary` objects."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, config: dict, trace_names: Sequence[str] = ()) -> Optional[RunSummary]:
+        path = self._path(config_key(config, trace_names))
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text())
+        return RunSummary(
+            config=data["config"],
+            controller=data["controller"],
+            seed=data["seed"],
+            mean_throughput=data["mean_throughput"],
+            mean_violation_rate=data["mean_violation_rate"],
+            successful=data["successful"],
+            timeouts=data["timeouts"],
+            total_frames=data["total_frames"],
+            traces={k: np.asarray(v) for k, v in data["traces"].items()},
+        )
+
+    def put(self, summary: RunSummary, trace_names: Sequence[str] = ()) -> Path:
+        path = self._path(config_key(summary.config, trace_names))
+        payload = {
+            "config": summary.config,
+            "controller": summary.controller,
+            "seed": summary.seed,
+            "mean_throughput": summary.mean_throughput,
+            "mean_violation_rate": summary.mean_violation_rate,
+            "successful": summary.successful,
+            "timeouts": summary.timeouts,
+            "total_frames": summary.total_frames,
+            "traces": {k: v.tolist() for k, v in summary.traces.items()},
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    # ------------------------------------------------------------------
+    def run(self, config: dict, trace_names: Sequence[str] = ()) -> RunSummary:
+        """Cached execution: simulate only on a miss."""
+        cached = self.get(config, trace_names)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        summary = execute_config(config, trace_names)
+        self.put(summary, trace_names)
+        return summary
+
+    def clear(self) -> int:
+        """Delete all cached entries; returns the count removed."""
+        n = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            n += 1
+        return n

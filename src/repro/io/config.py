@@ -1,0 +1,135 @@
+"""Scenario (de)serialization: experiments as shareable JSON artifacts.
+
+Only declarative pieces serialize — device settings, schedules, seed,
+GPU model, batching policy.  The controller is referenced by *name*
+(resolved through the same registry the experiment harness uses), so a
+config file fully determines a run:
+
+.. code-block:: json
+
+    {
+      "controller": "FrameFeedback",
+      "seed": 3,
+      "device": {"total_frames": 4000, "frame_rate": 30.0},
+      "network": [[0, 10, 0], [30, 4, 0]],
+      "load": [[0, 0], [10, 90]]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario
+from repro.experiments.standard import extended_controllers
+from repro.models.device_profiles import DEVICE_PROFILES
+from repro.models.frames import FrameSpec
+from repro.models.latency import GpuBatchModel
+from repro.models.zoo import MODEL_ZOO
+from repro.netem.schedule import NetworkSchedule
+from repro.server.batching import BatchPolicy
+from repro.workloads.loadgen import LoadSchedule
+
+
+def scenario_to_dict(scenario: Scenario, controller_name: str) -> dict:
+    """Serialize the declarative parts of a scenario.
+
+    ``controller_name`` must be a registry name (the factory itself is
+    not serializable).
+    """
+    if controller_name not in extended_controllers():
+        raise ValueError(
+            f"unknown controller {controller_name!r}; "
+            f"available: {sorted(extended_controllers())}"
+        )
+    d = scenario.device
+    out: dict = {
+        "controller": controller_name,
+        "seed": scenario.seed,
+        "batch_policy": scenario.batch_policy.value,
+        "uplink_queue_bytes": scenario.uplink_queue_bytes,
+        "gpu": {
+            "base_latency": scenario.gpu_model.base_latency,
+            "per_item": scenario.gpu_model.per_item,
+            "jitter_sigma": scenario.gpu_model.jitter_sigma,
+        },
+        "device": {
+            "name": d.name,
+            "profile": d.profile.name,
+            "model": d.model.name,
+            "frame_rate": d.frame_rate,
+            "deadline": d.deadline,
+            "measure_period": d.measure_period,
+            "t_window_buckets": d.t_window_buckets,
+            "total_frames": d.total_frames,
+            "resolution": d.frame_spec.resolution,
+            "jpeg_quality": d.frame_spec.jpeg_quality,
+        },
+    }
+    if scenario.duration is not None:
+        out["duration"] = scenario.duration
+    if scenario.network is not None:
+        out["network"] = [
+            [p.start, p.conditions.bandwidth, p.conditions.loss * 100.0]
+            for p in scenario.network.phases
+        ]
+    if scenario.load is not None:
+        out["load"] = [[p.start, p.rate] for p in scenario.load.phases]
+    return out
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    controllers = extended_controllers()
+    name = data.get("controller", "FrameFeedback")
+    if name not in controllers:
+        raise ValueError(
+            f"unknown controller {name!r}; available: {sorted(controllers)}"
+        )
+
+    dev = data.get("device", {})
+    profile = DEVICE_PROFILES[dev.get("profile", "pi4b_r1_2")]
+    model = MODEL_ZOO[dev.get("model", "mobilenet_v3_small")]
+    device = DeviceConfig(
+        name=dev.get("name", "pi"),
+        profile=profile,
+        model=model,
+        frame_spec=FrameSpec(
+            resolution=int(dev.get("resolution", 224)),
+            jpeg_quality=float(dev.get("jpeg_quality", 85.0)),
+        ),
+        frame_rate=float(dev.get("frame_rate", 30.0)),
+        deadline=float(dev.get("deadline", 0.25)),
+        measure_period=float(dev.get("measure_period", 1.0)),
+        t_window_buckets=int(dev.get("t_window_buckets", 3)),
+        total_frames=int(dev.get("total_frames", 4000)),
+    )
+
+    gpu_cfg = data.get("gpu", {})
+    gpu = GpuBatchModel(
+        base_latency=float(gpu_cfg.get("base_latency", GpuBatchModel.base_latency)),
+        per_item=float(gpu_cfg.get("per_item", GpuBatchModel.per_item)),
+        jitter_sigma=float(gpu_cfg.get("jitter_sigma", GpuBatchModel.jitter_sigma)),
+    )
+
+    network: Optional[NetworkSchedule] = None
+    if "network" in data:
+        network = NetworkSchedule.from_rows(
+            [tuple(row) for row in data["network"]]
+        )
+    load: Optional[LoadSchedule] = None
+    if "load" in data:
+        load = LoadSchedule.from_rows([tuple(row) for row in data["load"]])
+
+    return Scenario(
+        controller_factory=controllers[name],
+        device=device,
+        network=network,
+        load=load,
+        duration=float(data["duration"]) if "duration" in data else None,
+        seed=int(data.get("seed", 0)),
+        gpu_model=gpu,
+        batch_policy=BatchPolicy(data.get("batch_policy", "fifo")),
+        uplink_queue_bytes=float(data.get("uplink_queue_bytes", 131_072.0)),
+    )

@@ -1,0 +1,130 @@
+"""Export run results to CSV/JSON artifacts."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.scenario import RunResult
+from repro.metrics.qos import QosReport
+from repro.metrics.timeseries import TimeSeries
+
+
+def timeseries_to_csv(series: TimeSeries, value_name: str = "value") -> str:
+    """One series as a two-column CSV string."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["time", value_name])
+    for t, v in series:
+        writer.writerow([f"{t:.6f}", f"{v:.6f}"])
+    return buf.getvalue()
+
+
+def traces_to_csv(traces: Dict[str, TimeSeries]) -> str:
+    """Several aligned series as a wide CSV (shared time column).
+
+    Series are aligned by index; they all come from the same 1 Hz
+    measurement loop, so indexes coincide.  Raises if lengths differ.
+    """
+    lengths = {name: len(s) for name, s in traces.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"series lengths differ: {lengths}")
+    names = list(traces)
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["time", *names])
+    if names:
+        first = traces[names[0]]
+        columns = [traces[n].values for n in names]
+        for i, t in enumerate(first.times):
+            writer.writerow(
+                [f"{t:.6f}", *(f"{col[i]:.6f}" for col in columns)]
+            )
+    return buf.getvalue()
+
+
+def load_timeseries_csv(text: str) -> Dict[str, TimeSeries]:
+    """Inverse of :func:`traces_to_csv` / :func:`timeseries_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if not header or header[0] != "time":
+        raise ValueError("not a trace CSV (missing 'time' column)")
+    names = header[1:]
+    out = {name: TimeSeries(name) for name in names}
+    for row in reader:
+        if not row:
+            continue
+        t = float(row[0])
+        for name, cell in zip(names, row[1:]):
+            out[name].append(t, float(cell))
+    return out
+
+
+def _json_safe(value: float) -> "float | None":
+    """NaN/inf are not valid JSON: map them to null."""
+    import math
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def qos_to_dict(qos: QosReport) -> dict:
+    """A QoS report as a strict-JSON-ready dict (no NaN/inf)."""
+    return {
+        "name": qos.name,
+        "total_frames": qos.total_frames,
+        "successful": qos.successful,
+        "timeouts": qos.timeouts,
+        "rejected": qos.rejected,
+        "dropped_local": qos.dropped_local,
+        "mean_throughput": qos.mean_throughput,
+        "mean_violation_rate": qos.mean_violation_rate,
+        "success_fraction": qos.success_fraction,
+        "extras": {k: _json_safe(v) for k, v in qos.extras.items()},
+    }
+
+
+def export_run(result: RunResult, directory: "str | Path") -> Dict[str, Path]:
+    """Write a run's artifacts into ``directory``.
+
+    Produces ``traces.csv`` (all per-second series), ``qos.json``
+    (counters + extras + attribution rates) and returns the paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    tr = result.traces
+    traces = {
+        "throughput": tr.throughput,
+        "offload_target": tr.offload_target,
+        "offload_rate": tr.offload_rate,
+        "offload_success": tr.offload_success,
+        "local_rate": tr.local_rate,
+        "timeout_rate": tr.timeout_rate,
+        "timeout_window": tr.timeout_window,
+        "error": tr.error,
+        "cpu_utilization": tr.cpu_utilization,
+    }
+    traces_path = directory / "traces.csv"
+    traces_path.write_text(traces_to_csv(traces))
+
+    payload = {
+        "controller": result.controller_name,
+        "seed": result.scenario.seed,
+        "elapsed": result.elapsed,
+        "gpu_utilization": result.gpu_utilization,
+        "background_sent": result.background_sent,
+        "background_rejected": result.background_rejected,
+        "qos": qos_to_dict(result.qos),
+    }
+    if result.breakdown is not None and result.elapsed > 0:
+        payload["timeout_attribution"] = result.breakdown.cause_rates(
+            0.0, result.elapsed
+        )
+    qos_path = directory / "qos.json"
+    qos_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return {"traces": traces_path, "qos": qos_path}

@@ -1,0 +1,26 @@
+"""Measurement substrate: counters, time series, QoS summaries.
+
+The FrameFeedback controller consumes *windowed rates* (its input is
+"the average of T from the last few seconds", §III-A.1); experiments
+consume *time series* of per-second rates; EXPERIMENTS.md consumes
+*QoS summaries*.  Each has a dedicated module here.
+"""
+
+from repro.metrics.breakdown import BreakdownCollector, LatencySample, TimeoutCause
+from repro.metrics.counters import EventCounter, WindowedRate
+from repro.metrics.qos import PhaseSummary, QosReport, summarize_phases
+from repro.metrics.streaming import StreamingHistogram
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "BreakdownCollector",
+    "EventCounter",
+    "LatencySample",
+    "PhaseSummary",
+    "QosReport",
+    "StreamingHistogram",
+    "TimeoutCause",
+    "TimeSeries",
+    "WindowedRate",
+    "summarize_phases",
+]

@@ -1,0 +1,143 @@
+"""End-to-end latency breakdown and timeout attribution (Table I's
+``T_n`` vs ``T_l``).
+
+The paper's central design argument is that the *device* cannot — and
+need not — distinguish network-induced timeouts (``T_n``) from
+load-induced ones (``T_l``); FrameFeedback reacts to their sum.  The
+experiment harness, however, *can* attribute them, and the paper's
+Table I names both.  This module provides that attribution from the
+information flowing back to the device plus the watchdog outcome:
+
+* a frame that produced **no response at all** by its deadline was lost
+  or delayed in the network → ``T_n``;
+* a frame the server **rejected** at batch formation → ``T_l``
+  (§II-A.3 explicitly folds rejections into the load-induced rate);
+* a frame that **completed but arrived late** is attributed to the
+  component that consumed the largest share of its end-to-end time
+  (network = uplink + downlink transit, server = queue wait + batch
+  execution).
+
+It also aggregates per-component latency statistics (mean/p50/p95) for
+successful offloads, which the breakdown bench reports per phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+class TimeoutCause(enum.Enum):
+    """Which subsystem a violated deadline is attributed to."""
+
+    NETWORK = "network"  # T_n
+    LOAD = "load"  # T_l
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Component times of one offloaded frame that returned."""
+
+    sent_at: float
+    #: uplink transit: send -> server ingress
+    uplink: float
+    #: server residency: ingress -> response emission (queue + batch)
+    server: float
+    #: downlink transit: response emission -> arrival at device
+    downlink: float
+    #: whether the frame met its deadline
+    ok: bool
+
+    @property
+    def total(self) -> float:
+        return self.uplink + self.server + self.downlink
+
+    def dominant_component(self) -> TimeoutCause:
+        """The larger contributor: network (up+down) vs server."""
+        network = self.uplink + self.downlink
+        return TimeoutCause.NETWORK if network >= self.server else TimeoutCause.LOAD
+
+
+@dataclass
+class ComponentStats:
+    """Summary statistics of one latency component."""
+
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, values: List[float]) -> "ComponentStats":
+        if not values:
+            return cls(float("nan"), float("nan"), float("nan"), float("nan"))
+        arr = np.asarray(values)
+        return cls(
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            maximum=float(arr.max()),
+        )
+
+
+class BreakdownCollector:
+    """Accumulates latency samples and timeout attributions."""
+
+    def __init__(self) -> None:
+        self.samples: List[LatencySample] = []
+        #: (time, cause) of every attributed violation
+        self.violations: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def record_response(self, sample: LatencySample, at: float) -> None:
+        """A frame returned (possibly late)."""
+        self.samples.append(sample)
+        if not sample.ok:
+            self.violations.append((at, sample.dominant_component()))
+
+    def record_silent_timeout(self, at: float) -> None:
+        """A frame's deadline passed with no response: network loss."""
+        self.violations.append((at, TimeoutCause.NETWORK))
+
+    def record_rejection(self, at: float) -> None:
+        """The server rejected the frame: load-induced (§II-A.3)."""
+        self.violations.append((at, TimeoutCause.LOAD))
+
+    # ------------------------------------------------------------------
+    def cause_counts(
+        self, t0: float = float("-inf"), t1: float = float("inf")
+    ) -> Dict[TimeoutCause, int]:
+        """Violations by cause within ``[t0, t1)``."""
+        counts = {TimeoutCause.NETWORK: 0, TimeoutCause.LOAD: 0}
+        for at, cause in self.violations:
+            if t0 <= at < t1:
+                counts[cause] += 1
+        return counts
+
+    def cause_rates(self, t0: float, t1: float) -> Dict[str, float]:
+        """``{"T_n": per-second, "T_l": per-second}`` over ``[t0, t1)``."""
+        if t1 <= t0:
+            raise ValueError(f"empty interval [{t0}, {t1})")
+        counts = self.cause_counts(t0, t1)
+        span = t1 - t0
+        return {
+            "T_n": counts[TimeoutCause.NETWORK] / span,
+            "T_l": counts[TimeoutCause.LOAD] / span,
+        }
+
+    def component_stats(self, ok_only: bool = True) -> Dict[str, ComponentStats]:
+        """Per-component latency statistics."""
+        rows = [s for s in self.samples if s.ok] if ok_only else self.samples
+        return {
+            "uplink": ComponentStats.from_samples([s.uplink for s in rows]),
+            "server": ComponentStats.from_samples([s.server for s in rows]),
+            "downlink": ComponentStats.from_samples([s.downlink for s in rows]),
+            "total": ComponentStats.from_samples([s.total for s in rows]),
+        }
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.violations)

@@ -1,0 +1,98 @@
+"""Event counters with sliding-window rate queries."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class EventCounter:
+    """A monotone counter of discrete events with timestamps retained.
+
+    Supports totals and interval counts; the backing deque is pruned
+    lazily so long simulations stay O(window) in memory.
+    """
+
+    def __init__(self, retention: float = 30.0) -> None:
+        if retention <= 0:
+            raise ValueError(f"retention must be positive, got {retention}")
+        self.retention = retention
+        self.total = 0
+        self._stamps: Deque[float] = deque()
+
+    def record(self, t: float, count: int = 1) -> None:
+        """Record ``count`` events at time ``t`` (monotone in ``t``)."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        if self._stamps and t < self._stamps[-1]:
+            raise ValueError(
+                f"timestamps must be monotone: got {t} after {self._stamps[-1]}"
+            )
+        self.total += count
+        for _ in range(count):
+            self._stamps.append(t)
+        self._prune(t)
+
+    def count_since(self, t0: float, now: float) -> int:
+        """Events in the half-open interval ``(t0, now]``."""
+        self._prune(now)
+        if now - t0 > self.retention:
+            raise ValueError(
+                f"interval [{t0}, {now}] exceeds retention {self.retention}"
+            )
+        return sum(1 for s in self._stamps if t0 < s <= now)
+
+    def rate(self, window: float, now: float) -> float:
+        """Events per second over the trailing ``window`` seconds."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        return self.count_since(now - window, now) / window
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.retention
+        while self._stamps and self._stamps[0] <= cutoff:
+            self._stamps.popleft()
+
+
+class WindowedRate:
+    """The controller's measurement primitive: a per-second rate,
+    averaged over the last ``window`` one-second buckets.
+
+    §III-A.1: "our controller's input is the average of T from the
+    last few seconds" — this is that average.  Buckets are closed at
+    each measurement step, so the value is stable within a step.
+    """
+
+    def __init__(self, window_buckets: int = 3) -> None:
+        if window_buckets < 1:
+            raise ValueError(f"need >= 1 bucket, got {window_buckets}")
+        self.window_buckets = window_buckets
+        self._closed: Deque[float] = deque(maxlen=window_buckets)
+        self._open_count = 0
+
+    def record(self, count: int = 1) -> None:
+        """Count events into the currently open bucket."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        self._open_count += count
+
+    def close_bucket(self, bucket_seconds: float = 1.0) -> float:
+        """End the open bucket; returns its rate (events/s)."""
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket length must be positive, got {bucket_seconds}")
+        rate = self._open_count / bucket_seconds
+        self._closed.append(rate)
+        self._open_count = 0
+        return rate
+
+    @property
+    def average(self) -> float:
+        """Mean rate over the retained closed buckets (0 if none)."""
+        if not self._closed:
+            return 0.0
+        return sum(self._closed) / len(self._closed)
+
+    @property
+    def last(self) -> float:
+        """Rate of the most recently closed bucket (0 if none)."""
+        return self._closed[-1] if self._closed else 0.0

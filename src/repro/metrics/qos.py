@@ -1,0 +1,99 @@
+"""QoS summaries: the quantities EXPERIMENTS.md reports per phase.
+
+The paper's headline QoS metric is the successful inference throughput
+``P`` (frames/s meeting the deadline) and the deadline-violation rate
+``T`` (§I contribution 2).  :func:`summarize_phases` cuts throughput
+series on schedule boundaries and reports per-phase means so the
+"who wins by what factor in which regime" comparison is mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.metrics.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Mean throughput per controller within one schedule phase."""
+
+    start: float
+    end: float
+    label: str
+    mean_throughput: Dict[str, float]
+
+    def winner(self) -> str:
+        """Controller with the highest mean throughput this phase."""
+        return max(self.mean_throughput, key=lambda k: self.mean_throughput[k])
+
+    def advantage_over(self, name: str, baseline: str) -> float:
+        """Throughput ratio of ``name`` over ``baseline`` (inf if 0)."""
+        base = self.mean_throughput[baseline]
+        top = self.mean_throughput[name]
+        if base <= 0:
+            return float("inf") if top > 0 else 1.0
+        return top / base
+
+
+def summarize_phases(
+    throughput: Dict[str, TimeSeries],
+    boundaries: Sequence[float],
+    end: float,
+    labels: Sequence[str] = (),
+) -> List[PhaseSummary]:
+    """Cut per-controller throughput series on phase boundaries.
+
+    Args:
+        throughput: controller name -> per-second throughput series.
+        boundaries: phase start times (must begin with 0).
+        end: end of the experiment.
+        labels: optional phase labels (defaults to time ranges).
+    """
+    bounds = list(boundaries) + [end]
+    out: List[PhaseSummary] = []
+    for i in range(len(bounds) - 1):
+        t0, t1 = bounds[i], bounds[i + 1]
+        if t1 <= t0:
+            continue
+        label = labels[i] if i < len(labels) else f"{t0:g}-{t1:g}s"
+        means = {
+            name: float(np.nan_to_num(series.mean_over(t0, t1)))
+            for name, series in throughput.items()
+        }
+        out.append(PhaseSummary(start=t0, end=t1, label=label, mean_throughput=means))
+    return out
+
+
+@dataclass
+class QosReport:
+    """Whole-run QoS rollup for one controller."""
+
+    name: str
+    total_frames: int = 0
+    successful: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+    dropped_local: int = 0
+    mean_throughput: float = 0.0
+    mean_violation_rate: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def success_fraction(self) -> float:
+        if self.total_frames == 0:
+            return 0.0
+        return self.successful / self.total_frames
+
+    def row(self) -> str:
+        """One formatted report line."""
+        return (
+            f"{self.name:<16s} P={self.mean_throughput:6.2f} fps  "
+            f"T={self.mean_violation_rate:5.2f}/s  "
+            f"ok={self.successful:5d}/{self.total_frames:<5d} "
+            f"({100 * self.success_fraction:5.1f}%)  "
+            f"timeouts={self.timeouts:<5d} rejected={self.rejected:<5d}"
+        )

@@ -1,0 +1,124 @@
+"""Streaming (bounded-memory) latency statistics.
+
+The device currently buffers each bucket's RTT samples and summarizes
+at close — fine at 30 fps, but a deployment aggregating many streams
+(or a long-running fleet study) wants O(1)-memory percentile tracking.
+:class:`StreamingHistogram` bins samples into geometric buckets over a
+configured range (the HDR-histogram idea, sized for latencies):
+inserts are O(1), quantile queries are O(bins), and relative error is
+bounded by the per-bucket growth factor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+
+class StreamingHistogram:
+    """Geometric-bucket histogram with bounded relative error."""
+
+    def __init__(
+        self,
+        min_value: float = 1e-4,
+        max_value: float = 10.0,
+        growth: float = 1.05,
+    ) -> None:
+        """
+        Args:
+            min_value: values at/below this land in the first bucket.
+            max_value: values at/above this land in the last bucket.
+            growth: per-bucket geometric factor; the relative quantile
+                error is at most ``growth - 1`` (~5 % by default).
+        """
+        if not 0 < min_value < max_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.min_value = min_value
+        self.max_value = max_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        n_bins = int(math.ceil(math.log(max_value / min_value) / self._log_growth)) + 2
+        self._counts = np.zeros(n_bins, dtype=np.int64)
+        self.count = 0
+        self._sum = 0.0
+
+    # ------------------------------------------------------------------
+    def _bin_index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        if value >= self.max_value:
+            return len(self._counts) - 1
+        return 1 + int(math.log(value / self.min_value) / self._log_growth)
+
+    def _bin_value(self, index: int) -> float:
+        """Representative (geometric-mid) value of a bucket."""
+        if index == 0:
+            return self.min_value
+        if index >= len(self._counts) - 1:
+            return self.max_value
+        lo = self.min_value * self.growth ** (index - 1)
+        return lo * math.sqrt(self.growth)
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        if value < 0 or not math.isfinite(value):
+            raise ValueError(f"values must be finite and >= 0, got {value}")
+        self._counts[self._bin_index(value)] += 1
+        self.count += 1
+        self._sum += value
+
+    def record_many(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean (tracked outside the buckets)."""
+        if self.count == 0:
+            return float("nan")
+        return self._sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (relative error <= growth - 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for i, c in enumerate(self._counts):
+            cumulative += int(c)
+            if cumulative > rank:
+                return self._bin_value(i)
+        return self.max_value  # pragma: no cover - defensive
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of recorded values above ``threshold`` (approx.)."""
+        if self.count == 0:
+            return 0.0
+        idx = self._bin_index(threshold)
+        return float(self._counts[idx + 1 :].sum()) / self.count
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Absorb another histogram with identical binning."""
+        if (
+            other.min_value != self.min_value
+            or other.max_value != self.max_value
+            or other.growth != self.growth
+        ):
+            raise ValueError("histograms have different binning")
+        self._counts += other._counts
+        self.count += other.count
+        self._sum += other._sum
+
+    @property
+    def memory_bins(self) -> int:
+        return len(self._counts)

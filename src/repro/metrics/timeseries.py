@@ -1,0 +1,99 @@
+"""Time-series recording and NumPy-backed analysis helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only (time, value) series.
+
+    Appends are O(1) Python-list pushes (the simulation's hot path);
+    analysis views are materialized as NumPy arrays on demand and
+    cached until the next append — following the hpc guides' rule of
+    keeping the hot loop simple and vectorizing the analysis instead.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def append(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError(f"time must be monotone: {t} after {self._t[-1]}")
+        self._t.append(float(t))
+        self._v.append(float(value))
+        self._cache = None
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def __iter__(self):
+        return iter(zip(self._t, self._v))
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return self._arrays()[0]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._arrays()[1]
+
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._cache is None:
+            self._cache = (np.asarray(self._t), np.asarray(self._v))
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def mean_over(self, t0: float, t1: float) -> float:
+        """Mean of samples with t0 <= t < t1 (NaN if empty)."""
+        if t1 <= t0:
+            raise ValueError(f"empty interval [{t0}, {t1})")
+        t, v = self._arrays()
+        mask = (t >= t0) & (t < t1)
+        if not mask.any():
+            return float("nan")
+        return float(v[mask].mean())
+
+    def max_over(self, t0: float, t1: float) -> float:
+        t, v = self._arrays()
+        mask = (t >= t0) & (t < t1)
+        if not mask.any():
+            return float("nan")
+        return float(v[mask].max())
+
+    def slice(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with t0 <= t < t1 as a new series."""
+        out = TimeSeries(self.name)
+        t, v = self._arrays()
+        mask = (t >= t0) & (t < t1)
+        out._t = t[mask].tolist()
+        out._v = v[mask].tolist()
+        return out
+
+    def resample(self, step: float, t0: float = 0.0, t1: Optional[float] = None) -> "TimeSeries":
+        """Zero-order-hold resample onto a regular grid."""
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        t, v = self._arrays()
+        if len(t) == 0:
+            return TimeSeries(self.name)
+        end = t1 if t1 is not None else float(t[-1])
+        grid = np.arange(t0, end + step * 0.5, step)
+        idx = np.searchsorted(t, grid, side="right") - 1
+        out = TimeSeries(self.name)
+        for g, i in zip(grid, idx):
+            out.append(float(g), float(v[i]) if i >= 0 else float("nan"))
+        return out
+
+    def to_rows(self) -> List[Tuple[float, float]]:
+        return list(zip(self._t, self._v))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TimeSeries({self.name!r}, n={len(self)})"

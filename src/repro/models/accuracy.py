@@ -1,0 +1,79 @@
+"""Accuracy models (paper Table III and the §II-D discussion).
+
+Table III is reproduced verbatim from the model zoo.  §II-D argues two
+levers raise effective accuracy when offloading — larger input
+resolution and lighter JPEG compression — at the cost of more bytes per
+frame.  :class:`AccuracyModel` turns that qualitative argument into a
+monotone estimator so the trade-off can be explored quantitatively:
+
+* resolution: a saturating log-linear term anchored at the model's
+  native training resolution (classic accuracy-vs-resolution scaling:
+  roughly +1.5 points per resolution doubling near the native point,
+  with steep degradation below half the native resolution);
+* JPEG quality: negligible loss above quality ~75, growing roughly
+  quadratically as quality drops (consistent with published JPEG
+  robustness studies of ImageNet CNNs).
+
+The estimator is clamped to [0, 1] and exact at the native operating
+point (native resolution, quality >= 85), where it returns Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.zoo import ModelSpec, get_model
+
+
+@dataclass(frozen=True)
+class AccuracyModel:
+    """Top-1 accuracy estimator for a classifier under capture settings."""
+
+    model: ModelSpec
+    #: accuracy points (fraction) gained per doubling of resolution
+    resolution_slope: float = 0.015
+    #: max accuracy points lost to resolution upscaling shortfall
+    resolution_floor_penalty: float = 0.35
+    #: quality below which JPEG artifacts start to cost accuracy
+    quality_knee: float = 75.0
+    #: accuracy points lost at quality == 10
+    quality_penalty_at_10: float = 0.20
+
+    def estimate(self, resolution: int = 0, jpeg_quality: float = 95.0) -> float:
+        """Estimated top-1 accuracy at the given capture settings."""
+        native = self.model.input_resolution
+        if resolution <= 0:
+            resolution = native
+        if resolution < 16:
+            raise ValueError(f"resolution {resolution} is implausibly small")
+        if not 1 <= jpeg_quality <= 100:
+            raise ValueError(f"JPEG quality must be in [1, 100], got {jpeg_quality}")
+
+        acc = self.model.top1_accuracy
+
+        # Resolution term: gentle gains above native, steep loss below.
+        ratio = resolution / native
+        if ratio >= 1.0:
+            acc += self.resolution_slope * np.log2(ratio)
+        else:
+            # Quadratic-in-log falloff: half native ~ -8 points,
+            # quarter native ~ -35 points (the floor penalty).
+            shortfall = np.log2(1.0 / ratio)
+            acc -= self.resolution_floor_penalty * min(1.0, (shortfall / 2.0) ** 2)
+
+        # Compression term: flat above the knee, quadratic below.
+        if jpeg_quality < self.quality_knee:
+            depth = (self.quality_knee - jpeg_quality) / (self.quality_knee - 10.0)
+            acc -= self.quality_penalty_at_10 * min(1.0, depth) ** 2
+
+        return float(np.clip(acc, 0.0, 1.0))
+
+
+def estimate_accuracy(
+    model: "ModelSpec | str", resolution: int = 0, jpeg_quality: float = 95.0
+) -> float:
+    """Convenience wrapper around :class:`AccuracyModel`."""
+    spec = get_model(model) if isinstance(model, str) else model
+    return AccuracyModel(spec).estimate(resolution, jpeg_quality)

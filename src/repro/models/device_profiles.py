@@ -1,0 +1,113 @@
+"""Raspberry Pi device profiles (paper Table II).
+
+Table II is the paper's calibration of local processing rates ``P_l``:
+
+    |                        | 3B r1.2 | 4B r1.2 | 4B r1.4 |
+    | MobileNetV3Small  P_l  |   5.5   |   13    |  13.4   |
+    | EfficientNetB0    P_l  |   1.8   |   2.5   |   4.2   |
+
+Those measured rates are authoritative: :func:`local_rate` returns them
+directly when available and falls back to a compute-cost scaling model
+only for model/device pairs the paper did not measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.models.zoo import ModelSpec, get_model
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """An edge-device hardware profile.
+
+    Attributes:
+        name: registry key, e.g. ``"pi4b_r1_2"``.
+        display_name: the paper's column header.
+        cpus: core count (Table II).
+        cpu_mhz: clock (Table II).
+        memory_mib: memory (Table II; MiB).
+        measured_rates: Table II ``P_l`` values, frames/s, keyed by
+            model registry name.
+        capture_overhead_util: fraction of one CPU spent on camera
+            capture + preprocessing regardless of where inference runs
+            (used by the energy model).
+    """
+
+    name: str
+    display_name: str
+    cpus: int
+    cpu_mhz: int
+    memory_mib: int
+    measured_rates: Dict[str, float] = field(default_factory=dict)
+    capture_overhead_util: float = 0.08
+
+    @property
+    def relative_speed(self) -> float:
+        """Crude cross-device speed factor (clock-based, 4B r1.2 = 1)."""
+        return self.cpu_mhz / 1500.0
+
+
+PI_3B_1_2 = DeviceProfile(
+    name="pi3b_r1_2",
+    display_name="3B Rev. 1.2",
+    cpus=4,
+    cpu_mhz=1200,
+    memory_mib=909,
+    measured_rates={
+        "mobilenet_v3_small": 5.5,
+        "efficientnet_b0": 1.8,
+    },
+)
+
+PI_4B_1_2 = DeviceProfile(
+    name="pi4b_r1_2",
+    display_name="4B Rev. 1.2",
+    cpus=4,
+    cpu_mhz=1500,
+    memory_mib=3789,
+    measured_rates={
+        "mobilenet_v3_small": 13.0,
+        "efficientnet_b0": 2.5,
+    },
+)
+
+PI_4B_1_4 = DeviceProfile(
+    name="pi4b_r1_4",
+    display_name="4B Rev. 1.4",
+    cpus=4,
+    cpu_mhz=1800,
+    memory_mib=7782,
+    measured_rates={
+        "mobilenet_v3_small": 13.4,
+        "efficientnet_b0": 4.2,
+    },
+)
+
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    p.name: p for p in (PI_3B_1_2, PI_4B_1_2, PI_4B_1_4)
+}
+
+
+def local_rate(device: DeviceProfile, model: "ModelSpec | str") -> float:
+    """Local inference rate ``P_l`` (frames/s) for a device/model pair.
+
+    Uses the paper's measured Table II value when available; otherwise
+    scales the device's MobileNetV3Small rate by the model's relative
+    compute cost (an extrapolation — flagged as such in the docstring
+    because the paper only measured the two models above).
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    measured = device.measured_rates.get(spec.name)
+    if measured is not None:
+        return measured
+    anchor = device.measured_rates.get("mobilenet_v3_small")
+    if anchor is None:
+        raise ValueError(
+            f"device {device.name!r} has no measured anchor rate to scale from"
+        )
+    # Larger inputs also cost proportionally more pixels to preprocess.
+    pixel_factor = spec.input_pixels / (224 * 224)
+    return anchor / (spec.compute_cost * pixel_factor ** 0.25)

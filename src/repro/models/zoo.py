@@ -1,0 +1,105 @@
+"""Model zoo: the four classifiers the paper evaluates (§II-C, Table III).
+
+Each :class:`ModelSpec` captures what the system actually cares about:
+input resolution (drives frame bytes), a relative compute cost (drives
+latency on any device), and the published top-1 accuracy (Table III).
+
+Relative compute costs are expressed in *MobileNetV3Small units* and
+derived from the paper's own Table II measurements: on the same Pi 4B
+rev 1.2, MobileNetV3Small runs at 13 fps and EfficientNetB0 at 2.5 fps,
+i.e. EfficientNetB0 costs 5.2x.  The other two models are anchored on
+published MAC counts relative to those two (MobileNetV3Large ~4x Small;
+EfficientNetB4 ~11x B0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of a classification model.
+
+    Attributes:
+        name: registry key, e.g. ``"mobilenet_v3_small"``.
+        display_name: the paper's spelling, e.g. ``"MobileNetV3Small"``.
+        input_resolution: square input side in pixels (224 or 380).
+        compute_cost: relative CPU cost in MobileNetV3Small units.
+        gpu_cost: relative GPU per-item batch cost in the same units
+            (GPUs flatten the gap between small and large CNNs, so the
+            spread is compressed relative to ``compute_cost``).
+        top1_accuracy: Table III top-1 ImageNet accuracy (fraction).
+    """
+
+    name: str
+    display_name: str
+    input_resolution: int
+    compute_cost: float
+    gpu_cost: float
+    top1_accuracy: float
+
+    @property
+    def input_pixels(self) -> int:
+        return self.input_resolution * self.input_resolution
+
+
+MOBILENET_V3_SMALL = ModelSpec(
+    name="mobilenet_v3_small",
+    display_name="MobileNetV3Small",
+    input_resolution=224,
+    compute_cost=1.0,
+    gpu_cost=1.0,
+    top1_accuracy=0.674,
+)
+
+MOBILENET_V3_LARGE = ModelSpec(
+    name="mobilenet_v3_large",
+    display_name="MobileNetV3Large",
+    input_resolution=224,
+    compute_cost=3.9,
+    gpu_cost=1.6,
+    top1_accuracy=0.752,
+)
+
+EFFICIENTNET_B0 = ModelSpec(
+    name="efficientnet_b0",
+    display_name="EfficientNetB0",
+    input_resolution=224,
+    compute_cost=5.2,  # Table II: 13 fps vs 2.5 fps on the same Pi 4B
+    gpu_cost=1.5,
+    top1_accuracy=0.771,
+)
+
+EFFICIENTNET_B4 = ModelSpec(
+    name="efficientnet_b4",
+    display_name="EfficientNetB4",
+    input_resolution=380,
+    compute_cost=57.0,  # ~11x B0 (MACs), far beyond real-time on a Pi
+    gpu_cost=6.5,
+    top1_accuracy=0.829,
+)
+
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        MOBILENET_V3_SMALL,
+        MOBILENET_V3_LARGE,
+        EFFICIENTNET_B0,
+        EFFICIENTNET_B4,
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by registry key or paper display name."""
+    if name in MODEL_ZOO:
+        return MODEL_ZOO[name]
+    for spec in MODEL_ZOO.values():
+        if spec.display_name == name:
+            return spec
+    raise KeyError(
+        f"unknown model {name!r}; available: {sorted(MODEL_ZOO)} "
+        f"or display names {[s.display_name for s in MODEL_ZOO.values()]}"
+    )

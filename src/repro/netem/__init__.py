@@ -1,0 +1,64 @@
+"""Network emulation substrate (the paper's NetEm, §IV-C.1).
+
+The paper degrades the Pi-to-server path with NetEm rate limits and
+packet loss.  This package reimplements the relevant mechanics in the
+DES kernel:
+
+* :class:`~repro.netem.link.Link` — a half-duplex serializer with a
+  byte-capped FIFO queue (rate limiting => serialization + queueing
+  delay, i.e. bufferbloat under overload), i.i.d. per-packet loss with
+  ARQ retransmission stalls (loss => delay inflation *and* goodput
+  collapse, as on a real wireless MAC), propagation delay and jitter;
+* :class:`~repro.netem.link.LinkConditions` — an immutable condition
+  tuple (bandwidth, loss, delay, jitter) with the paper's abstract
+  "kbps" bandwidth units calibrated in :data:`BANDWIDTH_UNIT_BPS`;
+* :class:`~repro.netem.schedule.NetworkSchedule` — piecewise-constant
+  condition timelines (paper Table V);
+* :mod:`~repro.netem.profiles` — named presets used across tests,
+  examples and benchmarks.
+"""
+
+from repro.netem.commands import schedule_script, tc_commands
+from repro.netem.link import (
+    BANDWIDTH_UNIT_BPS,
+    ConditionBox,
+    Link,
+    LinkConditions,
+    LinkStats,
+)
+from repro.netem.loss import GilbertElliottChain, GilbertElliottParams
+from repro.netem.packet import MTU_BYTES, PACKET_PAYLOAD_BYTES, packets_for
+from repro.netem.schedule import NetworkSchedule, SchedulePhase
+from repro.netem.profiles import (
+    CONGESTED,
+    IDEAL,
+    LOSSY,
+    SEVERE,
+    named_profile,
+)
+from repro.netem.traces import from_trace, random_walk_schedule, sawtooth_schedule
+
+__all__ = [
+    "BANDWIDTH_UNIT_BPS",
+    "CONGESTED",
+    "ConditionBox",
+    "GilbertElliottChain",
+    "GilbertElliottParams",
+    "IDEAL",
+    "LOSSY",
+    "Link",
+    "LinkConditions",
+    "LinkStats",
+    "MTU_BYTES",
+    "NetworkSchedule",
+    "PACKET_PAYLOAD_BYTES",
+    "SEVERE",
+    "SchedulePhase",
+    "from_trace",
+    "named_profile",
+    "packets_for",
+    "random_walk_schedule",
+    "sawtooth_schedule",
+    "schedule_script",
+    "tc_commands",
+]

@@ -1,0 +1,28 @@
+"""Packetization helpers."""
+
+from __future__ import annotations
+
+import math
+
+#: Ethernet-class MTU — NetEm shapes at the IP layer, so we do too.
+MTU_BYTES = 1500
+
+#: MTU minus IP + transport headers.
+PACKET_PAYLOAD_BYTES = 1448
+
+#: per-packet on-the-wire overhead (headers re-added per packet)
+PACKET_OVERHEAD_BYTES = MTU_BYTES - PACKET_PAYLOAD_BYTES
+
+
+def packets_for(nbytes: int) -> int:
+    """Number of packets needed to carry ``nbytes`` of payload."""
+    if nbytes < 0:
+        raise ValueError(f"negative payload size {nbytes}")
+    if nbytes == 0:
+        return 1  # a bare request still needs one packet
+    return math.ceil(nbytes / PACKET_PAYLOAD_BYTES)
+
+
+def wire_bytes(nbytes: int) -> int:
+    """Total bytes on the wire including per-packet headers."""
+    return nbytes + packets_for(nbytes) * PACKET_OVERHEAD_BYTES

@@ -1,0 +1,38 @@
+"""Named link-condition presets used across tests, examples, benches."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.netem.link import LinkConditions
+
+#: Table V's best case: bandwidth 10, no loss.
+IDEAL = LinkConditions(bandwidth=10.0, loss=0.0)
+
+#: Table V's intermediate regime: bandwidth 4 — partial offload only.
+CONGESTED = LinkConditions(bandwidth=4.0, loss=0.0)
+
+#: Fig 2's injected impairment: full bandwidth with 7 % packet loss.
+LOSSY = LinkConditions(bandwidth=10.0, loss=0.07)
+
+#: Table V's final segment: bandwidth 4 with 7 % loss.
+SEVERE = LinkConditions(bandwidth=4.0, loss=0.07)
+
+#: Table V's bandwidth-1 regime: no frame fits inside the deadline.
+DEAD = LinkConditions(bandwidth=1.0, loss=0.0)
+
+_PROFILES: Dict[str, LinkConditions] = {
+    "ideal": IDEAL,
+    "congested": CONGESTED,
+    "lossy": LOSSY,
+    "severe": SEVERE,
+    "dead": DEAD,
+}
+
+
+def named_profile(name: str) -> LinkConditions:
+    """Look up a preset by name (``ideal|congested|lossy|severe|dead``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown profile {name!r}; available: {sorted(_PROFILES)}") from None

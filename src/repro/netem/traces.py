@@ -1,0 +1,123 @@
+"""Synthetic network traces: beyond piecewise-constant schedules.
+
+Table V switches conditions at six hand-picked instants; real wireless
+paths drift continuously (the paper cites [21], adaptive congestion
+control for *unpredictable cellular networks*).  This module generates
+trace-driven :class:`NetworkSchedule` objects:
+
+* :func:`random_walk_schedule` — geometric random walk on bandwidth
+  with occasional loss episodes, bounded to a configured range;
+* :func:`sawtooth_schedule` — deterministic ramp-down/ramp-up cycles
+  (elevator/garage passes for a mobile device);
+* :func:`from_trace` — wrap externally supplied (time, bandwidth,
+  loss) samples, e.g. replayed measurements.
+
+All generators emit ordinary schedules, so every experiment utility
+(scenarios, fleets, benches) consumes them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.netem.link import LinkConditions
+from repro.netem.schedule import NetworkSchedule, SchedulePhase
+
+
+def from_trace(
+    times: Sequence[float],
+    bandwidths: Sequence[float],
+    losses: Optional[Sequence[float]] = None,
+) -> NetworkSchedule:
+    """Build a schedule from parallel sample arrays.
+
+    ``losses`` are fractions in [0, 1); omitted means lossless.
+    """
+    if len(times) != len(bandwidths):
+        raise ValueError("times and bandwidths must have equal length")
+    if losses is not None and len(losses) != len(times):
+        raise ValueError("losses must match times in length")
+    if not times:
+        raise ValueError("empty trace")
+    phases = []
+    for i, t in enumerate(times):
+        loss = float(losses[i]) if losses is not None else 0.0
+        phases.append(
+            SchedulePhase(float(t), LinkConditions(bandwidth=float(bandwidths[i]), loss=loss))
+        )
+    return NetworkSchedule(phases)
+
+
+def random_walk_schedule(
+    duration: float,
+    rng: np.random.Generator,
+    step_period: float = 2.0,
+    bandwidth_range: "tuple[float, float]" = (1.0, 10.0),
+    volatility: float = 0.25,
+    loss_episode_rate: float = 0.02,
+    episode_loss: float = 0.07,
+    initial_bandwidth: Optional[float] = None,
+) -> NetworkSchedule:
+    """Geometric random walk on bandwidth with Poisson loss episodes.
+
+    Every ``step_period`` seconds the bandwidth multiplies by
+    ``exp(volatility * z)`` (reflected into ``bandwidth_range``); each
+    step independently starts a loss episode with probability
+    ``loss_episode_rate * step_period`` that lasts one step.
+    """
+    if duration <= 0 or step_period <= 0:
+        raise ValueError("duration and step period must be positive")
+    lo, hi = bandwidth_range
+    if not 0 < lo < hi:
+        raise ValueError(f"invalid bandwidth range {bandwidth_range}")
+    if volatility < 0:
+        raise ValueError("volatility must be >= 0")
+
+    bw = float(initial_bandwidth) if initial_bandwidth is not None else hi
+    bw = min(max(bw, lo), hi)
+    phases = []
+    t = 0.0
+    while t < duration:
+        loss = episode_loss if rng.random() < loss_episode_rate * step_period else 0.0
+        phases.append(SchedulePhase(t, LinkConditions(bandwidth=bw, loss=loss)))
+        # geometric step, reflected at the range bounds
+        bw *= float(np.exp(volatility * rng.normal()))
+        if bw > hi:
+            bw = hi * hi / bw
+        if bw < lo:
+            bw = lo * lo / max(bw, 1e-9)
+        bw = min(max(bw, lo), hi)
+        t += step_period
+    return NetworkSchedule(phases)
+
+
+def sawtooth_schedule(
+    duration: float,
+    period: float = 30.0,
+    high: float = 10.0,
+    low: float = 2.0,
+    steps_per_ramp: int = 5,
+) -> NetworkSchedule:
+    """Deterministic down-then-up bandwidth ramps."""
+    if duration <= 0 or period <= 0:
+        raise ValueError("duration and period must be positive")
+    if steps_per_ramp < 1:
+        raise ValueError("need >= 1 step per ramp")
+    if not 0 < low < high:
+        raise ValueError(f"need 0 < low < high, got {low}, {high}")
+    phases = []
+    half = period / 2.0
+    step_dt = half / steps_per_ramp
+    t = 0.0
+    while t < duration:
+        cycle_t = t % period
+        if cycle_t < half:  # ramping down
+            frac = cycle_t / half
+        else:  # ramping back up
+            frac = 1.0 - (cycle_t - half) / half
+        bw = high - frac * (high - low)
+        phases.append(SchedulePhase(round(t, 9), LinkConditions(bandwidth=bw)))
+        t += step_dt
+    return NetworkSchedule(phases)

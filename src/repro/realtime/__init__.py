@@ -1,0 +1,31 @@
+"""Wall-clock runtime: the controller outside the simulator.
+
+The paper's system runs on real threads and sockets.  This package
+provides a minimal real-time harness — a frame ticker, a CPU-bound
+local worker, a thread-pool "offload" path with injectable latency and
+loss, and a 1 Hz measurement loop — that drives the *same*
+:class:`~repro.control.base.Controller` objects as the simulator.  It
+exists to demonstrate (and test) that nothing in the control layer
+depends on virtual time.
+"""
+
+from repro.realtime.aio import AsyncFakeRemote, AsyncLoopResult, AsyncRealTimeLoop
+from repro.realtime.fakework import FakeRemote, RemoteConditions, calibrated_spin
+from repro.realtime.netserver import InferenceServer, SocketRemote
+from repro.realtime.runtime import RealTimeLoop, RealTimeResult
+from repro.realtime.schedule import RemotePhase, RemoteSchedule
+
+__all__ = [
+    "AsyncFakeRemote",
+    "AsyncLoopResult",
+    "AsyncRealTimeLoop",
+    "FakeRemote",
+    "InferenceServer",
+    "RealTimeLoop",
+    "RealTimeResult",
+    "RemoteConditions",
+    "RemotePhase",
+    "RemoteSchedule",
+    "SocketRemote",
+    "calibrated_spin",
+]

@@ -1,0 +1,81 @@
+"""Stand-in workloads for the wall-clock runtime.
+
+* :func:`calibrated_spin` — a CPU-bound kernel (small matmuls) timed to
+  a target latency, standing in for local TFLite inference;
+* :class:`FakeRemote` — an "edge server" whose response time and
+  failure probability are injectable, standing in for the offload
+  path's network + server latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+import numpy as np
+
+
+def calibrated_spin(target_seconds: float, _state: dict = {}) -> float:
+    """Burn roughly ``target_seconds`` of CPU; returns actual elapsed.
+
+    Calibrates ops/second once per process on first call (kept in the
+    default-arg cache, which is intentional shared state here).
+    """
+    if target_seconds < 0:
+        raise ValueError(f"negative target {target_seconds}")
+    if "ops_per_sec" not in _state:
+        a = np.random.default_rng(0).random((64, 64))
+        t0 = time.perf_counter()
+        n = 0
+        while time.perf_counter() - t0 < 0.05:
+            a = a @ a * 1e-3 + 1.0
+            n += 1
+        _state["ops_per_sec"] = max(n / (time.perf_counter() - t0), 1.0)
+        _state["matrix"] = a
+    start = time.perf_counter()
+    remaining_ops = int(target_seconds * _state["ops_per_sec"])
+    a = _state["matrix"]
+    for _ in range(max(remaining_ops, 0)):
+        a = a @ a * 1e-3 + 1.0
+    _state["matrix"] = a
+    return time.perf_counter() - start
+
+
+@dataclass
+class RemoteConditions:
+    """Injectable offload-path behaviour (the NetEm analogue)."""
+
+    latency: float = 0.06
+    jitter: float = 0.01
+    failure_probability: float = 0.0
+
+
+class FakeRemote:
+    """A thread-safe fake edge server for the real-time loop.
+
+    ``submit`` blocks the calling worker thread for the configured
+    latency and returns success/failure — the caller overlays its own
+    deadline, exactly like the real offload client.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._conditions = RemoteConditions()
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def conditions(self) -> RemoteConditions:
+        with self._lock:
+            return self._conditions
+
+    def set_conditions(self, conditions: RemoteConditions) -> None:
+        with self._lock:
+            self._conditions = conditions
+
+    def submit(self) -> bool:
+        with self._lock:
+            cond = self._conditions
+            delay = max(0.0, cond.latency + self._rng.normal(0.0, cond.jitter))
+            failed = self._rng.random() < cond.failure_probability
+        time.sleep(delay)
+        return not failed

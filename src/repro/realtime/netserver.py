@@ -1,0 +1,198 @@
+"""A real TCP inference server + client for the wall-clock runtime.
+
+This is the closest analogue of the paper's deployment this repository
+can run without hardware: a threaded TCP server implementing the §IV-A
+adaptive batching discipline over actual sockets on localhost, and a
+socket client that plugs into :class:`~repro.realtime.runtime
+.RealTimeLoop` in place of :class:`~repro.realtime.fakework.FakeRemote`.
+
+Wire protocol (deliberately minimal):
+
+* request:  4-byte big-endian payload length, then the payload (the
+  "JPEG"); the payload content is ignored, only its size matters;
+* response: 1 byte — ``b"+"`` completed, ``b"-"`` rejected.
+
+The server batches exactly like the simulator's
+:class:`~repro.server.batching.AdaptiveBatcher`: requests queue while a
+"GPU" (a calibrated sleep) executes the current batch; the next batch
+takes up to ``batch_limit`` queued requests and rejects the rest.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+_LEN = struct.Struct(">I")
+
+#: maximum accepted payload (sanity bound, ~1 MiB)
+MAX_PAYLOAD = 1 << 20
+
+
+def _recv_exact(conn: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes or None on EOF."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+@dataclass
+class ServerStats:
+    received: int = 0
+    completed: int = 0
+    rejected: int = 0
+    batches: int = 0
+
+
+class InferenceServer:
+    """Threaded TCP server with adaptive batching."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_limit: int = 15,
+        base_latency: float = 0.022,
+        per_item: float = 0.0055,
+    ) -> None:
+        if batch_limit < 1:
+            raise ValueError(f"batch limit must be >= 1, got {batch_limit}")
+        self.batch_limit = batch_limit
+        self.base_latency = base_latency
+        self.per_item = per_item
+        self.stats = ServerStats()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        self._sock.settimeout(0.2)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._queue: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._accept_loop, name="srv-accept", daemon=True),
+            threading.Thread(target=self._gpu_loop, name="srv-gpu", daemon=True),
+        ]
+
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=2.0)
+        self._sock.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._read_request, args=(conn,), daemon=True
+            ).start()
+
+    def _read_request(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(5.0)
+            header = _recv_exact(conn, _LEN.size)
+            if header is None:
+                conn.close()
+                return
+            (length,) = _LEN.unpack(header)
+            if length > MAX_PAYLOAD:
+                conn.sendall(b"-")
+                conn.close()
+                return
+            if _recv_exact(conn, length) is None:
+                conn.close()
+                return
+            with self._lock:
+                self.stats.received += 1
+                self._queue.append(conn)
+        except OSError:
+            conn.close()
+
+    def _gpu_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                batch = self._queue[: self.batch_limit]
+                rejected = self._queue[self.batch_limit :]
+                self._queue = []
+            for conn in rejected:
+                self.stats.rejected += 1
+                self._reply(conn, b"-")
+            if not batch:
+                time.sleep(0.002)
+                continue
+            # the "GPU": calibrated sleep, affine in batch size
+            time.sleep(self.base_latency + self.per_item * len(batch))
+            self.stats.batches += 1
+            for conn in batch:
+                self.stats.completed += 1
+                self._reply(conn, b"+")
+
+    @staticmethod
+    def _reply(conn: socket.socket, payload: bytes) -> None:
+        try:
+            conn.sendall(payload)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+
+class SocketRemote:
+    """Drop-in for :class:`FakeRemote`: offload over a real socket.
+
+    Each ``submit()`` opens one connection, ships ``frame_bytes`` of
+    payload, and waits (up to ``timeout``) for the verdict — one
+    connection per frame keeps the client trivially thread-safe for
+    the runtime's worker pool.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        frame_bytes: int = 11_700,
+        timeout: float = 1.0,
+    ) -> None:
+        if frame_bytes <= 0:
+            raise ValueError(f"frame bytes must be positive, got {frame_bytes}")
+        self.address = address
+        self.frame_bytes = frame_bytes
+        self.timeout = timeout
+        self._payload = b"\x00" * frame_bytes
+
+    def submit(self) -> bool:
+        try:
+            with socket.create_connection(self.address, timeout=self.timeout) as conn:
+                conn.sendall(_LEN.pack(self.frame_bytes) + self._payload)
+                verdict = _recv_exact(conn, 1)
+                return verdict == b"+"
+        except OSError:
+            return False

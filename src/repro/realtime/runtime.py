@@ -1,0 +1,177 @@
+"""The wall-clock closed loop.
+
+Threads:
+
+* **ticker** — emits frame tokens at ``F_s`` (wall-clock);
+* **local worker** — consumes non-offloaded frames one at a time via
+  :func:`~repro.realtime.fakework.calibrated_spin`;
+* **offload pool** — each offloaded frame is a task that calls
+  :meth:`FakeRemote.submit` and applies the deadline on return;
+* **measurement loop** — once per period, closes rate buckets, feeds
+  the same :class:`~repro.control.base.Measurement` record to the same
+  :class:`~repro.control.base.Controller` implementations the
+  simulator uses, and applies the returned target.
+
+This is intentionally a miniature of :class:`repro.device.device
+.EdgeDevice` with ``time.sleep`` where the simulator has
+``env.timeout`` — the point is API parity, not performance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.control.base import Controller, Measurement
+from repro.device.splitter import TokenBucketSplitter
+from repro.metrics.counters import WindowedRate
+from repro.realtime.fakework import FakeRemote, calibrated_spin
+
+
+@dataclass
+class RealTimeResult:
+    """Per-period traces from one wall-clock run."""
+
+    times: List[float] = field(default_factory=list)
+    offload_target: List[float] = field(default_factory=list)
+    throughput: List[float] = field(default_factory=list)
+    timeout_rate: List[float] = field(default_factory=list)
+    local_rate: List[float] = field(default_factory=list)
+
+
+class RealTimeLoop:
+    """Drive a controller against wall-clock fake work."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        remote: Optional[FakeRemote] = None,
+        frame_rate: float = 30.0,
+        deadline: float = 0.25,
+        local_latency: float = 0.077,
+        measure_period: float = 1.0,
+        t_window_buckets: int = 3,
+        offload_workers: int = 16,
+    ) -> None:
+        if frame_rate <= 0 or deadline <= 0 or measure_period <= 0:
+            raise ValueError("rates, deadline and period must be positive")
+        self.controller = controller
+        self.remote = remote or FakeRemote()
+        self.frame_rate = frame_rate
+        self.deadline = deadline
+        self.local_latency = local_latency
+        self.measure_period = measure_period
+        self.offload_workers = offload_workers
+
+        self.splitter = TokenBucketSplitter(frame_rate)
+        self.splitter.set_target(controller.initial_target(frame_rate))
+        self._t_window = WindowedRate(t_window_buckets)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._local_busy = threading.Event()
+
+        # bucket counters (guarded by _lock)
+        self._offload_attempts = 0
+        self._offload_success = 0
+        self._timeouts = 0
+        self._local_done = 0
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> RealTimeResult:
+        """Run the loop for ``duration`` wall-clock seconds."""
+        result = RealTimeResult()
+        pool = ThreadPoolExecutor(max_workers=self.offload_workers)
+        start = time.perf_counter()
+        self._stop.clear()
+
+        ticker = threading.Thread(
+            target=self._ticker, args=(pool,), name="rt-ticker", daemon=True
+        )
+        ticker.start()
+        try:
+            next_measure = start + self.measure_period
+            while time.perf_counter() - start < duration:
+                time.sleep(max(0.0, next_measure - time.perf_counter()))
+                next_measure += self.measure_period
+                self._measure_step(result, time.perf_counter() - start)
+        finally:
+            self._stop.set()
+            ticker.join(timeout=2.0)
+            pool.shutdown(wait=False, cancel_futures=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def _ticker(self, pool: ThreadPoolExecutor) -> None:
+        period = 1.0 / self.frame_rate
+        next_tick = time.perf_counter() + period
+        while not self._stop.is_set():
+            delay = next_tick - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            next_tick += period
+            if self.splitter.route():
+                with self._lock:
+                    self._offload_attempts += 1
+                pool.submit(self._offload_one)
+            else:
+                if not self._local_busy.is_set():
+                    self._local_busy.set()
+                    threading.Thread(
+                        target=self._local_one, name="rt-local", daemon=True
+                    ).start()
+
+    def _offload_one(self) -> None:
+        t0 = time.perf_counter()
+        ok = self.remote.submit()
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            if ok and elapsed <= self.deadline:
+                self._offload_success += 1
+            else:
+                self._timeouts += 1
+                self._t_window.record(1)
+
+    def _local_one(self) -> None:
+        try:
+            calibrated_spin(self.local_latency)
+            with self._lock:
+                self._local_done += 1
+        finally:
+            self._local_busy.clear()
+
+    def _measure_step(self, result: RealTimeResult, now: float) -> None:
+        period = self.measure_period
+        with self._lock:
+            attempts = self._offload_attempts / period
+            success = self._offload_success / period
+            local = self._local_done / period
+            t_last = self._timeouts / period
+            self._offload_attempts = 0
+            self._offload_success = 0
+            self._local_done = 0
+            self._timeouts = 0
+            self._t_window.close_bucket(period)
+            t_avg = self._t_window.average
+
+        measurement = Measurement(
+            time=now,
+            frame_rate=self.frame_rate,
+            offload_target=self.splitter.target,
+            offload_rate=attempts,
+            offload_success_rate=success,
+            timeout_rate=t_avg,
+            timeout_rate_last=t_last,
+            local_rate=local,
+            throughput=success + local,
+        )
+        target = self.controller.update(measurement)
+        self.splitter.set_target(target)
+
+        result.times.append(now)
+        result.offload_target.append(self.splitter.target)
+        result.throughput.append(success + local)
+        result.timeout_rate.append(t_last)
+        result.local_rate.append(local)

@@ -1,0 +1,103 @@
+"""Wall-clock condition schedules for the real-time runtime.
+
+The simulator drives its links through
+:class:`~repro.netem.schedule.NetworkSchedule`; this is the same idea
+for :class:`~repro.realtime.fakework.FakeRemote` — a background thread
+applies :class:`RemoteConditions` phases at wall-clock offsets, so
+real-time experiments get reproducible degradation timelines instead
+of hand-written ``time.sleep`` choreography.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.realtime.fakework import FakeRemote, RemoteConditions
+
+
+@dataclass(frozen=True)
+class RemotePhase:
+    """Conditions in force from ``start`` seconds after install."""
+
+    start: float
+    conditions: RemoteConditions
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"phase start must be >= 0, got {self.start}")
+
+
+class RemoteSchedule:
+    """A timeline of remote conditions, driven by a daemon thread."""
+
+    def __init__(self, phases: Sequence[RemotePhase]) -> None:
+        if not phases:
+            raise ValueError("schedule needs at least one phase")
+        ordered = sorted(phases, key=lambda p: p.start)
+        if ordered[0].start != 0.0:
+            raise ValueError("first phase must start at t=0")
+        starts = [p.start for p in ordered]
+        if len(set(starts)) != len(starts):
+            raise ValueError("duplicate phase start times")
+        self.phases: List[RemotePhase] = list(ordered)
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "RemoteSchedule":
+        """Build from ``(start, latency, jitter, failure_prob)`` rows."""
+        return cls(
+            [
+                RemotePhase(
+                    float(start),
+                    RemoteConditions(
+                        latency=float(latency),
+                        jitter=float(jitter),
+                        failure_probability=float(fail),
+                    ),
+                )
+                for start, latency, jitter, fail in rows
+            ]
+        )
+
+    def conditions_at(self, t: float) -> RemoteConditions:
+        current = self.phases[0].conditions
+        for phase in self.phases:
+            if phase.start <= t:
+                current = phase.conditions
+            else:
+                break
+        return current
+
+    # ------------------------------------------------------------------
+    def install(self, remote: FakeRemote) -> "RemoteSchedule":
+        """Start driving ``remote``; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("schedule already installed")
+        self._stop.clear()
+
+        def driver() -> None:
+            t0 = time.perf_counter()
+            remote.set_conditions(self.phases[0].conditions)
+            for phase in self.phases[1:]:
+                while not self._stop.is_set():
+                    remaining = phase.start - (time.perf_counter() - t0)
+                    if remaining <= 0:
+                        break
+                    time.sleep(min(remaining, 0.05))
+                if self._stop.is_set():
+                    return
+                remote.set_conditions(phase.conditions)
+
+        self._thread = threading.Thread(target=driver, name="remote-schedule", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

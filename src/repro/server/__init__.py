@@ -1,0 +1,26 @@
+"""Edge-server substrate: multi-tenant GPU inference with adaptive batching.
+
+Implements §IV-A of the paper: the server keeps a request queue per
+model that fills *while the previous batch executes*; the next batch is
+formed from that queue up to a 15-frame cap, and the remainder of the
+queue is **rejected** (not delayed).  A single GPU executes batches
+serially with an affine batch-latency model; multi-tenancy is simply
+many clients feeding the same queues, which is what makes server load
+(`T_l`) a distinct timeout source from networking (`T_n`).
+"""
+
+from repro.server.batching import AdaptiveBatcher, BatchPolicy
+from repro.server.gpu import GpuExecutor
+from repro.server.requests import InferenceRequest, RequestOutcome, Response
+from repro.server.server import EdgeServer, ServerStats
+
+__all__ = [
+    "AdaptiveBatcher",
+    "BatchPolicy",
+    "EdgeServer",
+    "GpuExecutor",
+    "InferenceRequest",
+    "RequestOutcome",
+    "Response",
+    "ServerStats",
+]

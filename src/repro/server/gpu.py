@@ -1,0 +1,53 @@
+"""The GPU executor: serial batch execution with the affine cost model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.latency import GpuBatchModel
+from repro.models.zoo import ModelSpec
+from repro.sim.core import Environment
+
+
+class GpuExecutor:
+    """One GPU executing inference batches serially.
+
+    The executor is deliberately *not* a shared Resource: the server's
+    single service loop owns it, matching the paper's design where one
+    process drains the request queue batch by batch.  Utilization
+    accounting is kept so experiments can report GPU busy fraction.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        cost_model: Optional[GpuBatchModel] = None,
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.cost_model = cost_model or GpuBatchModel()
+        self.busy_seconds = 0.0
+        self.batches_run = 0
+        self.frames_run = 0
+
+    def execute(self, model: ModelSpec, batch_size: int):
+        """Process generator: occupy the GPU for one batch.
+
+        Usage (from the server's service loop)::
+
+            yield from gpu.execute(model_spec, len(batch))
+        """
+        duration = self.cost_model.sample(model, batch_size, self.rng)
+        yield self.env.timeout(duration)
+        self.busy_seconds += duration
+        self.batches_run += 1
+        self.frames_run += batch_size
+
+    def utilization(self, elapsed: float) -> float:
+        """GPU busy fraction over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / elapsed)

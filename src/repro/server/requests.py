@@ -1,0 +1,68 @@
+"""Request/response records exchanged between devices and the server."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+_request_ids = itertools.count()
+
+
+class RequestOutcome(enum.Enum):
+    """Terminal states of an offload request, as the server saw it."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"  # dropped at batch formation (queue overflow)
+
+
+@dataclass
+class InferenceRequest:
+    """One frame's inference request as it arrives at the server.
+
+    ``respond`` is invoked exactly once, at the server-side completion
+    (or rejection) instant, with the :class:`Response`.  For offloading
+    devices the callback pushes the response onto the downlink; for
+    background tenants it just counts.
+    """
+
+    tenant: str
+    model_name: str
+    sent_at: float
+    payload_bytes: int
+    respond: Callable[["Response"], None]
+    frame_id: int = -1
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    arrived_at: Optional[float] = None
+    #: optional absolute deadline hint (client clock).  The paper's
+    #: system does not ship one; the DEADLINE_AWARE batch policy uses
+    #: it to shed frames that are already doomed instead of spending
+    #: GPU time producing answers nobody can use.
+    deadline_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative payload {self.payload_bytes}")
+
+
+@dataclass(frozen=True)
+class Response:
+    """The server's answer to one request."""
+
+    request_id: int
+    frame_id: int
+    tenant: str
+    outcome: RequestOutcome
+    completed_at: float
+    batch_size: int = 0
+    queue_wait: float = 0.0
+    #: when the request reached the server (for latency attribution)
+    arrived_at: float = 0.0
+    #: classification result placeholder (label index); carries no
+    #: semantics in the simulation but keeps the wire format honest
+    label: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is RequestOutcome.COMPLETED

@@ -1,0 +1,168 @@
+"""The multi-tenant edge server (§II-A, §IV-A).
+
+One service loop drains per-model :class:`AdaptiveBatcher` queues in
+round-robin order and runs each batch on the single
+:class:`GpuExecutor`.  Responses (completions *and* rejections) are
+delivered through each request's ``respond`` callback at the instant
+the server knows the outcome — rejections at batch formation,
+completions at batch end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.latency import GpuBatchModel
+from repro.models.zoo import ModelSpec, get_model
+from repro.server.batching import AdaptiveBatcher, BatchPolicy, DEFAULT_BATCH_LIMIT
+from repro.server.gpu import GpuExecutor
+from repro.server.requests import InferenceRequest, RequestOutcome, Response
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters, also broken out per tenant."""
+
+    received: int = 0
+    completed: int = 0
+    rejected: int = 0
+    per_tenant_received: Dict[str, int] = field(default_factory=dict)
+    per_tenant_completed: Dict[str, int] = field(default_factory=dict)
+    per_tenant_rejected: Dict[str, int] = field(default_factory=dict)
+
+    def _bump(self, table: Dict[str, int], tenant: str) -> None:
+        table[tenant] = table.get(tenant, 0) + 1
+
+
+class EdgeServer:
+    """GPU-equipped edge server shared by many devices."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: np.random.Generator,
+        cost_model: Optional[GpuBatchModel] = None,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+        batch_policy: BatchPolicy = BatchPolicy.FIFO,
+        name: str = "edge-server",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.gpu = GpuExecutor(env, rng, cost_model)
+        self.batch_limit = batch_limit
+        self.batch_policy = batch_policy
+        self.stats = ServerStats()
+        self._batchers: Dict[str, AdaptiveBatcher] = {}
+        self._models: Dict[str, ModelSpec] = {}
+        self._wakeup: Optional[Event] = None
+        self._paused_until = 0.0
+        env.process(self._service_loop(), name=f"{name}:service")
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> None:
+        """Accept a request (called at its network-arrival instant)."""
+        request.arrived_at = self.env.now
+        self.stats.received += 1
+        self.stats._bump(self.stats.per_tenant_received, request.tenant)
+        batcher = self._batchers.get(request.model_name)
+        if batcher is None:
+            batcher = AdaptiveBatcher(self.batch_limit, self.batch_policy)
+            self._batchers[request.model_name] = batcher
+            self._models[request.model_name] = get_model(request.model_name)
+        batcher.enqueue(request)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def pause(self, duration: float) -> None:
+        """Stall the service loop for ``duration`` seconds.
+
+        Models §II-A.3's "limited offloading availability" in its
+        bluntest form: the GPU stops draining (driver hiccup, victim of
+        a co-located job, restart).  Requests keep *arriving* and
+        accumulate in the batchers; on resume, batch formation rejects
+        the overflow — exactly the rejection burst a real stall causes.
+        """
+        if duration < 0:
+            raise ValueError(f"negative pause duration {duration}")
+        self._paused_until = max(self._paused_until, self.env.now + duration)
+        # wake the loop so it notices the pause boundary precisely
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    @property
+    def paused(self) -> bool:
+        return self.env.now < self._paused_until
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def queue_depth(self, model_name: Optional[str] = None) -> int:
+        if model_name is not None:
+            batcher = self._batchers.get(model_name)
+            return batcher.pending if batcher else 0
+        return sum(b.pending for b in self._batchers.values())
+
+    # ------------------------------------------------------------------
+    # service loop
+    # ------------------------------------------------------------------
+    def _service_loop(self):
+        env = self.env
+        while True:
+            if env.now < self._paused_until:
+                yield env.timeout(self._paused_until - env.now)
+                continue
+            ran_any = False
+            # Round-robin across models with pending work; each model
+            # gets one batch per sweep so a heavy model cannot starve
+            # a light one (§IV-C.2: "we hit both model types").
+            for model_name in list(self._batchers):
+                batcher = self._batchers[model_name]
+                if not batcher.pending:
+                    continue
+                ran_any = True
+                batch, rejected = batcher.form_batch(now=env.now)
+                now = env.now
+                for req in rejected:
+                    self._respond(req, RequestOutcome.REJECTED, batch_size=0)
+                spec = self._models[model_name]
+                yield from self.gpu.execute(spec, len(batch))
+                for req in batch:
+                    self._respond(req, RequestOutcome.COMPLETED, batch_size=len(batch))
+            if not ran_any:
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+
+    def _respond(
+        self, req: InferenceRequest, outcome: RequestOutcome, batch_size: int
+    ) -> None:
+        now = self.env.now
+        if outcome is RequestOutcome.COMPLETED:
+            self.stats.completed += 1
+            self.stats._bump(self.stats.per_tenant_completed, req.tenant)
+        else:
+            self.stats.rejected += 1
+            self.stats._bump(self.stats.per_tenant_rejected, req.tenant)
+        arrived = req.arrived_at if req.arrived_at is not None else now
+        response = Response(
+            request_id=req.request_id,
+            frame_id=req.frame_id,
+            tenant=req.tenant,
+            outcome=outcome,
+            completed_at=now,
+            batch_size=batch_size,
+            queue_wait=max(0.0, now - arrived),
+            arrived_at=arrived,
+            label=req.request_id % 1000,
+        )
+        req.respond(response)

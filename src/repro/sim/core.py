@@ -1,0 +1,172 @@
+"""The simulation environment: clock, event heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventPriority,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Execution environment for a deterministic event-driven simulation.
+
+    Time is a ``float`` in *seconds* (the natural unit for this paper:
+    frame periods, deadlines and controller steps are all expressed in
+    seconds).  Events at equal timestamps are ordered by
+    ``(priority, insertion sequence)`` so runs are fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        # heap entries: (time, priority, seq, event)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def queue_size(self) -> int:
+        """Number of scheduled-but-unprocessed events (introspection)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling / run loop
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        priority: int = EventPriority.NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Put a triggered event on the heap, ``delay`` seconds ahead."""
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, int(priority), self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - heap guarantees monotonicity
+            raise RuntimeError("time went backwards")
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An error nobody waited on: surface it rather than lose it.
+            exc = event.value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        * ``until=None``: run until no events remain.
+        * ``until=<number>``: run until simulation time reaches it (the
+          clock is advanced to exactly that time on return).
+        * ``until=<Event>``: run until the event fires; returns its
+          value (raising if it failed).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise ValueError(
+                        f"until={horizon:g} is in the past (now={self._now:g})"
+                    )
+                stop = Event(self)
+                # LOW priority: events *at* the horizon still fire first.
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, priority=EventPriority.LOW, delay=horizon - self._now)
+            stop.add_callback(self._stop_callback)
+
+        try:
+            while True:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    break
+        except StopSimulation as exc:
+            return exc.value
+        finally:
+            if stop is not None and not stop.processed:
+                stop.remove_callback(self._stop_callback)
+
+        if stop is not None and not stop.triggered:
+            raise RuntimeError(
+                "run() finished with no events left, but the 'until' event "
+                f"{stop!r} never fired"
+            )
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event.ok:
+            raise StopSimulation(event.value)
+        event.defuse()
+        raise event.value

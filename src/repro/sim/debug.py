@@ -1,0 +1,74 @@
+"""Kernel introspection: event accounting for debugging simulations.
+
+Attach a :class:`KernelStats` probe to an environment to count events
+processed per priority and per event type, sample heap depth, and keep
+a bounded ring of the most recent events — the first things one wants
+when a simulation stalls or explodes.
+
+The probe monkey-wraps ``Environment.step`` (the kernel stays free of
+instrumentation branches on the hot path when no probe is attached).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Tuple
+
+from repro.sim.core import Environment
+
+
+@dataclass
+class KernelStats:
+    """Aggregate counters collected by :class:`KernelProbe`."""
+
+    events_processed: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    by_priority: Counter = field(default_factory=Counter)
+    max_heap_depth: int = 0
+    #: (time, event type name) of the most recent events
+    recent: Deque[Tuple[float, str]] = field(default_factory=lambda: deque(maxlen=64))
+
+    def summary(self) -> str:
+        top = ", ".join(f"{name}:{n}" for name, n in self.by_type.most_common(5))
+        return (
+            f"{self.events_processed} events, max heap {self.max_heap_depth}, "
+            f"top types: {top}"
+        )
+
+
+class KernelProbe:
+    """Context manager instrumenting one environment's step loop."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.stats = KernelStats()
+        self._original_step = None
+
+    def __enter__(self) -> "KernelProbe":
+        if self._original_step is not None:
+            raise RuntimeError("probe already attached")
+        self._original_step = self.env.step
+        stats = self.stats
+        env = self.env
+        original = self._original_step
+
+        def step() -> None:
+            depth = env.queue_size()
+            if depth > stats.max_heap_depth:
+                stats.max_heap_depth = depth
+            if env._queue:
+                when, prio, _seq, event = env._queue[0]
+                stats.by_type[type(event).__name__] += 1
+                stats.by_priority[prio] += 1
+                stats.recent.append((when, type(event).__name__))
+            stats.events_processed += 1
+            original()
+
+        self.env.step = step  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._original_step is not None:
+            self.env.step = self._original_step  # type: ignore[method-assign]
+            self._original_step = None

@@ -1,0 +1,261 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is a one-shot occurrence in virtual time.  Processes
+(generators) yield events to suspend until the event fires; arbitrary
+callbacks may also be attached.  Events carry a *value* (on success) or
+an *exception* (on failure), mirroring the future/promise pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.core import Environment
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break ordering for events scheduled at the same timestamp.
+
+    Lower values fire first.  ``URGENT`` is reserved for kernel
+    bookkeeping (e.g. process resumption after an interrupt), ``HIGH``
+    for resource handoffs, ``NORMAL`` for everything else.
+    """
+
+    URGENT = 0
+    HIGH = 1
+    NORMAL = 2
+    LOW = 3
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when another process interrupts it.
+
+    The interrupting party supplies ``cause``, available via
+    :attr:`cause` inside the interrupted process's ``except`` block.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class _Pending:
+    """Sentinel for "event has no value yet"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle: *pending* → ``succeed(value)`` or ``fail(exc)`` →
+    *triggered* (scheduled on the event heap) → *processed* (callbacks
+    ran).  Events may only be triggered once; re-triggering raises
+    ``RuntimeError``.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: callables invoked with this event when it is processed
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        # A failed event whose exception was delivered to at least one
+        # waiter is "defused"; undefused failures crash the run so
+        # errors are never silently dropped.
+        self._defused = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the heap."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        if self._value is PENDING:
+            raise RuntimeError("event not yet triggered")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it won't crash the run."""
+        self._defused = True
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = EventPriority.NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = EventPriority.NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (callback form)."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defuse()
+            self.fail(event.value)
+
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; runs immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    # ------------------------------------------------------------------
+    # composition sugar: (a & b) waits for both, (a | b) for either
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        if not isinstance(other, Event):
+            return NotImplemented
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        if not isinstance(other, Event):
+            return NotImplemented
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now:g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=EventPriority.NORMAL, delay=self.delay)
+
+
+class Condition(Event):
+    """Composite event over several sub-events.
+
+    Fires when ``evaluate(events, n_done)`` returns True.  The value is
+    an ordered dict-like mapping of the *triggered* sub-events to their
+    values (insertion order = construction order).
+    """
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise ValueError("events belong to different environments")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # Note: ``processed``, not ``triggered`` — Timeouts carry their
+        # value from construction, so ``triggered`` is true before they
+        # actually fire.
+        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(self._count, len(self._events)):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Fires when at least one sub-event has fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self, count: int, total: int) -> bool:
+        return count >= 1

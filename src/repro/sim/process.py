@@ -1,0 +1,135 @@
+"""Generator-coroutine processes for the DES kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, EventPriority, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Process(Event):
+    """A running activity, driven by a Python generator.
+
+    The generator yields :class:`Event` objects; the process suspends
+    until each yielded event fires, then resumes with the event's value
+    (or has the event's exception thrown into it on failure).  A
+    process is itself an event: it fires with the generator's return
+    value when the generator finishes, so processes can wait on each
+    other (fork/join).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None if ready)
+        self._target: Optional[Event] = None
+        # Kick-start: resume at the current time, before normal events
+        # at this instant settle, so a freshly spawned process can react
+        # to the same-instant world state.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        env.schedule(init, priority=EventPriority.URGENT)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process is resumed immediately (URGENT priority) at the
+        current simulation time.  Interrupting a finished process is an
+        error; interrupting a process twice before it handles the first
+        interrupt queues both.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.add_callback(self._resume)
+        self.env.schedule(interrupt_ev, priority=EventPriority.URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+
+        # Detach from the event we were waiting on (it may differ from
+        # `event` if this resumption is an interrupt).
+        if self._target is not None and self._target is not event:
+            self._target.remove_callback(self._resume)
+        self._target = None
+
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # Mark delivered so the kernel doesn't treat the failure
+                # as unhandled; the generator may still re-raise.
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value, priority=EventPriority.NORMAL)
+            return
+        except Interrupt as exc:
+            # The process let an interrupt escape: treat as failure.
+            env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self.fail(exc)
+            return
+
+        env._active_process = None
+
+        if not isinstance(result, Event):
+            raise RuntimeError(
+                f"process {self.name!r} yielded a non-event: {result!r}"
+            )
+        if result.callbacks is None:
+            # Already processed: resume immediately at this instant.
+            ev = Event(env)
+            if result._ok:
+                ev._ok, ev._value = True, result._value
+            else:
+                result._defused = True
+                ev._ok, ev._value = False, result._value
+                ev._defused = True
+            ev.add_callback(self._resume)
+            env.schedule(ev, priority=EventPriority.URGENT)
+        else:
+            result.add_callback(self._resume)
+            self._target = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if not self.triggered else "done"
+        return f"<Process {self.name!r} {state}>"

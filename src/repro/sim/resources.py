@@ -1,0 +1,161 @@
+"""Counted shared resources with FIFO / priority queueing.
+
+Used by the server substrate (GPU executor slots) and the device
+substrate (local CPU).  A :class:`Resource` hands out up to
+``capacity`` concurrent holds; excess requests queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.sim.events import Event, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Preempted(Exception):
+    """Delivered (as interrupt cause) to a preempted resource holder."""
+
+    def __init__(self, by: "Request", usage_since: float) -> None:
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Supports the context-manager protocol so the common pattern is::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+        # released on exit
+    """
+
+    __slots__ = ("resource", "priority", "time", "process")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.time = resource.env.now
+        #: the process that issued the request (preemption target)
+        self.process = resource.env.active_process
+        resource._request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request / release a granted one."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cancel()
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self._waiting: List[Tuple[int, int, Request]] = []  # heap
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Give back a granted unit (or withdraw a queued request)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            # Lazy removal from the wait heap.
+            for i, (_p, _s, queued) in enumerate(self._waiting):
+                if queued is request:
+                    del self._waiting[i]
+                    heapq.heapify(self._waiting)
+                    break
+
+    # ------------------------------------------------------------------
+    def _request(self, request: Request) -> None:
+        if len(self.users) < self.capacity and not self._waiting:
+            self._grant(request)
+        else:
+            heapq.heappush(self._waiting, (request.priority, self._seq, request))
+            self._seq += 1
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.succeed(None, priority=EventPriority.HIGH)
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            _prio, _seq, request = heapq.heappop(self._waiting)
+            self._grant(request)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by request priority.
+
+    Lower ``priority`` values are served first; ties are FIFO.  Used
+    for the server's admission policy experiments (fair rejection gives
+    tenants equal priority; weighted policies do not).
+    """
+
+    def request(self, priority: int = 0) -> Request:  # noqa: D102 - inherited
+        return Request(self, priority)
+
+
+class PreemptiveResource(PriorityResource):
+    """A priority resource where urgent requests evict current holders.
+
+    When a request arrives with strictly higher priority (lower value)
+    than the lowest-priority current holder and no capacity is free,
+    that holder's process is interrupted with a :class:`Preempted`
+    cause and its claim released.  The preempted process decides
+    whether to re-request, give up, or clean up — as with operating
+    system preemption, policy lives with the victim.
+    """
+
+    def _request(self, request: Request) -> None:
+        if len(self.users) >= self.capacity and not self._waiting:
+            victim = self._preemption_victim(request)
+            if victim is not None:
+                self._preempt(victim, by=request)
+        super()._request(request)
+
+    def _preemption_victim(self, request: Request) -> Optional[Request]:
+        """Lowest-priority holder strictly below the new request."""
+        if not self.users:
+            return None
+        worst = max(self.users, key=lambda r: (r.priority, r.time))
+        if worst.priority > request.priority:
+            return worst
+        return None
+
+    def _preempt(self, victim: Request, by: Request) -> None:
+        self.users.remove(victim)
+        holder = getattr(victim, "process", None)
+        if holder is not None and not holder.triggered:
+            holder.interrupt(Preempted(by=by, usage_since=victim.time))

@@ -1,0 +1,119 @@
+"""Bounded FIFO stores (producer/consumer queues) for the DES kernel.
+
+The server's request queue and the device's frame pipelines are
+:class:`Store` instances.  Unlike SimPy's blocking ``put``, this store
+also exposes :meth:`try_put` — non-blocking put with overflow rejection
+— because the paper's batching scheme *rejects* frames beyond the queue
+cap rather than back-pressuring the network (§IV-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.sim.events import Event, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class StoreFull(Exception):
+    """Raised by blocking put on a full store in strict mode."""
+
+
+class StorePut(Event):
+    """Pending blocking put; fires when the item has been accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._settle()
+
+
+class StoreGet(Event):
+    """Pending get; fires with the next item."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_waiters.append(self)
+        store._settle()
+
+
+class Store:
+    """A FIFO buffer of Python objects with optional capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Blocking put: fires once the item fits."""
+        return StorePut(self, item)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put.  Returns False (rejecting) if full."""
+        if self.is_full and not self._get_waiters:
+            return False
+        StorePut(self, item)
+        return True
+
+    def get(self) -> StoreGet:
+        """Blocking get: fires with the oldest item."""
+        return StoreGet(self)
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get.  Returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._settle()
+        return item
+
+    def drain(self, limit: Optional[int] = None) -> List[Any]:
+        """Remove and return up to ``limit`` items (all if None).
+
+        This is the primitive behind the paper's adaptive batching:
+        "fill the next batch with the contents of this queue".
+        """
+        n = len(self.items) if limit is None else min(limit, len(self.items))
+        out = [self.items.popleft() for _ in range(n)]
+        if out:
+            self._settle()
+        return out
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Match waiting puts with free space and waiting gets with items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            # admit puts while space allows
+            while self._put_waiters and len(self.items) < self.capacity:
+                put = self._put_waiters.pop(0)
+                self.items.append(put.item)
+                put.succeed(None, priority=EventPriority.HIGH)
+                progressed = True
+            # serve gets while items exist
+            while self._get_waiters and self.items:
+                get = self._get_waiters.pop(0)
+                get.succeed(self.items.popleft(), priority=EventPriority.HIGH)
+                progressed = True

@@ -1,0 +1,11 @@
+"""Terminal visualization: multi-series line charts and histograms.
+
+The report module's sparklines are one-line densities; this package
+renders full charts (y-axis, gridline, legend, multi-series markers)
+so the paper's figures are readable directly in a terminal — used by
+``framefeedback fig3 --plot`` style output and the examples.
+"""
+
+from repro.viz.chart import histogram, line_chart
+
+__all__ = ["histogram", "line_chart"]

@@ -1,0 +1,114 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.timeseries import TimeSeries
+
+#: per-series plot markers, assigned in insertion order
+MARKERS = "o*x+#@%&"
+
+
+def _resample_to_columns(series: TimeSeries, t0: float, t1: float, width: int) -> np.ndarray:
+    """Column-averaged values of ``series`` over [t0, t1]."""
+    t, v = series.times, series.values
+    out = np.full(width, np.nan)
+    if len(series) == 0 or t1 <= t0:
+        return out
+    edges = np.linspace(t0, t1, width + 1)
+    idx = np.searchsorted(t, edges)
+    for c in range(width):
+        seg = v[idx[c] : idx[c + 1]]
+        if seg.size:
+            out[c] = seg.mean()
+        elif idx[c] > 0:  # zero-order hold through gaps
+            out[c] = v[idx[c] - 1]
+    return out
+
+
+def line_chart(
+    series: Dict[str, TimeSeries],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_max: Optional[float] = None,
+    y_min: float = 0.0,
+) -> str:
+    """Render several time series as one overlaid ASCII chart.
+
+    Later series draw over earlier ones in marker collisions, so list
+    the most important series last.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be legible")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+
+    t0 = min((float(s.times[0]) for s in series.values() if len(s)), default=0.0)
+    t1 = max((float(s.times[-1]) for s in series.values() if len(s)), default=1.0)
+    top = y_max
+    if top is None:
+        top = max(
+            (float(np.nanmax(s.values)) for s in series.values() if len(s)),
+            default=1.0,
+        )
+    top = max(top, y_min + 1e-9)
+
+    grid = np.full((height, width), " ", dtype="<U1")
+    for (name, s), marker in zip(series.items(), MARKERS):
+        cols = _resample_to_columns(s, t0, t1, width)
+        for c, value in enumerate(cols):
+            if np.isnan(value):
+                continue
+            frac = (min(max(value, y_min), top) - y_min) / (top - y_min)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row, c] = marker
+
+    label_w = 8
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        frac = (height - 1 - r) / (height - 1)
+        y_val = y_min + frac * (top - y_min)
+        label = f"{y_val:7.1f} " if r % max(height // 4, 1) == 0 or r == height - 1 else " " * label_w
+        lines.append(label + "|" + "".join(grid[r]))
+    axis = " " * label_w + "+" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_w
+        + f"t={t0:.0f}s"
+        + " " * max(1, width - len(f"t={t0:.0f}s") - len(f"t={t1:.0f}s"))
+        + f"t={t1:.0f}s"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _s), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(" " * label_w + legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """A horizontal ASCII histogram."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("nothing to plot")
+    if bins < 1:
+        raise ValueError(f"need >= 1 bin, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:9.3f}, {hi:9.3f}) {bar} {count}")
+    return "\n".join(lines)

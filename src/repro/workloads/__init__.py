@@ -1,0 +1,38 @@
+"""Workload generation: background tenants and the paper's schedules."""
+
+from repro.workloads.faults import OutageSchedule, OutageWindow
+from repro.workloads.loadgen import BackgroundLoad, LoadSchedule, LoadPhase
+from repro.workloads.mobility import (
+    RadioModel,
+    Trajectory,
+    Waypoint,
+    mobility_schedule,
+    patrol_loop,
+)
+from repro.workloads.schedules import (
+    FIG2_LOSS_INJECTION,
+    TABLE_V_NETWORK,
+    TABLE_VI_LOAD,
+    table_v_schedule,
+    table_vi_schedule,
+)
+from repro.workloads.video import VideoContentModel
+
+__all__ = [
+    "BackgroundLoad",
+    "FIG2_LOSS_INJECTION",
+    "LoadPhase",
+    "LoadSchedule",
+    "OutageSchedule",
+    "OutageWindow",
+    "RadioModel",
+    "TABLE_V_NETWORK",
+    "TABLE_VI_LOAD",
+    "Trajectory",
+    "VideoContentModel",
+    "Waypoint",
+    "mobility_schedule",
+    "patrol_loop",
+    "table_v_schedule",
+    "table_vi_schedule",
+]

@@ -1,0 +1,166 @@
+"""Background tenant load: the §IV-C.2 server-load injector.
+
+The paper injects multi-tenant load by having *other devices* send
+request volume while the measured Pi runs.  Those devices have their
+own (unshaped) network paths, so the injector submits requests to the
+server directly with a small fixed network delay — the measured
+device's shaped uplink is never shared with them, matching the paper's
+topology where NetEm shapes only the Pi under test.
+
+Arrivals are Poisson at the scheduled rate, alternating between the
+two model families the paper notes it hits ("batch size limits are set
+per model, so we hit both model types", §IV-C.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.server.requests import InferenceRequest, Response
+from repro.server.server import EdgeServer
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One row of Table VI: ``rate`` requests/s from ``start`` onward."""
+
+    start: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"phase start must be >= 0, got {self.start}")
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+
+
+class LoadSchedule:
+    """Piecewise-constant background request rate."""
+
+    def __init__(self, phases: Sequence[LoadPhase]) -> None:
+        if not phases:
+            raise ValueError("schedule needs at least one phase")
+        ordered = sorted(phases, key=lambda p: p.start)
+        if ordered[0].start != 0.0:
+            raise ValueError("first phase must start at t=0")
+        starts = [p.start for p in ordered]
+        if len(set(starts)) != len(starts):
+            raise ValueError("duplicate phase start times")
+        self.phases: List[LoadPhase] = list(ordered)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "LoadSchedule":
+        """Build from ``(start, rate)`` tuples."""
+        return cls([LoadPhase(start=float(s), rate=float(r)) for s, r in rows])
+
+    def rate_at(self, t: float) -> float:
+        rate = self.phases[0].rate
+        for phase in self.phases:
+            if phase.start <= t:
+                rate = phase.rate
+            else:
+                break
+        return rate
+
+    @property
+    def change_times(self) -> List[float]:
+        return [p.start for p in self.phases]
+
+    @property
+    def peak_rate(self) -> float:
+        return max(p.rate for p in self.phases)
+
+
+class BackgroundLoad:
+    """Poisson background request stream driven by a :class:`LoadSchedule`."""
+
+    #: fixed one-way delay of the (unshaped) background tenants' network
+    NETWORK_DELAY = 0.006
+
+    def __init__(
+        self,
+        env: Environment,
+        server: EdgeServer,
+        schedule: LoadSchedule,
+        rng: np.random.Generator,
+        model_names: Sequence[str] = ("mobilenet_v3_small", "efficientnet_b0"),
+        payload_bytes: int = 11_700,
+        tenant_prefix: str = "bg",
+        n_tenants: int = 8,
+    ) -> None:
+        if not model_names:
+            raise ValueError("need at least one model")
+        if n_tenants < 1:
+            raise ValueError(f"need >= 1 tenant, got {n_tenants}")
+        self.env = env
+        self.server = server
+        self.schedule = schedule
+        self.rng = rng
+        self.model_names = list(model_names)
+        self.payload_bytes = payload_bytes
+        self.tenants = [f"{tenant_prefix}{i}" for i in range(n_tenants)]
+        self.sent = 0
+        self.completed = 0
+        self.rejected = 0
+        self._counter = 0
+        env.process(self._run(), name="background-load")
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        """Poisson arrivals; exact across rate changes.
+
+        Because the exponential is memoryless, discarding an arrival
+        that would land past the next schedule boundary and resampling
+        at the boundary's new rate yields an exact piecewise-Poisson
+        process.
+        """
+        env = self.env
+        while True:
+            rate = self.schedule.rate_at(env.now)
+            next_change = self._next_change_after(env.now)
+            if rate <= 0:
+                if next_change == float("inf"):
+                    return  # schedule ended at rate 0: nothing left to do
+                yield env.timeout(next_change - env.now)
+                continue
+            gap = self.rng.exponential(1.0 / rate)
+            if env.now + gap >= next_change:
+                yield env.timeout(next_change - env.now)
+                continue
+            yield env.timeout(gap)
+            self._submit_one()
+
+    def _next_change_after(self, now: float) -> float:
+        for t in self.schedule.change_times:
+            if t > now + 1e-12:
+                return t
+        return float("inf")
+
+    def _submit_one(self) -> None:
+        self._counter += 1
+        self.sent += 1
+        model = self.model_names[self._counter % len(self.model_names)]
+        tenant = self.tenants[self._counter % len(self.tenants)]
+        request = InferenceRequest(
+            tenant=tenant,
+            model_name=model,
+            sent_at=self.env.now,
+            payload_bytes=self.payload_bytes,
+            respond=self._on_response,
+            frame_id=self._counter,
+        )
+        self.env.process(self._deliver(request))
+
+    def _deliver(self, request: InferenceRequest):
+        yield self.env.timeout(self.NETWORK_DELAY)
+        self.server.submit(request)
+
+    def _on_response(self, response: Response) -> None:
+        if response.ok:
+            self.completed += 1
+        else:
+            self.rejected += 1

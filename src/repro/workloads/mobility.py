@@ -1,0 +1,179 @@
+"""Mobility-driven network conditions (§II-A.4).
+
+    "Most edge devices connect to the network wirelessly.  Movement
+    and sources of interference can make connections unreliable."
+
+Table V injects that unreliability by hand; this module derives it
+from *motion*: a device follows a waypoint trajectory, and its link
+quality follows the distance to the access point through a standard
+log-distance path-loss model —
+
+``bandwidth(d) = bw_ref * (d_ref / d) ^ (exponent / 2)``
+
+(throughput scales roughly with SNR, SNR falls with distance to the
+path-loss exponent; the square root folds the log2(1+SNR) flattening
+into a single effective exponent).  Past ``loss_onset`` the packet
+loss rate grows linearly toward the coverage edge, as links do when
+they fall back through MCS rates and start dropping frames.
+
+The output is an ordinary :class:`NetworkSchedule`, so a walking
+security guard or a patrolling drone plugs into every existing
+experiment unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.netem.link import LinkConditions
+from repro.netem.schedule import NetworkSchedule, SchedulePhase
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """Device position ``(x, y)`` metres at time ``t`` seconds."""
+
+    t: float
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError(f"waypoint time must be >= 0, got {self.t}")
+
+
+class Trajectory:
+    """Piecewise-linear motion through waypoints."""
+
+    def __init__(self, waypoints: Sequence[Waypoint]) -> None:
+        if len(waypoints) < 1:
+            raise ValueError("need at least one waypoint")
+        ordered = sorted(waypoints, key=lambda w: w.t)
+        times = [w.t for w in ordered]
+        if len(set(times)) != len(times):
+            raise ValueError("duplicate waypoint times")
+        if ordered[0].t != 0.0:
+            raise ValueError("first waypoint must be at t=0")
+        self.waypoints: List[Waypoint] = list(ordered)
+
+    @property
+    def duration(self) -> float:
+        return self.waypoints[-1].t
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        """Linear interpolation; clamped at the ends."""
+        ws = self.waypoints
+        if t <= ws[0].t:
+            return ws[0].x, ws[0].y
+        if t >= ws[-1].t:
+            return ws[-1].x, ws[-1].y
+        for a, b in zip(ws, ws[1:]):
+            if a.t <= t <= b.t:
+                frac = (t - a.t) / (b.t - a.t)
+                return (a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def distance_to(self, t: float, point: Tuple[float, float]) -> float:
+        x, y = self.position_at(t)
+        return math.hypot(x - point[0], y - point[1])
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Distance -> link-quality mapping."""
+
+    #: bandwidth units measured at the reference distance
+    bw_ref: float = 10.0
+    #: reference distance, metres
+    d_ref: float = 10.0
+    #: effective throughput-decay exponent (SNR path loss folded
+    #: through the rate curve; ~2-3 for indoor Wi-Fi)
+    exponent: float = 2.2
+    #: usable range bounds on the derived bandwidth
+    bw_floor: float = 0.5
+    bw_ceiling: float = 10.0
+    #: distance where loss starts, and where it reaches loss_max
+    loss_onset: float = 35.0
+    loss_edge: float = 70.0
+    loss_max: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.bw_ref <= 0 or self.d_ref <= 0 or self.exponent <= 0:
+            raise ValueError("bw_ref, d_ref and exponent must be positive")
+        if not 0 < self.bw_floor <= self.bw_ceiling:
+            raise ValueError("need 0 < bw_floor <= bw_ceiling")
+        if not 0 <= self.loss_onset < self.loss_edge:
+            raise ValueError("need 0 <= loss_onset < loss_edge")
+        if not 0 <= self.loss_max < 1:
+            raise ValueError("loss_max must be in [0, 1)")
+
+    def bandwidth_at(self, distance: float) -> float:
+        d = max(distance, 0.1)
+        bw = self.bw_ref * (self.d_ref / d) ** (self.exponent / 2.0)
+        return min(max(bw, self.bw_floor), self.bw_ceiling)
+
+    def loss_at(self, distance: float) -> float:
+        if distance <= self.loss_onset:
+            return 0.0
+        frac = min(1.0, (distance - self.loss_onset) / (self.loss_edge - self.loss_onset))
+        return self.loss_max * frac
+
+    def conditions_at(self, distance: float) -> LinkConditions:
+        return LinkConditions(
+            bandwidth=self.bandwidth_at(distance),
+            loss=self.loss_at(distance),
+        )
+
+
+def mobility_schedule(
+    trajectory: Trajectory,
+    ap_position: Tuple[float, float] = (0.0, 0.0),
+    radio: RadioModel = RadioModel(),
+    step: float = 2.0,
+    duration: "float | None" = None,
+) -> NetworkSchedule:
+    """Derive a network schedule from motion.
+
+    Samples the trajectory every ``step`` seconds and maps distance to
+    conditions through ``radio``.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    horizon = duration if duration is not None else max(trajectory.duration, step)
+    phases = []
+    t = 0.0
+    while t < horizon:
+        d = trajectory.distance_to(t, ap_position)
+        phases.append(SchedulePhase(t, radio.conditions_at(d)))
+        t += step
+    return NetworkSchedule(phases)
+
+
+def patrol_loop(
+    radius_near: float = 5.0,
+    radius_far: float = 45.0,
+    lap_seconds: float = 60.0,
+    laps: int = 2,
+) -> Trajectory:
+    """A guard's loop: walk away from the AP, around, and back.
+
+    Produces the out-and-back distance profile whose derived schedule
+    sweeps the link through every Table V regime each lap.
+    """
+    if radius_near <= 0 or radius_far <= radius_near:
+        raise ValueError("need 0 < radius_near < radius_far")
+    if lap_seconds <= 0 or laps < 1:
+        raise ValueError("need positive lap time and >= 1 lap")
+    waypoints = []
+    for lap in range(laps):
+        t0 = lap * lap_seconds
+        waypoints += [
+            Waypoint(t0, radius_near, 0.0),
+            Waypoint(t0 + lap_seconds * 0.4, radius_far, 0.0),
+            Waypoint(t0 + lap_seconds * 0.5, radius_far, radius_far * 0.3),
+            Waypoint(t0 + lap_seconds * 0.9, radius_near, radius_near),
+        ]
+    waypoints.append(Waypoint(laps * lap_seconds, radius_near, 0.0))
+    return Trajectory(waypoints)

@@ -1,0 +1,61 @@
+"""The paper's evaluation schedules, verbatim.
+
+* Table V — network conditions for the Fig 3 experiment;
+* Table VI — background request rate for the Fig 4 experiment;
+* Fig 2's impairment — 7 % packet loss injected at t = 27 s.
+"""
+
+from __future__ import annotations
+
+from repro.netem.link import LinkConditions
+from repro.netem.schedule import NetworkSchedule, SchedulePhase
+from repro.workloads.loadgen import LoadSchedule
+
+#: Table V rows: (start time s, bandwidth units, loss %)
+TABLE_V_NETWORK = (
+    (0.0, 10.0, 0.0),
+    (30.0, 4.0, 0.0),
+    (45.0, 1.0, 0.0),
+    (60.0, 10.0, 0.0),
+    (90.0, 10.0, 7.0),
+    (105.0, 4.0, 7.0),
+)
+
+#: Table VI rows: (start time s, background requests/s)
+TABLE_VI_LOAD = (
+    (0.0, 0.0),
+    (10.0, 90.0),
+    (20.0, 120.0),
+    (35.0, 135.0),
+    (50.0, 150.0),
+    (60.0, 130.0),
+    (75.0, 120.0),
+    (90.0, 90.0),
+    (100.0, 0.0),
+)
+
+#: Fig 2: ideal conditions, then 7 % loss "after 27 seconds"
+FIG2_LOSS_INJECTION = (
+    (0.0, 10.0, 0.0),
+    (27.0, 10.0, 7.0),
+)
+
+
+def table_v_schedule() -> NetworkSchedule:
+    """The Table V network schedule as a :class:`NetworkSchedule`."""
+    return NetworkSchedule.from_rows(TABLE_V_NETWORK)
+
+
+def table_vi_schedule() -> LoadSchedule:
+    """The Table VI load schedule as a :class:`LoadSchedule`."""
+    return LoadSchedule.from_rows(TABLE_VI_LOAD)
+
+
+def fig2_schedule() -> NetworkSchedule:
+    """Fig 2's loss-injection schedule."""
+    return NetworkSchedule.from_rows(FIG2_LOSS_INJECTION)
+
+
+def steady_schedule(conditions: LinkConditions) -> NetworkSchedule:
+    """A constant-conditions schedule (tuning runs, unit tests)."""
+    return NetworkSchedule([SchedulePhase(0.0, conditions)])

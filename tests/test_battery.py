@@ -1,0 +1,94 @@
+"""Tests for the battery/power model."""
+
+import pytest
+
+from repro.device.battery import BatteryAccountant, PowerModel, account_run
+from repro.device.energy import CpuUtilizationModel
+from repro.models.device_profiles import PI_4B_1_2
+
+
+def test_power_model_validation():
+    with pytest.raises(ValueError):
+        PowerModel(idle_watts=5.0, loaded_watts=2.0)
+    with pytest.raises(ValueError):
+        PowerModel(tx_joules_per_byte=-1)
+    pm = PowerModel()
+    with pytest.raises(ValueError):
+        pm.power(1.5)
+    with pytest.raises(ValueError):
+        pm.power(0.5, tx_bytes_per_s=-1)
+
+
+def test_power_linear_in_utilization():
+    pm = PowerModel(idle_watts=2.0, loaded_watts=6.0)
+    assert pm.power(0.0) == pytest.approx(2.0)
+    assert pm.power(1.0) == pytest.approx(6.0)
+    assert pm.power(0.5) == pytest.approx(4.0)
+
+
+def test_radio_energy_added():
+    pm = PowerModel(idle_watts=2.0, loaded_watts=2.0, tx_joules_per_byte=1e-6)
+    assert pm.power(0.0, tx_bytes_per_s=1_000_000) == pytest.approx(3.0)
+
+
+def test_offloading_wins_at_default_frame_size():
+    """§II-A.5 quantified: CPU savings dwarf the radio bill."""
+    pm = PowerModel()
+    cpu = CpuUtilizationModel(PI_4B_1_2)
+    local = pm.power(cpu.local_only_utilization())
+    offload = pm.power(
+        cpu.full_offload_utilization(30.0),
+        tx_bytes_per_s=30.0 * 11_700,
+        rx_bytes_per_s=30.0 * 160,
+    )
+    assert offload < local
+    # savings ~ 1 W against ~0.04 W of radio
+    assert local - offload > 0.8
+
+
+def test_radio_bill_can_flip_the_verdict():
+    """With enormous frames the radio exceeds the CPU savings."""
+    pm = PowerModel()
+    cpu = CpuUtilizationModel(PI_4B_1_2)
+    local = pm.power(cpu.local_only_utilization())
+    huge_frames = pm.power(
+        cpu.full_offload_utilization(30.0),
+        tx_bytes_per_s=30.0 * 20_000_000,  # ~20 MB frames (raw 4K-ish)
+    )
+    assert huge_frames > local
+
+
+def test_accountant_integrates():
+    acct = BatteryAccountant(PowerModel(), CpuUtilizationModel(PI_4B_1_2))
+    with pytest.raises(ValueError):
+        acct.step(0.0, 0.5, 10.0, 11_700)
+    for _ in range(10):
+        acct.step(1.0, 0.5, 10.0, 11_700)
+    assert acct.seconds == 10.0
+    assert acct.consumed_joules > 0
+    assert acct.mean_watts == pytest.approx(acct.consumed_joules / 10.0)
+    assert acct.battery_hours(10.0) > 0
+    assert acct.joules_per_success(100) == pytest.approx(acct.consumed_joules / 100)
+    assert acct.joules_per_success(0) == float("inf")
+
+
+def test_account_run_from_traces():
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.control.baselines import AlwaysOffloadController, LocalOnlyController
+
+    def run(factory):
+        return run_scenario(
+            Scenario(
+                controller_factory=factory,
+                device=DeviceConfig(total_frames=900),
+                seed=0,
+            )
+        )
+
+    local = account_run(run(lambda c: LocalOnlyController()))
+    offload = account_run(run(lambda c: AlwaysOffloadController()))
+    assert local.mean_watts > offload.mean_watts  # the paper's claim
+    # efficiency: offloading also produces MORE successes, so J/success
+    # improves even more than watts
+    assert offload.battery_hours(10.0) > local.battery_hours(10.0)

@@ -1,0 +1,149 @@
+"""Tests for latency breakdown and T_n/T_l attribution."""
+
+import pytest
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import framefeedback_factory, standard_controllers
+from repro.metrics.breakdown import (
+    BreakdownCollector,
+    ComponentStats,
+    LatencySample,
+    TimeoutCause,
+)
+from repro.netem.profiles import SEVERE
+from repro.workloads.schedules import steady_schedule, table_vi_schedule
+
+
+# ----------------------------------------------------------------------
+# unit: the collector
+# ----------------------------------------------------------------------
+def sample(uplink=0.05, server=0.05, downlink=0.01, ok=True):
+    return LatencySample(
+        sent_at=0.0, uplink=uplink, server=server, downlink=downlink, ok=ok
+    )
+
+
+def test_sample_total_and_dominance():
+    s = sample(uplink=0.10, server=0.05, downlink=0.02)
+    assert s.total == pytest.approx(0.17)
+    assert s.dominant_component() is TimeoutCause.NETWORK
+    s2 = sample(uplink=0.02, server=0.20, downlink=0.01)
+    assert s2.dominant_component() is TimeoutCause.LOAD
+
+
+def test_ok_sample_records_no_violation():
+    c = BreakdownCollector()
+    c.record_response(sample(ok=True), at=1.0)
+    assert c.total_violations == 0
+    assert len(c.samples) == 1
+
+
+def test_late_sample_attributed_by_dominant_component():
+    c = BreakdownCollector()
+    c.record_response(sample(uplink=0.02, server=0.30, ok=False), at=2.0)
+    assert c.cause_counts()[TimeoutCause.LOAD] == 1
+
+
+def test_silent_timeout_is_network():
+    c = BreakdownCollector()
+    c.record_silent_timeout(at=3.0)
+    assert c.cause_counts()[TimeoutCause.NETWORK] == 1
+
+
+def test_rejection_is_load():
+    c = BreakdownCollector()
+    c.record_rejection(at=3.0)
+    assert c.cause_counts()[TimeoutCause.LOAD] == 1
+
+
+def test_cause_rates_windowed():
+    c = BreakdownCollector()
+    c.record_silent_timeout(at=1.0)
+    c.record_silent_timeout(at=5.0)
+    c.record_rejection(at=5.5)
+    rates = c.cause_rates(4.0, 6.0)
+    assert rates["T_n"] == pytest.approx(0.5)
+    assert rates["T_l"] == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        c.cause_rates(6.0, 4.0)
+
+
+def test_component_stats_quantiles():
+    c = BreakdownCollector()
+    for i in range(1, 101):
+        c.record_response(sample(uplink=i / 1000.0), at=float(i))
+    stats = c.component_stats()
+    assert stats["uplink"].mean == pytest.approx(0.0505)
+    assert stats["uplink"].p95 == pytest.approx(0.095, abs=0.002)
+    assert stats["uplink"].maximum == pytest.approx(0.1)
+
+
+def test_component_stats_empty_is_nan():
+    stats = BreakdownCollector().component_stats()
+    import math
+
+    assert math.isnan(stats["total"].mean)
+
+
+# ----------------------------------------------------------------------
+# integration: attribution matches the injected stressor
+# ----------------------------------------------------------------------
+def test_network_stress_attributed_to_tn():
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=1200),
+            network=steady_schedule(SEVERE),
+            seed=0,
+        )
+    )
+    rates = result.breakdown.cause_rates(0.0, result.elapsed)
+    assert rates["T_n"] > 0.5
+    assert rates["T_l"] == pytest.approx(0.0, abs=0.1)
+
+
+def test_load_stress_attributed_to_tl():
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=1800),
+            load=table_vi_schedule(),
+            seed=0,
+        )
+    )
+    rates = result.breakdown.cause_rates(0.0, result.elapsed)
+    assert rates["T_l"] > 1.0
+    assert rates["T_l"] > 5 * max(rates["T_n"], 0.01)
+
+
+def test_attribution_total_matches_device_timeouts():
+    """Every device-visible violation gets exactly one attribution."""
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=1200),
+            network=steady_schedule(SEVERE),
+            seed=1,
+            # leave drain time so grace-period attributions settle
+            duration=45.0,
+        )
+    )
+    assert result.breakdown.total_violations == result.qos.timeouts
+
+
+def test_clean_run_has_no_violations():
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=900),
+            seed=0,
+        )
+    )
+    assert result.breakdown.total_violations == result.qos.timeouts
+    stats = result.breakdown.component_stats()
+    # wiring sanity: components sum to total
+    assert stats["total"].mean == pytest.approx(
+        stats["uplink"].mean + stats["server"].mean + stats["downlink"].mean,
+        rel=0.01,
+    )

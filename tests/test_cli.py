@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_all_commands():
+    parser = build_parser()
+    for cmd in (
+        "fig2", "fig3", "fig4", "table2", "table3", "table4",
+        "energy", "combined", "controllers", "breakdown", "fleet",
+        "run", "all",
+    ):
+        args = parser.parse_args([cmd])
+        assert args.command == cmd
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig9"])
+
+
+def test_cli_table3_prints_accuracy_table(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "82.9%" in out  # EfficientNetB4
+
+
+def test_cli_fig2_short_run(capsys):
+    assert main(["fig2", "--duration", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2" in out
+    assert "Kp=0.2 Kd=0.26" in out
+
+
+def test_cli_seed_flag_changes_nothing_structural(capsys):
+    assert main(["table3", "--seed", "7"]) == 0
+    assert "Top-1" in capsys.readouterr().out
+
+
+def test_cli_run_requires_config():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_cli_run_with_config_and_export(tmp_path, capsys):
+    import json
+
+    config = tmp_path / "scenario.json"
+    config.write_text(
+        json.dumps(
+            {
+                "controller": "AlwaysOffload",
+                "seed": 1,
+                "device": {"total_frames": 300},
+                "network": [[0, 10, 0]],
+            }
+        )
+    )
+    out_dir = tmp_path / "artifacts"
+    assert main(["run", "--config", str(config), "--export", str(out_dir)]) == 0
+    printed = capsys.readouterr().out
+    assert "AlwaysOffload" in printed
+    assert (out_dir / "traces.csv").exists()
+    assert (out_dir / "qos.json").exists()
+
+
+def test_cli_breakdown_short(capsys):
+    assert main(["breakdown", "--frames", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "T_n" in out and "T_l" in out
+
+
+def test_cli_fleet_short(capsys):
+    assert main(["fleet", "--frames", "450"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet scaling" in out
+    assert "Jain" in out
+
+
+def test_cli_netem_emits_script(capsys):
+    assert main(["netem", "--schedule", "tablev", "--iface", "eth1"]) == 0
+    out = capsys.readouterr().out
+    assert "#!/bin/sh" in out
+    assert "dev eth1" in out
+    assert "loss 7%" in out
+    assert "320 kbit/s" in out
+
+
+def test_cli_netem_unknown_schedule():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["netem", "--schedule", "bogus"])
+
+
+def test_cli_sweep_requires_config():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["sweep"])
+
+
+def test_cli_sweep_runs_seeds(tmp_path, capsys):
+    import json
+
+    config = tmp_path / "s.json"
+    config.write_text(
+        json.dumps(
+            {
+                "controller": "FrameFeedback",
+                "device": {"total_frames": 300},
+                "network": [[0, 4, 0]],
+            }
+        )
+    )
+    assert main(["sweep", "--config", str(config), "--seeds", "3", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "3-seed sweep" in out
+    assert "mean P" in out

@@ -1,0 +1,78 @@
+"""Unit tests for the §IV-B baseline controllers."""
+
+from repro.control.base import Measurement
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    LocalOnlyController,
+)
+
+FS = 30.0
+
+
+def measure(probe_ok=None):
+    return Measurement(
+        time=0.0,
+        frame_rate=FS,
+        offload_target=0.0,
+        offload_rate=0.0,
+        offload_success_rate=0.0,
+        timeout_rate=0.0,
+        timeout_rate_last=0.0,
+        local_rate=13.0,
+        throughput=13.0,
+        probe_ok=probe_ok,
+    )
+
+
+def test_local_only_never_offloads():
+    c = LocalOnlyController()
+    assert c.initial_target(FS) == 0.0
+    assert c.update(measure()) == 0.0
+    assert not c.wants_probe
+
+
+def test_always_offload_everything_always():
+    c = AlwaysOffloadController()
+    assert c.initial_target(FS) == FS
+    assert c.update(measure()) == FS
+    assert not c.wants_probe
+
+
+def test_all_or_nothing_wants_probe():
+    assert AllOrNothingController.wants_probe
+
+
+def test_all_or_nothing_starts_local():
+    c = AllOrNothingController()
+    assert c.initial_target(FS) == 0.0
+    # no probe settled yet: stay local
+    assert c.update(measure(probe_ok=None)) == 0.0
+
+
+def test_all_or_nothing_switches_on_probe():
+    c = AllOrNothingController()
+    assert c.update(measure(probe_ok=True)) == FS
+    assert c.offloading
+    assert c.update(measure(probe_ok=False)) == 0.0
+    assert not c.offloading
+
+
+def test_all_or_nothing_holds_last_decision_without_new_probe():
+    c = AllOrNothingController()
+    c.update(measure(probe_ok=True))
+    assert c.update(measure(probe_ok=None)) == FS
+
+
+def test_all_or_nothing_reset():
+    c = AllOrNothingController()
+    c.update(measure(probe_ok=True))
+    c.reset()
+    assert not c.offloading
+    assert c.update(measure(probe_ok=None)) == 0.0
+
+
+def test_controller_names_for_reports():
+    assert LocalOnlyController().name == "LocalOnly"
+    assert AlwaysOffloadController().name == "AlwaysOffload"
+    assert AllOrNothingController().name == "AllOrNothing"

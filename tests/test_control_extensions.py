@@ -1,0 +1,160 @@
+"""Tests for the extension controllers: AIMD, Oracle, Reservation."""
+
+import numpy as np
+import pytest
+
+from repro.control.aimd import AimdController
+from repro.control.base import Measurement
+from repro.control.oracle import (
+    OracleController,
+    expected_frame_wire_time,
+    link_capacity_fps,
+    mixed_server_capacity,
+)
+from repro.models.latency import GpuBatchModel
+from repro.netem.link import LinkConditions
+from repro.workloads.schedules import table_v_schedule, table_vi_schedule
+
+FS = 30.0
+
+
+def measure(target, t_rate, time=0.0):
+    return Measurement(
+        time=time,
+        frame_rate=FS,
+        offload_target=target,
+        offload_rate=target,
+        offload_success_rate=max(0.0, target - t_rate),
+        timeout_rate=t_rate,
+        timeout_rate_last=t_rate,
+        local_rate=13.0,
+        throughput=13.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# AIMD
+# ----------------------------------------------------------------------
+def test_aimd_validation():
+    with pytest.raises(ValueError):
+        AimdController(0.0)
+    with pytest.raises(ValueError):
+        AimdController(FS, increase=0.0)
+    with pytest.raises(ValueError):
+        AimdController(FS, decrease_factor=1.0)
+    with pytest.raises(ValueError):
+        AimdController(FS, floor=-1.0)
+
+
+def test_aimd_additive_increase():
+    c = AimdController(FS, increase=2.0, floor=1.0)
+    t = c.initial_target(FS)
+    t2 = c.update(measure(t, 0.0))
+    assert t2 == pytest.approx(t + 2.0)
+
+
+def test_aimd_multiplicative_decrease():
+    c = AimdController(FS, decrease_factor=0.5)
+    c._target = 20.0
+    assert c.update(measure(20.0, 5.0)) == pytest.approx(10.0)
+
+
+def test_aimd_respects_floor_and_ceiling():
+    c = AimdController(FS, floor=1.0)
+    for _ in range(50):
+        c.update(measure(c.target, 10.0))
+    assert c.target == pytest.approx(1.0)
+    c.reset()
+    for _ in range(50):
+        c.update(measure(c.target, 0.0))
+    assert c.target == FS
+
+
+def test_aimd_sawtooth_under_boundary():
+    """AIMD keeps re-testing the violation boundary: its trace under a
+    hard capacity limit oscillates instead of settling."""
+    c = AimdController(FS, increase=2.0, decrease_factor=0.5)
+    cap = 12.0
+    trace = []
+    for step in range(60):
+        t_rate = max(0.0, c.target - cap)  # everything above cap fails
+        trace.append(c.update(measure(c.target, t_rate, float(step))))
+    tail = np.array(trace[20:])
+    assert tail.max() > cap  # overshoots the cliff
+    assert tail.min() < cap * 0.8  # then overcorrects
+    assert np.std(tail) > 1.0  # persistent sawtooth
+
+
+# ----------------------------------------------------------------------
+# Oracle capacity math
+# ----------------------------------------------------------------------
+def test_wire_time_lossless_equals_serialization():
+    cond = LinkConditions(bandwidth=10.0, loss=0.0, jitter_sigma=0.0)
+    frame = 11_700
+    t = expected_frame_wire_time(cond, frame)
+    assert t == pytest.approx(0.033, abs=0.005)
+
+
+def test_wire_time_grows_with_loss():
+    clean = LinkConditions(bandwidth=10.0, loss=0.0)
+    lossy = LinkConditions(bandwidth=10.0, loss=0.07)
+    assert expected_frame_wire_time(lossy, 11_700) > expected_frame_wire_time(
+        clean, 11_700
+    )
+
+
+def test_link_capacity_regimes_match_calibration():
+    frame = 11_700
+    assert link_capacity_fps(LinkConditions(bandwidth=10.0), frame) > 30.0
+    cap4 = link_capacity_fps(LinkConditions(bandwidth=4.0), frame)
+    assert 10.0 < cap4 < 16.0
+    assert link_capacity_fps(LinkConditions(bandwidth=1.0), frame) < 4.0
+
+
+def test_mixed_capacity_below_single_model():
+    gpu = GpuBatchModel(jitter_sigma=0.0)
+    assert mixed_server_capacity(gpu, True) < mixed_server_capacity(gpu, False)
+
+
+def test_oracle_follows_table_v():
+    oracle = OracleController(
+        frame_rate=FS,
+        frame_bytes=11_700,
+        deadline=0.25,
+        network=table_v_schedule(),
+    )
+    assert oracle.target_at(5.0) > 29.0  # bw=10: (nearly) full offload
+    assert 5.0 < oracle.target_at(35.0) < 16.0  # bw=4: partial
+    assert oracle.target_at(50.0) == 0.0  # bw=1: infeasible
+
+
+def test_oracle_follows_table_vi():
+    oracle = OracleController(
+        frame_rate=FS,
+        frame_bytes=11_700,
+        deadline=0.25,
+        load=table_vi_schedule(),
+    )
+    unloaded = oracle.target_at(5.0)
+    peak = oracle.target_at(55.0)  # 150 req/s
+    assert unloaded > 29.0
+    assert peak < 5.0
+    # intermediate load: partial offloading
+    assert 5.0 < oracle.target_at(15.0) < 29.0  # 90 req/s
+
+
+def test_oracle_update_uses_measurement_time():
+    oracle = OracleController(
+        frame_rate=FS, frame_bytes=11_700, deadline=0.25, network=table_v_schedule()
+    )
+    assert oracle.update(measure(0, 0, time=50.0)) == 0.0  # bw=1 phase
+
+
+# ----------------------------------------------------------------------
+# Reservation (integration smoke lives in test_experiments_extended)
+# ----------------------------------------------------------------------
+def test_reservation_controller_validation():
+    from repro.control.reservation import ReservationController
+
+    with pytest.raises(ValueError):
+        ReservationController(0.0, broker=None, tenant="x")

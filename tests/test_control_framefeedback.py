@@ -1,0 +1,209 @@
+"""Unit + property tests for the FrameFeedback controller (Eqs. 3–5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.base import Measurement
+from repro.control.framefeedback import (
+    PAPER_SETTINGS,
+    FrameFeedbackController,
+    FrameFeedbackSettings,
+)
+
+FS = 30.0
+
+
+def measure(target, t_rate, time=0.0):
+    return Measurement(
+        time=time,
+        frame_rate=FS,
+        offload_target=target,
+        offload_rate=target,
+        offload_success_rate=max(0.0, target - t_rate),
+        timeout_rate=t_rate,
+        timeout_rate_last=t_rate,
+        local_rate=13.0,
+        throughput=13.0 + max(0.0, target - t_rate),
+    )
+
+
+def controller(**kwargs):
+    settings_kwargs = {**kwargs}
+    return FrameFeedbackController(FS, FrameFeedbackSettings(**settings_kwargs))
+
+
+# ----------------------------------------------------------------------
+# Table IV defaults
+# ----------------------------------------------------------------------
+def test_paper_settings_table4_verbatim():
+    s = PAPER_SETTINGS
+    assert s.kp == 0.2
+    assert s.ki == 0.0
+    assert s.kd == 0.26
+    assert s.update_min_frac == -0.5
+    assert s.update_max_frac == 0.1
+    assert s.measure_period == 1.0
+
+
+def test_settings_validation():
+    with pytest.raises(ValueError):
+        FrameFeedbackSettings(update_min_frac=0.1)
+    with pytest.raises(ValueError):
+        FrameFeedbackSettings(t_threshold_frac=0.0)
+    with pytest.raises(ValueError):
+        FrameFeedbackSettings(measure_period=0.0)
+
+
+def test_frame_rate_must_be_positive():
+    with pytest.raises(ValueError):
+        FrameFeedbackController(0.0)
+
+
+# ----------------------------------------------------------------------
+# Eq. 5 error branches
+# ----------------------------------------------------------------------
+def test_error_no_timeouts_is_fs_minus_po():
+    c = controller()
+    c._target = 12.0
+    assert c.error(measure(12.0, 0.0)) == pytest.approx(FS - 12.0)
+
+
+def test_error_with_timeouts_is_threshold_minus_t():
+    c = controller()
+    c._target = 12.0
+    assert c.error(measure(12.0, 7.0)) == pytest.approx(0.1 * FS - 7.0)
+
+
+def test_error_zero_exactly_at_threshold():
+    """e(t) = 0 when T = 0.1 F_s (the paper's standing-probe fixed point)."""
+    c = controller()
+    assert c.error(measure(10.0, 0.1 * FS)) == 0.0
+
+
+# ----------------------------------------------------------------------
+# update dynamics
+# ----------------------------------------------------------------------
+def test_ramp_up_capped_at_tenth_of_fs():
+    """From P_o=0 with T=0, each step adds at most 0.1 F_s, and the
+    proportional law closes most of the gap to F_s within ~20 steps."""
+    c = controller()
+    prev = 0.0
+    for step in range(20):
+        new = c.update(measure(prev, 0.0, time=float(step)))
+        assert new - prev <= 0.1 * FS + 1e-9
+        prev = new
+    assert prev > 0.9 * FS
+
+
+def test_backoff_can_cut_half_fs_per_step():
+    """When the error plunges, P + D exceed the clamp and the update
+    saturates at the Table IV minimum of -0.5 F_s."""
+    c = controller()
+    c._target = 0.0
+    c.update(measure(0.0, 0.0))  # prime: e = +F_s
+    c._target = FS
+    new = c.update(measure(FS, FS))  # e = -0.9 F_s, de/dt huge
+    assert FS - new == pytest.approx(0.5 * FS)
+
+
+def test_target_clamped_to_valid_range():
+    c = controller()
+    c._target = 1.0
+    new = c.update(measure(1.0, FS))  # huge negative error
+    assert new == 0.0
+    c2 = controller()
+    c2._target = FS
+    assert c2.update(measure(FS, 0.0)) == FS
+
+
+def test_total_failure_converges_to_probe_rate():
+    """With offloading always failing (T == attempted P_o), the
+    *windowed* T the device actually feeds the controller drives P_o
+    to the 0.1 F_s standing-probe fixed point (§III-A.1)."""
+    from collections import deque
+
+    c = controller()
+    target = c.initial_target(FS)
+    window = deque([0.0] * 3, maxlen=3)
+    history = []
+    for step in range(80):
+        window.append(target)  # every attempted frame times out
+        t_avg = sum(window) / len(window)
+        target = c.update(measure(target, t_rate=t_avg, time=float(step)))
+        history.append(target)
+    tail_mean = sum(history[-20:]) / 20
+    assert tail_mean == pytest.approx(0.1 * FS, abs=1.5)
+    assert max(history[-20:]) < 0.3 * FS  # never drifts back to flooding
+
+
+def test_perfect_conditions_converge_to_fs():
+    c = controller()
+    target = 0.0
+    for step in range(60):
+        target = c.update(measure(target, 0.0, time=float(step)))
+    assert target == pytest.approx(FS, abs=0.5)
+
+
+def test_recovery_after_outage_ramps_immediately():
+    """§III-A: 'when good conditions return, offloading will
+    immediately begin to increase'."""
+    c = controller()
+    target = 0.0
+    for step in range(20):  # outage: everything times out
+        target = c.update(measure(target, t_rate=max(target, 6.0), time=float(step)))
+    low = target
+    target = c.update(measure(target, 0.0, time=21.0))
+    assert target > low
+
+
+def test_reset_restores_initial_state():
+    c = controller()
+    c.update(measure(0.0, 0.0))
+    c.reset()
+    assert c.target == 0.0
+    assert c.last_error == 0.0
+
+
+def test_derivative_term_reacts_to_t_spike():
+    """A sudden T spike produces a stronger (more negative) update
+    with K_D > 0 than without."""
+    with_kd = controller(kp=0.2, kd=0.26)
+    no_kd = controller(kp=0.2, kd=0.0)
+    for c in (with_kd, no_kd):
+        c._target = 20.0
+        c.update(measure(20.0, 0.0))  # prime previous error (e = 10)
+        c._target = 20.0
+    u_with = with_kd.update(measure(20.0, 9.0)) - 20.0
+    u_without = no_kd.update(measure(20.0, 9.0)) - 20.0
+    assert u_with < u_without
+
+
+@given(
+    t_rates=st.lists(
+        st.floats(min_value=0.0, max_value=FS), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_target_always_in_bounds_and_rate_limited(t_rates):
+    """Invariants: 0 <= P_o <= F_s; per-step change within clamps."""
+    c = controller()
+    prev = c.initial_target(FS)
+    for i, t in enumerate(t_rates):
+        new = c.update(measure(prev, t, time=float(i)))
+        assert 0.0 <= new <= FS
+        assert new - prev <= 0.1 * FS + 1e-9
+        assert prev - new <= 0.5 * FS + 1e-9
+        prev = new
+
+
+@given(ki=st.floats(min_value=0.01, max_value=0.2))
+@settings(max_examples=20, deadline=None)
+def test_integral_variant_still_bounded(ki):
+    """The K_I ablation keeps all safety invariants."""
+    c = FrameFeedbackController(FS, FrameFeedbackSettings(ki=ki))
+    target = 0.0
+    for step in range(50):
+        t = FS if step % 7 == 0 else 0.0
+        target = c.update(measure(target, t, time=float(step)))
+        assert 0.0 <= target <= FS

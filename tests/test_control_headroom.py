@@ -1,0 +1,109 @@
+"""Tests for the latency-headroom controller variant."""
+
+import pytest
+
+from repro.control.base import Measurement
+from repro.control.headroom import HeadroomController, HeadroomSettings
+
+FS, L = 30.0, 0.25
+
+
+def measure(target, rtt_p95=None, t_rate=0.0, time=0.0):
+    return Measurement(
+        time=time,
+        frame_rate=FS,
+        offload_target=target,
+        offload_rate=target,
+        offload_success_rate=target,
+        timeout_rate=t_rate,
+        timeout_rate_last=t_rate,
+        local_rate=13.0,
+        throughput=13.0 + target,
+        rtt_mean=rtt_p95,
+        rtt_p95=rtt_p95,
+    )
+
+
+def controller(**kwargs):
+    return HeadroomController(FS, L, HeadroomSettings(**kwargs))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HeadroomController(0.0, L)
+    with pytest.raises(ValueError):
+        HeadroomController(FS, 0.0)
+    with pytest.raises(ValueError):
+        HeadroomSettings(target_frac=1.5)
+    with pytest.raises(ValueError):
+        HeadroomSettings(update_min_frac=0.5)
+
+
+def test_fast_rtts_increase_offloading():
+    c = controller()
+    t0 = c.update(measure(5.0, rtt_p95=0.05))
+    assert t0 > 0.0
+    t1 = c.update(measure(t0, rtt_p95=0.05, time=1.0))
+    assert t1 > t0
+
+
+def test_rtt_past_target_backs_off():
+    c = controller()
+    c._target = 20.0
+    c.update(measure(20.0, rtt_p95=0.10))  # prime derivative
+    new = c.update(measure(20.0, rtt_p95=0.24, time=1.0))  # near deadline
+    assert new < 20.0
+
+
+def test_rtt_at_target_is_equilibrium():
+    c = controller()
+    c._target = 15.0
+    target_rtt = 0.75 * L
+    c.update(measure(15.0, rtt_p95=target_rtt))
+    new = c.update(measure(15.0, rtt_p95=target_rtt, time=1.0))
+    assert new == pytest.approx(15.0, abs=0.2)
+
+
+def test_violations_reduce_headroom_error():
+    clean = controller()
+    dirty = controller()
+    for c in (clean, dirty):
+        c._target = 15.0
+    clean.update(measure(15.0, rtt_p95=0.15))
+    dirty.update(measure(15.0, rtt_p95=0.15, t_rate=6.0))
+    assert dirty.last_error < clean.last_error
+
+
+def test_blind_bucket_with_timeouts_backs_off():
+    c = controller()
+    c._target = 10.0
+    new = c.update(measure(10.0, rtt_p95=None, t_rate=10.0))
+    assert new < 10.0
+
+
+def test_blind_bucket_without_timeouts_ramps():
+    c = controller()
+    new = c.update(measure(0.0, rtt_p95=None, t_rate=0.0))
+    assert new > 0.0
+
+
+def test_update_clamps_match_table_iv_shape():
+    c = controller()
+    c._target = 0.0
+    c.update(measure(0.0, rtt_p95=0.02))  # prime
+    prev = c.target
+    for step in range(30):
+        rtt = 0.02 if step % 2 == 0 else 0.3  # wild swings
+        new = c.update(measure(prev, rtt_p95=rtt, time=float(step)))
+        assert new - prev <= 0.1 * FS + 1e-9
+        assert prev - new <= 0.5 * FS + 1e-9
+        assert 0.0 <= new <= FS
+        prev = new
+
+
+def test_reset():
+    c = controller()
+    c.update(measure(0.0, rtt_p95=0.05))
+    c.reset()
+    assert c.target == 0.0
+    assert c.last_error == 0.0

@@ -1,0 +1,101 @@
+"""Unit + property tests for the discrete PID core (Eq. 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.pid import DiscretePid, PidGains
+
+
+def test_pure_proportional():
+    pid = DiscretePid(PidGains(kp=2.0))
+    assert pid.step(3.0, dt=1.0) == pytest.approx(6.0)
+    assert pid.step(-1.5, dt=1.0) == pytest.approx(-3.0)
+
+
+def test_integral_accumulates():
+    pid = DiscretePid(PidGains(kp=0.0, ki=1.0))
+    assert pid.step(1.0, dt=1.0) == pytest.approx(1.0)
+    assert pid.step(1.0, dt=1.0) == pytest.approx(2.0)
+    assert pid.step(1.0, dt=0.5) == pytest.approx(2.5)
+
+
+def test_derivative_on_error_change():
+    pid = DiscretePid(PidGains(kp=0.0, kd=2.0))
+    assert pid.step(1.0, dt=1.0) == 0.0  # no previous error yet
+    assert pid.step(3.0, dt=1.0) == pytest.approx(4.0)  # de=2, /dt=1
+    assert pid.step(3.0, dt=1.0) == 0.0  # unchanged error
+
+
+def test_derivative_respects_dt():
+    pid = DiscretePid(PidGains(kp=0.0, kd=1.0))
+    pid.step(0.0, dt=0.5)
+    assert pid.step(1.0, dt=0.5) == pytest.approx(2.0)
+
+
+def test_output_clamping():
+    pid = DiscretePid(PidGains(kp=1.0), output_min=-1.0, output_max=2.0)
+    assert pid.step(100.0, dt=1.0) == 2.0
+    assert pid.step(-100.0, dt=1.0) == -1.0
+
+
+def test_clamp_bounds_validated():
+    with pytest.raises(ValueError):
+        DiscretePid(PidGains(kp=1.0), output_min=1.0, output_max=0.0)
+
+
+def test_dt_must_be_positive():
+    pid = DiscretePid(PidGains(kp=1.0))
+    with pytest.raises(ValueError):
+        pid.step(1.0, dt=0.0)
+
+
+def test_anti_windup_freezes_integral_at_clamp():
+    """While clamped high, same-sign error must not grow the integral."""
+    pid = DiscretePid(PidGains(kp=0.0, ki=1.0), output_max=1.0)
+    for _ in range(10):
+        pid.step(5.0, dt=1.0)
+    assert pid.integral == 0.0  # never charged
+    # opposite error unwinds immediately instead of fighting windup
+    out = pid.step(-0.5, dt=1.0)
+    assert out == pytest.approx(-0.5)
+
+
+def test_anti_windup_symmetric_low_side():
+    pid = DiscretePid(PidGains(kp=0.0, ki=1.0), output_min=-1.0)
+    for _ in range(10):
+        pid.step(-5.0, dt=1.0)
+    assert pid.integral == 0.0
+    assert pid.step(0.5, dt=1.0) == pytest.approx(0.5)
+
+
+def test_reset_clears_state():
+    pid = DiscretePid(PidGains(kp=1.0, ki=1.0, kd=1.0))
+    pid.step(1.0, dt=1.0)
+    pid.reset()
+    assert pid.integral == 0.0
+    assert pid.previous_error is None
+
+
+@given(
+    errors=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=50
+    ),
+    kp=st.floats(min_value=0.0, max_value=10.0),
+    ki=st.floats(min_value=0.0, max_value=1.0),
+    kd=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_output_always_within_clamps(errors, kp, ki, kd):
+    pid = DiscretePid(PidGains(kp=kp, ki=ki, kd=kd), output_min=-3.0, output_max=1.0)
+    for e in errors:
+        out = pid.step(e, dt=1.0)
+        assert -3.0 <= out <= 1.0
+
+
+@given(error=st.floats(min_value=-1e6, max_value=1e6))
+@settings(max_examples=100, deadline=None)
+def test_proportional_sign_follows_error(error):
+    pid = DiscretePid(PidGains(kp=1.0))
+    out = pid.step(error, dt=1.0)
+    assert out == pytest.approx(error)

@@ -1,0 +1,130 @@
+"""Tests for the adaptive-quality controller (§II-D closed-loop)."""
+
+import pytest
+
+from repro.control.base import Measurement
+from repro.control.quality import DEFAULT_LADDER, AdaptiveQualityController
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.netem.profiles import CONGESTED, IDEAL
+from repro.workloads.schedules import steady_schedule
+
+FS = 30.0
+
+
+def measure(target, t_window, t_last=None, time=0.0):
+    t_last = t_window if t_last is None else t_last
+    return Measurement(
+        time=time,
+        frame_rate=FS,
+        offload_target=target,
+        offload_rate=target,
+        offload_success_rate=max(0.0, target - t_window),
+        timeout_rate=t_window,
+        timeout_rate_last=t_last,
+        local_rate=13.0,
+        throughput=13.0,
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdaptiveQualityController(FS, ladder=())
+    with pytest.raises(ValueError):
+        AdaptiveQualityController(FS, ladder=(90.0, 50.0))
+    with pytest.raises(ValueError):
+        AdaptiveQualityController(FS, dwell=0)
+    with pytest.raises(ValueError):
+        AdaptiveQualityController(FS, start_index=10)
+
+
+def test_starts_at_top_of_ladder():
+    c = AdaptiveQualityController(FS)
+    assert c.capture_quality == DEFAULT_LADDER[-1]
+
+
+def test_sustained_congestion_steps_quality_down():
+    c = AdaptiveQualityController(FS, dwell=3)
+    for step in range(3):
+        c.update(measure(8.0, 5.0, time=float(step)))  # congested
+    assert c.capture_quality == DEFAULT_LADDER[-2]
+
+
+def test_brief_congestion_does_not_move_quality():
+    c = AdaptiveQualityController(FS, dwell=5)
+    c.update(measure(8.0, 5.0))
+    c.update(measure(25.0, 0.0))  # streak broken
+    c.update(measure(8.0, 5.0))
+    assert c.capture_quality == DEFAULT_LADDER[-1]
+
+
+def test_quality_bounded_at_ladder_ends():
+    c = AdaptiveQualityController(FS, dwell=1)
+    for step in range(20):
+        c.update(measure(5.0, 6.0, time=float(step)))
+    assert c.capture_quality == DEFAULT_LADDER[0]  # clamped at bottom
+    for step in range(40):
+        c.update(measure(FS, 0.0, time=float(20 + step)))
+    assert c.capture_quality == DEFAULT_LADDER[-1]  # and back at top
+
+
+def test_rate_law_unchanged_by_quality_loop():
+    """The inner FrameFeedback rate dynamics are untouched."""
+    from repro.control.framefeedback import FrameFeedbackController
+
+    adaptive = AdaptiveQualityController(FS)
+    plain = FrameFeedbackController(FS)
+    t_a = adaptive.initial_target(FS)
+    t_p = plain.initial_target(FS)
+    for step in range(20):
+        t = 4.0 if step % 5 == 0 else 0.0
+        t_a = adaptive.update(measure(t_a, t, time=float(step)))
+        t_p = plain.update(measure(t_p, t, time=float(step)))
+        assert t_a == pytest.approx(t_p)
+
+
+def test_reset():
+    c = AdaptiveQualityController(FS, dwell=1)
+    c.update(measure(5.0, 6.0))
+    c.reset()
+    assert c.capture_quality == DEFAULT_LADDER[-1]
+
+
+# ----------------------------------------------------------------------
+# end-to-end
+# ----------------------------------------------------------------------
+def test_congested_link_drives_quality_down_end_to_end():
+    result = run_scenario(
+        Scenario(
+            controller_factory=lambda c: AdaptiveQualityController(c.frame_rate),
+            device=DeviceConfig(total_frames=2400),
+            network=steady_schedule(CONGESTED),
+            seed=0,
+        )
+    )
+    q = result.traces.capture_quality
+    assert q.values[-10:].mean() < DEFAULT_LADDER[-1]
+    # smaller frames buy more successful offloads than plain FF
+    from repro.experiments.standard import framefeedback_factory
+
+    plain = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=2400),
+            network=steady_schedule(CONGESTED),
+            seed=0,
+        )
+    )
+    assert result.qos.mean_throughput > plain.qos.mean_throughput
+
+
+def test_ideal_link_keeps_quality_high():
+    result = run_scenario(
+        Scenario(
+            controller_factory=lambda c: AdaptiveQualityController(c.frame_rate),
+            device=DeviceConfig(total_frames=1200),
+            network=steady_schedule(IDEAL),
+            seed=0,
+        )
+    )
+    assert result.traces.capture_quality.values[-5:].mean() == DEFAULT_LADDER[-1]

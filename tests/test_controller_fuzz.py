@@ -1,0 +1,115 @@
+"""Cross-controller fuzz: no controller may ever crash or emit an
+out-of-range target, for ANY measurement sequence.
+
+This is the safety net behind the device's ``splitter.set_target``
+clamp: the clamp exists, but controllers should already be well
+behaved, and a controller raising mid-run would kill the measurement
+loop.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.aimd import AimdController
+from repro.control.base import Measurement
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    FixedRateController,
+    LocalOnlyController,
+)
+from repro.control.framefeedback import FrameFeedbackController
+from repro.control.headroom import HeadroomController
+from repro.control.quality import AdaptiveQualityController
+
+FS = 30.0
+
+FACTORIES = [
+    lambda: FrameFeedbackController(FS),
+    lambda: LocalOnlyController(),
+    lambda: AlwaysOffloadController(),
+    lambda: AllOrNothingController(),
+    lambda: FixedRateController(11.0),
+    lambda: AimdController(FS),
+    lambda: HeadroomController(FS, 0.25),
+    lambda: AdaptiveQualityController(FS),
+]
+
+measurement_strategy = st.builds(
+    dict,
+    t_avg=st.floats(min_value=0.0, max_value=FS),
+    t_last=st.floats(min_value=0.0, max_value=FS),
+    rate=st.floats(min_value=0.0, max_value=FS),
+    rtt=st.one_of(st.none(), st.floats(min_value=0.0, max_value=2.0)),
+    probe=st.one_of(st.none(), st.booleans()),
+)
+
+
+@given(
+    factory_idx=st.integers(min_value=0, max_value=len(FACTORIES) - 1),
+    raw=st.lists(measurement_strategy, min_size=1, max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_any_measurement_sequence_yields_bounded_targets(factory_idx, raw):
+    controller = FACTORIES[factory_idx]()
+    target = controller.initial_target(FS)
+    assert 0.0 <= target <= FS
+    for i, r in enumerate(raw):
+        m = Measurement(
+            time=float(i),
+            frame_rate=FS,
+            offload_target=target,
+            offload_rate=r["rate"],
+            offload_success_rate=max(0.0, r["rate"] - r["t_last"]),
+            timeout_rate=r["t_avg"],
+            timeout_rate_last=r["t_last"],
+            local_rate=13.0,
+            throughput=13.0,
+            probe_ok=r["probe"],
+            rtt_mean=r["rtt"],
+            rtt_p95=r["rtt"],
+        )
+        target = controller.update(m)
+        assert isinstance(target, float) or isinstance(target, int)
+        assert math.isfinite(target)
+        assert 0.0 <= target <= FS + 1e-9
+
+
+@given(
+    factory_idx=st.integers(min_value=0, max_value=len(FACTORIES) - 1),
+    raw=st.lists(measurement_strategy, min_size=1, max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_reset_restores_initial_behaviour(factory_idx, raw):
+    """After reset(), a controller's first decisions repeat exactly."""
+    factory = FACTORIES[factory_idx]
+
+    def drive(controller):
+        target = controller.initial_target(FS)
+        out = []
+        for i, r in enumerate(raw):
+            m = Measurement(
+                time=float(i),
+                frame_rate=FS,
+                offload_target=target,
+                offload_rate=r["rate"],
+                offload_success_rate=0.0,
+                timeout_rate=r["t_avg"],
+                timeout_rate_last=r["t_last"],
+                local_rate=13.0,
+                throughput=13.0,
+                probe_ok=r["probe"],
+                rtt_mean=r["rtt"],
+                rtt_p95=r["rtt"],
+            )
+            target = controller.update(m)
+            out.append(target)
+        return out
+
+    c = factory()
+    first = drive(c)
+    c.reset()
+    second = drive(c)
+    assert first == second

@@ -1,0 +1,129 @@
+"""Integration tests for the full EdgeDevice measurement/control loop."""
+
+import numpy as np
+import pytest
+
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    LocalOnlyController,
+)
+from repro.control.framefeedback import FrameFeedbackController
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.netem.profiles import CONGESTED, DEAD, IDEAL
+from repro.workloads.schedules import steady_schedule
+
+
+def run(controller_factory, conditions=IDEAL, seconds=30, seed=0, **scenario_kw):
+    scenario = Scenario(
+        controller_factory=controller_factory,
+        device=DeviceConfig(total_frames=int(seconds * 30)),
+        network=steady_schedule(conditions),
+        seed=seed,
+        **scenario_kw,
+    )
+    return run_scenario(scenario)
+
+
+def test_measurement_loop_runs_once_per_second():
+    r = run(lambda c: LocalOnlyController(), seconds=10)
+    times = r.traces.throughput.times
+    assert len(times) == pytest.approx(10, abs=2)
+    assert np.allclose(np.diff(times), 1.0)
+
+
+def test_local_only_throughput_is_pl():
+    r = run(lambda c: LocalOnlyController(), seconds=40)
+    steady = r.traces.throughput.values[5:]
+    assert steady.mean() == pytest.approx(13.0, rel=0.08)
+    assert r.qos.timeouts == 0
+    assert r.traces.offload_rate.values.max() == 0.0
+
+
+def test_always_offload_ideal_reaches_source_rate():
+    r = run(lambda c: AlwaysOffloadController(), seconds=40)
+    steady = r.traces.throughput.values[5:]
+    assert steady.mean() > 27.5  # ~F_s minus occasional jitter timeouts
+    # nothing processed locally when everything offloads
+    assert r.qos.extras["local_successes"] == 0
+
+
+def test_framefeedback_ramps_then_saturates_on_ideal_link():
+    r = run(lambda c: FrameFeedbackController(c.frame_rate), seconds=40)
+    po = r.traces.offload_target.values
+    assert po[0] <= 3.0 + 1e-9  # starts near zero (first update)
+    assert po[-5:].mean() == pytest.approx(30.0, abs=1.0)
+    # ramp rate bounded by Table IV max update
+    assert np.diff(po).max() <= 3.0 + 1e-9
+
+
+def test_framefeedback_settles_at_probe_rate_on_dead_link():
+    r = run(lambda c: FrameFeedbackController(c.frame_rate), conditions=DEAD, seconds=60)
+    po_tail = r.traces.offload_target.values[-20:]
+    assert po_tail.mean() == pytest.approx(3.0, abs=1.5)
+    # QoS not hurt vs local-only: throughput stays ~ P_l
+    assert r.traces.throughput.values[-20:].mean() == pytest.approx(13.0, abs=1.5)
+
+
+def test_framefeedback_finds_partial_rate_on_congested_link():
+    r = run(
+        lambda c: FrameFeedbackController(c.frame_rate), conditions=CONGESTED, seconds=60
+    )
+    po_tail = r.traces.offload_target.values[-20:]
+    assert 5.0 < po_tail.mean() < 16.0  # partial: not 0, not 30
+    p_tail = r.traces.throughput.values[-20:]
+    assert p_tail.mean() > 14.0  # beats local-only
+
+
+def test_controller_never_violates_p_geq_pl_badly():
+    """§II-A.5: 'the controller should always strive to keep P >= P_l'."""
+    r = run(lambda c: FrameFeedbackController(c.frame_rate), conditions=DEAD, seconds=60)
+    tail = r.traces.throughput.values[10:]
+    assert tail.mean() >= 13.0 * 0.85
+
+
+def test_all_or_nothing_probe_traffic_present():
+    r = run(lambda c: AllOrNothingController(), conditions=DEAD, seconds=20)
+    # probes were sent every second even while local
+    assert r.uplink_stats.frames_sent >= 15
+
+
+def test_timeout_accounting_consistent():
+    r = run(lambda c: AlwaysOffloadController(), conditions=DEAD, seconds=20)
+    assert r.qos.timeouts > 0
+    assert r.qos.successful + r.qos.timeouts <= r.qos.total_frames + 5
+    assert r.qos.success_fraction < 0.2
+
+
+def test_cpu_trace_tracks_policy():
+    local = run(lambda c: LocalOnlyController(), seconds=30)
+    offload = run(lambda c: AlwaysOffloadController(), seconds=30)
+    assert (
+        local.traces.cpu_utilization.values[5:].mean()
+        > offload.traces.cpu_utilization.values[5:].mean()
+    )
+
+
+def test_run_is_deterministic_per_seed():
+    a = run(lambda c: FrameFeedbackController(c.frame_rate), CONGESTED, 30, seed=3)
+    b = run(lambda c: FrameFeedbackController(c.frame_rate), CONGESTED, 30, seed=3)
+    assert np.array_equal(a.traces.throughput.values, b.traces.throughput.values)
+    assert np.array_equal(a.traces.offload_target.values, b.traces.offload_target.values)
+    assert a.qos.successful == b.qos.successful
+
+
+def test_different_seeds_differ():
+    a = run(lambda c: FrameFeedbackController(c.frame_rate), CONGESTED, 30, seed=1)
+    b = run(lambda c: FrameFeedbackController(c.frame_rate), CONGESTED, 30, seed=2)
+    assert not np.array_equal(a.traces.throughput.values, b.traces.throughput.values)
+
+
+def test_qos_report_fields_populated():
+    r = run(lambda c: FrameFeedbackController(c.frame_rate), seconds=20)
+    q = r.qos
+    assert q.name == "FrameFeedback"
+    assert q.total_frames == 600
+    assert q.mean_throughput > 0
+    assert "offload_successes" in q.extras
+    assert "mean_cpu_utilization" in q.extras

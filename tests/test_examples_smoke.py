@@ -1,0 +1,97 @@
+"""Every example script must run to completion — they are the
+load-bearing documentation.
+
+Fast simulation examples run on every ``pytest``; the longer sweeps
+and the wall-clock/socket demos are ``-m slow`` (they take real
+seconds by design).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 180.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in found
+    assert len(found) >= 10
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "FrameFeedback" in out
+    assert "per-second throughput" in out
+
+
+def test_adaptive_quality():
+    out = run_example("adaptive_quality.py")
+    assert "mean quality" in out
+
+
+def test_surveillance_camera():
+    out = run_example("surveillance_camera.py")
+    assert "rush hour" in out
+    assert "FrameFeedback delivered" in out
+
+
+@pytest.mark.slow
+def test_drone_fleet():
+    out = run_example("drone_fleet_multitenancy.py")
+    assert "batch policy = fair" in out
+
+
+@pytest.mark.slow
+def test_accuracy_tradeoff():
+    out = run_example("accuracy_bandwidth_tradeoff.py")
+    assert "correct/s" in out
+
+
+@pytest.mark.slow
+def test_capacity_planning():
+    out = run_example("capacity_planning.py")
+    assert "planning answer" in out
+
+
+@pytest.mark.slow
+def test_day_in_the_life(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "day_in_the_life.py"), str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert (tmp_path / "traces.csv").exists()
+
+
+@pytest.mark.slow
+def test_controller_tuning_example():
+    out = run_example("controller_tuning.py", timeout=300)
+    assert "tuned gains" in out
+
+
+@pytest.mark.slow
+def test_realtime_demo():
+    out = run_example("realtime_demo.py", timeout=120)
+    assert "backed off" in out
+
+
+@pytest.mark.slow
+def test_socket_offload():
+    out = run_example("socket_offload.py", timeout=120)
+    assert "server totals" in out

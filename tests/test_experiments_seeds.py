@@ -1,0 +1,82 @@
+"""Tests for the multi-seed statistics harness."""
+
+import pytest
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario
+from repro.experiments.seeds import (
+    MetricSummary,
+    compare_across_seeds,
+    run_across_seeds,
+    win_rate,
+)
+from repro.experiments.standard import framefeedback_factory
+from repro.netem.profiles import CONGESTED
+from repro.workloads.schedules import steady_schedule
+
+
+def test_metric_summary_statistics():
+    s = MetricSummary.from_values("x", [10.0, 12.0, 14.0])
+    assert s.mean == pytest.approx(12.0)
+    assert s.std == pytest.approx(2.0)
+    assert s.ci_half_width > 0
+    assert s.lo < s.mean < s.hi
+
+
+def test_metric_summary_single_value_has_zero_ci():
+    s = MetricSummary.from_values("x", [5.0])
+    assert s.std == 0.0
+    assert s.ci_half_width == 0.0
+
+
+def test_metric_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        MetricSummary.from_values("x", [])
+
+
+def test_run_across_seeds_requires_seeds():
+    scenario = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=300),
+    )
+    with pytest.raises(ValueError):
+        run_across_seeds(scenario, seeds=[])
+
+
+def test_run_across_seeds_summarizes_metric():
+    scenario = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=600),
+        network=steady_schedule(CONGESTED),
+    )
+    summary = run_across_seeds(scenario, seeds=(0, 1, 2))
+    assert len(summary.values) == 3
+    assert 10.0 < summary.mean < 30.0
+
+
+def test_compare_and_win_rate():
+    scenario = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=600),
+        network=steady_schedule(CONGESTED),
+    )
+    from repro.control.baselines import LocalOnlyController
+
+    summaries = compare_across_seeds(
+        scenario,
+        {
+            "FrameFeedback": framefeedback_factory(),
+            "LocalOnly": lambda c: LocalOnlyController(),
+        },
+        seeds=(0, 1),
+    )
+    assert set(summaries) == {"FrameFeedback", "LocalOnly"}
+    rate = win_rate(summaries, "FrameFeedback", "LocalOnly")
+    assert rate == 1.0
+
+
+def test_win_rate_mismatched_seed_sets_rejected():
+    a = MetricSummary.from_values("a", [1.0, 2.0])
+    b = MetricSummary.from_values("b", [1.0])
+    with pytest.raises(ValueError):
+        win_rate({"a": a, "b": b}, "a", "b")

@@ -1,0 +1,117 @@
+"""Tests for multi-device fleet scenarios."""
+
+import pytest
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.device.config import DeviceConfig
+from repro.experiments.fleet import (
+    FleetMember,
+    FleetScenario,
+    homogeneous_fleet,
+    run_fleet,
+)
+from repro.netem.link import LinkConditions
+from repro.server.batching import BatchPolicy
+from repro.workloads.loadgen import LoadSchedule
+
+
+def ff_factory(config):
+    return FrameFeedbackController(config.frame_rate)
+
+
+def test_fleet_validation():
+    with pytest.raises(ValueError):
+        FleetScenario(members=[], controller_factory=ff_factory)
+    dup = [
+        FleetMember(DeviceConfig(name="same", total_frames=10)),
+        FleetMember(DeviceConfig(name="same", total_frames=10)),
+    ]
+    with pytest.raises(ValueError):
+        FleetScenario(members=dup, controller_factory=ff_factory)
+    with pytest.raises(ValueError):
+        homogeneous_fleet(0)
+
+
+def test_three_pi_fleet_like_the_paper():
+    """§IV-A: three Pis streaming concurrently to one server."""
+    scenario = FleetScenario(
+        members=homogeneous_fleet(3, total_frames=900),
+        controller_factory=ff_factory,
+        seed=0,
+    )
+    result = run_fleet(scenario)
+    assert len(result.devices) == 3
+    # server has ample capacity for 90 fps total: everyone saturates
+    for name, qos in result.devices.items():
+        assert qos.mean_throughput > 22.0, name
+    assert result.jain_fairness() > 0.99
+    assert result.server_stats.received > 0
+
+
+def test_fleet_members_have_independent_links():
+    members = [
+        FleetMember(
+            DeviceConfig(name="good", total_frames=900),
+            link=LinkConditions(bandwidth=10.0),
+        ),
+        FleetMember(
+            DeviceConfig(name="bad", total_frames=900),
+            link=LinkConditions(bandwidth=1.0),
+        ),
+    ]
+    result = run_fleet(FleetScenario(members=members, controller_factory=ff_factory))
+    assert result.devices["good"].mean_throughput > 22.0
+    assert result.devices["bad"].mean_throughput == pytest.approx(13.0, abs=2.0)
+
+
+def test_fleet_determinism():
+    scenario = FleetScenario(
+        members=homogeneous_fleet(2, total_frames=600),
+        controller_factory=ff_factory,
+        seed=4,
+    )
+    a = run_fleet(scenario)
+    b = run_fleet(scenario)
+    assert a.throughputs() == b.throughputs()
+
+
+def test_large_fleet_saturates_server_gracefully():
+    """12 devices offer 360 fps to a ~140 fps server: every member
+    still keeps P >= ~P_l because its controller sheds load."""
+    scenario = FleetScenario(
+        members=homogeneous_fleet(12, total_frames=1200),
+        controller_factory=ff_factory,
+        seed=0,
+    )
+    result = run_fleet(scenario)
+    throughputs = result.throughputs()
+    assert all(v > 11.0 for v in throughputs.values())
+    # aggregate offloading stays near server capacity, not above
+    assert result.gpu_utilization > 0.7
+
+
+def test_fair_policy_raises_fairness_index_under_contention():
+    def contended(policy):
+        scenario = FleetScenario(
+            members=homogeneous_fleet(10, total_frames=1200),
+            controller_factory=ff_factory,
+            load=LoadSchedule.from_rows([(0, 60)]),
+            batch_policy=policy,
+            seed=2,
+        )
+        return run_fleet(scenario)
+
+    fifo = contended(BatchPolicy.FIFO)
+    fair = contended(BatchPolicy.FAIR)
+    assert fair.jain_fairness() >= fifo.jain_fairness() - 0.02
+    # both policies keep the fleet above the local floor
+    assert min(fair.throughputs().values()) > 11.0
+
+
+def test_fleet_run_duration_covers_longest_member():
+    members = [
+        FleetMember(DeviceConfig(name="short", total_frames=300)),
+        FleetMember(DeviceConfig(name="long", total_frames=900)),
+    ]
+    scenario = FleetScenario(members=members, controller_factory=ff_factory)
+    assert scenario.run_duration == pytest.approx(900 / 30.0 + 2.0)

@@ -1,0 +1,72 @@
+"""End-to-end runs on the other Table II hardware/model combinations.
+
+The headline experiments all use the paper's chosen pair (Pi 4B r1.2 +
+MobileNetV3Small).  The controller must work unchanged for the slower
+hardware and heavier models — different ``P_l`` floors, same dynamics.
+"""
+
+import pytest
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import framefeedback_factory
+from repro.models.device_profiles import PI_3B_1_2, PI_4B_1_2, PI_4B_1_4
+from repro.models.zoo import EFFICIENTNET_B0, MOBILENET_V3_SMALL
+from repro.netem.profiles import DEAD, IDEAL
+from repro.workloads.schedules import steady_schedule
+
+
+def run(profile, model, conditions, seconds=40, seed=0):
+    device = DeviceConfig(
+        profile=profile, model=model, total_frames=int(seconds * 30)
+    )
+    return run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=device,
+            network=steady_schedule(conditions),
+            seed=seed,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "profile,model,pl",
+    [
+        (PI_3B_1_2, MOBILENET_V3_SMALL, 5.5),
+        (PI_4B_1_2, EFFICIENTNET_B0, 2.5),
+        (PI_4B_1_4, EFFICIENTNET_B0, 4.2),
+    ],
+)
+def test_dead_link_floor_is_devices_own_pl(profile, model, pl):
+    """On a dead link every device falls back to its own Table II rate."""
+    result = run(profile, model, DEAD, seconds=60)
+    tail = result.traces.throughput.values[-20:]
+    assert tail.mean() == pytest.approx(pl, rel=0.2)
+    # the probe fixed point is hardware-independent (0.1 F_s)
+    po_tail = result.traces.offload_target.values[-20:]
+    assert po_tail.mean() == pytest.approx(3.0, abs=1.5)
+
+
+@pytest.mark.parametrize(
+    "profile,model",
+    [
+        (PI_3B_1_2, MOBILENET_V3_SMALL),
+        (PI_4B_1_2, EFFICIENTNET_B0),
+    ],
+)
+def test_ideal_link_saturates_regardless_of_hardware(profile, model):
+    """With a good link, offloading hides the local hardware entirely."""
+    result = run(profile, model, IDEAL, seconds=40)
+    # steady window before the stream ends (drain buckets excluded)
+    assert result.traces.throughput.mean_over(25.0, 39.0) > 27.0
+
+
+def test_slow_hardware_gains_the_most_from_offloading():
+    """§I's motivation: the weaker the device, the bigger the win."""
+    weak = run(PI_4B_1_2, EFFICIENTNET_B0, IDEAL, seconds=40)
+    strong = run(PI_4B_1_4, MOBILENET_V3_SMALL, IDEAL, seconds=40)
+    # both saturate at ~F_s, but the speedup factor over local differs
+    weak_gain = weak.qos.mean_throughput / 2.5
+    strong_gain = strong.qos.mean_throughput / 13.4
+    assert weak_gain > 4 * strong_gain

@@ -1,0 +1,157 @@
+"""Tests for result export and scenario serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.standard import framefeedback_factory
+from repro.io import (
+    export_run,
+    load_timeseries_csv,
+    qos_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+    timeseries_to_csv,
+)
+from repro.io.export import traces_to_csv
+from repro.metrics.timeseries import TimeSeries
+from repro.netem.profiles import CONGESTED
+from repro.workloads.schedules import steady_schedule, table_v_schedule
+
+
+def _series(name, pairs):
+    s = TimeSeries(name)
+    for t, v in pairs:
+        s.append(t, v)
+    return s
+
+
+# ----------------------------------------------------------------------
+# CSV round trips
+# ----------------------------------------------------------------------
+def test_single_series_csv_round_trip():
+    s = _series("p", [(0.0, 1.5), (1.0, 2.5)])
+    text = timeseries_to_csv(s, value_name="p")
+    back = load_timeseries_csv(text)
+    assert list(back["p"].times) == [0.0, 1.0]
+    assert list(back["p"].values) == [1.5, 2.5]
+
+
+def test_wide_csv_round_trip():
+    a = _series("a", [(0.0, 1.0), (1.0, 2.0)])
+    b = _series("b", [(0.0, 3.0), (1.0, 4.0)])
+    back = load_timeseries_csv(traces_to_csv({"a": a, "b": b}))
+    assert list(back["b"].values) == [3.0, 4.0]
+
+
+def test_wide_csv_rejects_misaligned_series():
+    a = _series("a", [(0.0, 1.0)])
+    b = _series("b", [(0.0, 3.0), (1.0, 4.0)])
+    with pytest.raises(ValueError):
+        traces_to_csv({"a": a, "b": b})
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(ValueError):
+        load_timeseries_csv("nonsense,header\n1,2\n")
+
+
+# ----------------------------------------------------------------------
+# full run export
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def run_result():
+    return run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=600),
+            network=steady_schedule(CONGESTED),
+            seed=0,
+        )
+    )
+
+
+def test_export_run_writes_artifacts(run_result, tmp_path):
+    paths = export_run(run_result, tmp_path / "out")
+    assert paths["traces"].exists()
+    assert paths["qos"].exists()
+
+    traces = load_timeseries_csv(paths["traces"].read_text())
+    assert "throughput" in traces and "offload_target" in traces
+    assert np.allclose(
+        traces["throughput"].values, run_result.traces.throughput.values
+    )
+
+    qos = json.loads(paths["qos"].read_text())
+    assert qos["controller"] == "FrameFeedback"
+    assert qos["qos"]["total_frames"] == 600
+    assert "timeout_attribution" in qos
+
+
+def test_qos_to_dict_fields(run_result):
+    d = qos_to_dict(run_result.qos)
+    assert d["name"] == "FrameFeedback"
+    assert 0.0 <= d["success_fraction"] <= 1.0
+
+
+def test_qos_to_dict_is_strict_json():
+    """NaN extras (e.g. RTT quantiles of a never-offloading run) must
+    serialize as null, not as invalid-JSON NaN tokens."""
+    from repro.metrics.qos import QosReport
+
+    q = QosReport(name="x", extras={"rtt_p50": float("nan")})
+    text = json.dumps(qos_to_dict(q), allow_nan=False)  # raises if NaN
+    assert json.loads(text)["extras"]["rtt_p50"] is None
+
+
+# ----------------------------------------------------------------------
+# scenario config round trip
+# ----------------------------------------------------------------------
+def test_scenario_round_trip_preserves_run():
+    original = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=600),
+        network=table_v_schedule(),
+        seed=7,
+    )
+    data = scenario_to_dict(original, "FrameFeedback")
+    rebuilt = scenario_from_dict(json.loads(json.dumps(data)))
+    a = run_scenario(original)
+    b = run_scenario(rebuilt)
+    assert np.array_equal(a.traces.throughput.values, b.traces.throughput.values)
+    assert a.qos.successful == b.qos.successful
+
+
+def test_scenario_dict_contents():
+    s = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=100),
+        network=table_v_schedule(),
+        seed=1,
+    )
+    d = scenario_to_dict(s, "FrameFeedback")
+    assert d["controller"] == "FrameFeedback"
+    assert d["device"]["total_frames"] == 100
+    assert d["network"][0] == [0.0, 10.0, 0.0]
+    assert "load" not in d
+
+
+def test_unknown_controller_rejected_both_ways():
+    s = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=100),
+    )
+    with pytest.raises(ValueError):
+        scenario_to_dict(s, "NotAController")
+    with pytest.raises(ValueError):
+        scenario_from_dict({"controller": "NotAController"})
+
+
+def test_minimal_config_uses_defaults():
+    scenario = scenario_from_dict({})
+    assert scenario.device.frame_rate == 30.0
+    assert scenario.device.total_frames == 4000
+    assert scenario.network is None

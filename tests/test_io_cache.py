@@ -1,0 +1,56 @@
+"""Tests for the content-addressed result cache."""
+
+import numpy as np
+import pytest
+
+from repro.io.cache import ResultCache, config_key
+
+BASE = {
+    "controller": "FrameFeedback",
+    "seed": 0,
+    "device": {"total_frames": 300},
+    "network": [[0, 4, 0]],
+}
+
+
+def test_key_is_stable_and_order_insensitive():
+    a = {"x": 1, "y": 2}
+    b = {"y": 2, "x": 1}
+    assert config_key(a) == config_key(b)
+    assert config_key(a) != config_key({"x": 1, "y": 3})
+    assert config_key(a, ("throughput",)) != config_key(a)
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = cache.run(BASE, trace_names=("throughput",))
+    assert (cache.hits, cache.misses) == (0, 1)
+    second = cache.run(BASE, trace_names=("throughput",))
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert second.mean_throughput == first.mean_throughput
+    assert np.array_equal(second.traces["throughput"], first.traces["throughput"])
+
+
+def test_cached_result_matches_fresh_execution(tmp_path):
+    from repro.experiments.parallel import execute_config
+
+    cache = ResultCache(tmp_path)
+    cached = cache.run(BASE)
+    fresh = execute_config(BASE)
+    assert cached.mean_throughput == fresh.mean_throughput
+    assert cached.successful == fresh.successful
+
+
+def test_different_configs_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    a = cache.run(BASE)
+    b = cache.run({**BASE, "seed": 1})
+    assert cache.misses == 2
+    assert a.seed != b.seed
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.run(BASE)
+    assert cache.clear() == 1
+    assert cache.get(BASE) is None

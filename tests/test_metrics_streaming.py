@@ -1,0 +1,103 @@
+"""Unit + property tests for the streaming histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.streaming import StreamingHistogram
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StreamingHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram(min_value=1.0, max_value=0.5)
+    with pytest.raises(ValueError):
+        StreamingHistogram(growth=1.0)
+    h = StreamingHistogram()
+    with pytest.raises(ValueError):
+        h.record(-1.0)
+    with pytest.raises(ValueError):
+        h.record(float("inf"))
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_empty_histogram():
+    h = StreamingHistogram()
+    assert np.isnan(h.mean)
+    assert np.isnan(h.quantile(0.5))
+    assert h.fraction_above(0.1) == 0.0
+
+
+def test_mean_is_exact():
+    h = StreamingHistogram()
+    values = [0.01, 0.02, 0.05, 0.2]
+    h.record_many(values)
+    assert h.mean == pytest.approx(np.mean(values))
+    assert h.count == 4
+
+
+def test_quantile_within_relative_error():
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(mean=np.log(0.1), sigma=0.5, size=20_000)
+    h = StreamingHistogram(min_value=1e-4, max_value=10.0, growth=1.05)
+    h.record_many(values)
+    for q in (0.5, 0.9, 0.95, 0.99):
+        exact = float(np.quantile(values, q))
+        approx = h.quantile(q)
+        assert approx == pytest.approx(exact, rel=0.06), q
+
+
+def test_out_of_range_values_clamp_to_edges():
+    h = StreamingHistogram(min_value=0.01, max_value=1.0)
+    h.record(1e-9)
+    h.record(100.0)
+    assert h.quantile(0.0) == pytest.approx(0.01)
+    assert h.quantile(1.0) == pytest.approx(1.0)
+
+
+def test_fraction_above_threshold():
+    h = StreamingHistogram()
+    h.record_many([0.1] * 90 + [1.0] * 10)
+    assert h.fraction_above(0.5) == pytest.approx(0.1, abs=0.02)
+
+
+def test_merge():
+    a = StreamingHistogram()
+    b = StreamingHistogram()
+    a.record_many([0.1] * 50)
+    b.record_many([0.2] * 50)
+    a.merge(b)
+    assert a.count == 100
+    assert a.mean == pytest.approx(0.15)
+    with pytest.raises(ValueError):
+        a.merge(StreamingHistogram(growth=1.2))
+
+
+def test_memory_is_bounded():
+    h = StreamingHistogram(min_value=1e-4, max_value=10.0, growth=1.05)
+    assert h.memory_bins < 300
+    for v in np.random.default_rng(1).uniform(0, 5, 10_000):
+        h.record(float(v))
+    assert h.memory_bins < 300  # unchanged: O(1) per insert
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-4, max_value=9.9), min_size=1, max_size=300
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_quantiles_monotone_and_bounded(values):
+    h = StreamingHistogram()
+    h.record_many(values)
+    qs = h.quantiles([0.0, 0.25, 0.5, 0.75, 1.0])
+    assert all(a <= b + 1e-12 for a, b in zip(qs, qs[1:]))
+    assert qs[0] >= h.min_value * 0.99
+    assert qs[-1] <= h.max_value * 1.01
+    # median within the histogram's guaranteed relative error of the
+    # nearest-rank definition (the histogram does not interpolate)
+    exact = float(np.quantile(np.asarray(values), 0.5, method="lower"))
+    assert h.quantile(0.5) == pytest.approx(exact, rel=0.08, abs=1e-4)

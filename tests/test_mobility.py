@@ -1,0 +1,119 @@
+"""Tests for mobility-driven network conditions."""
+
+import pytest
+
+from repro.workloads.mobility import (
+    RadioModel,
+    Trajectory,
+    Waypoint,
+    mobility_schedule,
+    patrol_loop,
+)
+
+
+# ----------------------------------------------------------------------
+# trajectory
+# ----------------------------------------------------------------------
+def test_trajectory_validation():
+    with pytest.raises(ValueError):
+        Trajectory([])
+    with pytest.raises(ValueError):
+        Trajectory([Waypoint(1.0, 0, 0)])  # must start at 0
+    with pytest.raises(ValueError):
+        Trajectory([Waypoint(0, 0, 0), Waypoint(0, 1, 1)])
+    with pytest.raises(ValueError):
+        Waypoint(-1.0, 0, 0)
+
+
+def test_position_interpolates_linearly():
+    traj = Trajectory([Waypoint(0, 0, 0), Waypoint(10, 100, 0)])
+    assert traj.position_at(5.0) == (50.0, 0.0)
+    assert traj.position_at(-1.0) == (0.0, 0.0)  # clamped
+    assert traj.position_at(99.0) == (100.0, 0.0)
+
+
+def test_distance_to_point():
+    traj = Trajectory([Waypoint(0, 3, 4)])
+    assert traj.distance_to(0.0, (0.0, 0.0)) == pytest.approx(5.0)
+
+
+# ----------------------------------------------------------------------
+# radio model
+# ----------------------------------------------------------------------
+def test_radio_validation():
+    with pytest.raises(ValueError):
+        RadioModel(bw_ref=0)
+    with pytest.raises(ValueError):
+        RadioModel(bw_floor=5, bw_ceiling=2)
+    with pytest.raises(ValueError):
+        RadioModel(loss_onset=50, loss_edge=40)
+    with pytest.raises(ValueError):
+        RadioModel(loss_max=1.0)
+
+
+def test_bandwidth_decreases_with_distance():
+    radio = RadioModel()
+    bws = [radio.bandwidth_at(d) for d in (5, 15, 30, 60, 120)]
+    assert all(a >= b for a, b in zip(bws, bws[1:]))
+    assert bws[0] == radio.bw_ceiling  # at reference distance, capped
+    assert bws[-1] >= radio.bw_floor
+
+
+def test_loss_zero_near_grows_far():
+    radio = RadioModel(loss_onset=40, loss_edge=80, loss_max=0.25)
+    assert radio.loss_at(30) == 0.0
+    assert radio.loss_at(60) == pytest.approx(0.125)
+    assert radio.loss_at(500) == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# schedule derivation
+# ----------------------------------------------------------------------
+def test_mobility_schedule_follows_motion():
+    traj = Trajectory([Waypoint(0, 5, 0), Waypoint(30, 100, 0)])
+    sched = mobility_schedule(traj, step=2.0)
+    near = sched.at(0.0)
+    far = sched.at(29.9)
+    assert near.bandwidth > far.bandwidth
+    assert near.loss == 0.0
+    assert far.loss > 0.0
+
+
+def test_mobility_schedule_validation():
+    traj = Trajectory([Waypoint(0, 5, 0)])
+    with pytest.raises(ValueError):
+        mobility_schedule(traj, step=0.0)
+
+
+def test_patrol_loop_sweeps_regimes():
+    traj = patrol_loop(lap_seconds=60.0, laps=2)
+    assert traj.duration == pytest.approx(120.0)
+    sched = mobility_schedule(traj, step=2.0)
+    bws = [p.conditions.bandwidth for p in sched.phases]
+    assert max(bws) == pytest.approx(10.0)
+    assert min(bws) < 2.0
+    with pytest.raises(ValueError):
+        patrol_loop(radius_near=10, radius_far=5)
+
+
+def test_framefeedback_on_patrol_beats_baselines():
+    """End to end: the guard's loop degrades and restores the link
+    twice; FrameFeedback rides the sweep."""
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.experiments.standard import standard_controllers
+
+    sched = mobility_schedule(patrol_loop(lap_seconds=60.0, laps=1), step=2.0)
+    qos = {}
+    for name, factory in standard_controllers().items():
+        result = run_scenario(
+            Scenario(
+                controller_factory=factory,
+                device=DeviceConfig(total_frames=1800),
+                network=sched,
+                seed=0,
+            )
+        )
+        qos[name] = result.qos.mean_throughput
+    assert qos["FrameFeedback"] >= max(qos.values()) - 0.5
+    assert qos["FrameFeedback"] > qos["LocalOnly"] + 2.0

@@ -1,0 +1,88 @@
+"""Unit + property tests for the §II-D accuracy estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import MODEL_ZOO, AccuracyModel, estimate_accuracy
+from repro.models.zoo import EFFICIENTNET_B4, MOBILENET_V3_SMALL
+
+
+def test_native_point_returns_table3_value():
+    for spec in MODEL_ZOO.values():
+        est = estimate_accuracy(spec, resolution=spec.input_resolution, jpeg_quality=95)
+        assert est == pytest.approx(spec.top1_accuracy, abs=1e-9)
+
+
+def test_zero_resolution_means_native():
+    est = estimate_accuracy(MOBILENET_V3_SMALL, resolution=0, jpeg_quality=95)
+    assert est == pytest.approx(MOBILENET_V3_SMALL.top1_accuracy)
+
+
+def test_larger_resolution_improves_accuracy():
+    """§II-D: 'using a larger resolution ... could improve accuracy'."""
+    base = estimate_accuracy(MOBILENET_V3_SMALL, 224, 95)
+    bigger = estimate_accuracy(MOBILENET_V3_SMALL, 448, 95)
+    assert bigger > base
+
+
+def test_lighter_compression_improves_accuracy():
+    """§II-D: 'Using lighter compression can improve accuracy.'"""
+    heavy = estimate_accuracy(MOBILENET_V3_SMALL, 224, 20)
+    light = estimate_accuracy(MOBILENET_V3_SMALL, 224, 90)
+    assert light > heavy
+
+
+def test_tiny_resolution_costs_a_lot():
+    est = estimate_accuracy(MOBILENET_V3_SMALL, 56, 95)
+    assert est < MOBILENET_V3_SMALL.top1_accuracy - 0.2
+
+
+def test_quality_above_knee_is_free():
+    a = estimate_accuracy(MOBILENET_V3_SMALL, 224, 80)
+    b = estimate_accuracy(MOBILENET_V3_SMALL, 224, 100)
+    assert a == pytest.approx(b)
+
+
+def test_b4_native_resolution_is_380():
+    est = estimate_accuracy(EFFICIENTNET_B4, 380, 95)
+    assert est == pytest.approx(EFFICIENTNET_B4.top1_accuracy)
+
+
+def test_invalid_inputs_rejected():
+    model = AccuracyModel(MOBILENET_V3_SMALL)
+    with pytest.raises(ValueError):
+        model.estimate(resolution=8)
+    with pytest.raises(ValueError):
+        model.estimate(jpeg_quality=0)
+
+
+@given(
+    res=st.integers(min_value=16, max_value=2048),
+    quality=st.floats(min_value=1, max_value=100),
+)
+@settings(max_examples=200, deadline=None)
+def test_estimate_always_a_probability(res, quality):
+    est = estimate_accuracy(MOBILENET_V3_SMALL, res, quality)
+    assert 0.0 <= est <= 1.0
+
+
+@given(
+    res=st.integers(min_value=32, max_value=1024),
+    q_lo=st.floats(min_value=1, max_value=99),
+    dq=st.floats(min_value=0.1, max_value=50),
+)
+@settings(max_examples=200, deadline=None)
+def test_estimate_monotone_in_quality(res, q_lo, dq):
+    q_hi = min(q_lo + dq, 100.0)
+    lo = estimate_accuracy(MOBILENET_V3_SMALL, res, q_lo)
+    hi = estimate_accuracy(MOBILENET_V3_SMALL, res, q_hi)
+    assert hi >= lo - 1e-12
+
+
+@given(res=st.integers(min_value=16, max_value=1024))
+@settings(max_examples=200, deadline=None)
+def test_estimate_monotone_in_resolution(res):
+    lo = estimate_accuracy(MOBILENET_V3_SMALL, res, 95)
+    hi = estimate_accuracy(MOBILENET_V3_SMALL, res + 16, 95)
+    assert hi >= lo - 1e-12

@@ -1,0 +1,88 @@
+"""Unit tests for the model zoo and device profiles (Tables II/III)."""
+
+import pytest
+
+from repro.models import (
+    DEVICE_PROFILES,
+    EFFICIENTNET_B0,
+    EFFICIENTNET_B4,
+    MOBILENET_V3_LARGE,
+    MOBILENET_V3_SMALL,
+    MODEL_ZOO,
+    PI_3B_1_2,
+    PI_4B_1_2,
+    PI_4B_1_4,
+    get_model,
+    local_rate,
+)
+
+
+def test_zoo_has_all_four_paper_models():
+    assert set(MODEL_ZOO) == {
+        "mobilenet_v3_small",
+        "mobilenet_v3_large",
+        "efficientnet_b0",
+        "efficientnet_b4",
+    }
+
+
+def test_table3_accuracies_verbatim():
+    assert EFFICIENTNET_B0.top1_accuracy == pytest.approx(0.771)
+    assert EFFICIENTNET_B4.top1_accuracy == pytest.approx(0.829)
+    assert MOBILENET_V3_SMALL.top1_accuracy == pytest.approx(0.674)
+    assert MOBILENET_V3_LARGE.top1_accuracy == pytest.approx(0.752)
+
+
+def test_input_resolutions_match_paper():
+    """§II-D: all 224x224 except EfficientNetB4 at 380x380."""
+    assert MOBILENET_V3_SMALL.input_resolution == 224
+    assert MOBILENET_V3_LARGE.input_resolution == 224
+    assert EFFICIENTNET_B0.input_resolution == 224
+    assert EFFICIENTNET_B4.input_resolution == 380
+
+
+def test_get_model_by_key_and_display_name():
+    assert get_model("mobilenet_v3_small") is MOBILENET_V3_SMALL
+    assert get_model("MobileNetV3Small") is MOBILENET_V3_SMALL
+    with pytest.raises(KeyError):
+        get_model("resnet50")
+
+
+def test_compute_cost_ordering_matches_table2():
+    """EfficientNetB0 is ~5.2x MobileNetV3Small (13 / 2.5 on 4B r1.2)."""
+    assert EFFICIENTNET_B0.compute_cost == pytest.approx(13.0 / 2.5, rel=0.01)
+    assert MOBILENET_V3_SMALL.compute_cost == 1.0
+    assert EFFICIENTNET_B4.compute_cost > EFFICIENTNET_B0.compute_cost
+
+
+def test_table2_measured_rates_verbatim():
+    assert local_rate(PI_3B_1_2, MOBILENET_V3_SMALL) == pytest.approx(5.5)
+    assert local_rate(PI_4B_1_2, MOBILENET_V3_SMALL) == pytest.approx(13.0)
+    assert local_rate(PI_4B_1_4, MOBILENET_V3_SMALL) == pytest.approx(13.4)
+    assert local_rate(PI_3B_1_2, EFFICIENTNET_B0) == pytest.approx(1.8)
+    assert local_rate(PI_4B_1_2, EFFICIENTNET_B0) == pytest.approx(2.5)
+    assert local_rate(PI_4B_1_4, EFFICIENTNET_B0) == pytest.approx(4.2)
+
+
+def test_table2_hardware_columns_verbatim():
+    assert (PI_3B_1_2.cpus, PI_3B_1_2.cpu_mhz) == (4, 1200)
+    assert (PI_4B_1_2.cpus, PI_4B_1_2.cpu_mhz) == (4, 1500)
+    assert (PI_4B_1_4.cpus, PI_4B_1_4.cpu_mhz) == (4, 1800)
+
+
+def test_unmeasured_pair_extrapolates_below_anchor():
+    """MobileNetV3Large wasn't measured: rate scales down from Small."""
+    rate = local_rate(PI_4B_1_2, MOBILENET_V3_LARGE)
+    assert 0 < rate < 13.0
+    # heavier than Large: B4 must be slower still
+    assert local_rate(PI_4B_1_2, EFFICIENTNET_B4) < rate
+
+
+def test_local_rate_accepts_string_names():
+    assert local_rate(PI_4B_1_2, "mobilenet_v3_small") == pytest.approx(13.0)
+
+
+def test_device_profiles_registry():
+    assert set(DEVICE_PROFILES) == {"pi3b_r1_2", "pi4b_r1_2", "pi4b_r1_4"}
+    assert PI_4B_1_2.relative_speed == pytest.approx(1.0)
+    assert PI_3B_1_2.relative_speed < 1.0 < PI_4B_1_4.relative_speed

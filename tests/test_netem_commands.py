@@ -1,0 +1,61 @@
+"""Tests for the tc/NetEm command generator."""
+
+import pytest
+
+from repro.netem.commands import schedule_script, tc_commands, unit_equivalence_note
+from repro.netem.link import LinkConditions
+from repro.workloads.schedules import table_v_schedule
+
+
+def test_rate_limit_reflects_bandwidth():
+    cmds = tc_commands(LinkConditions(bandwidth=10.0), interface="eth0")
+    assert len(cmds) == 2
+    assert "tbf rate 3200kbit" in cmds[0]
+    assert "dev eth0" in cmds[0]
+
+
+def test_lossless_has_no_loss_clause():
+    cmds = tc_commands(LinkConditions(loss=0.0))
+    assert "loss" not in cmds[1]
+    assert "delay 8.0ms" in cmds[1]
+
+
+def test_iid_loss_clause():
+    cmds = tc_commands(LinkConditions(loss=0.07))
+    assert "loss 7%" in cmds[1]
+
+
+def test_bursty_loss_uses_gemodel():
+    cmds = tc_commands(LinkConditions(loss=0.07, loss_burst=10.0))
+    assert "gemodel" in cmds[1]
+    assert "10.000%" in cmds[1]  # p_bad_to_good = 1/burst
+
+
+def test_jitter_renders_normal_distribution():
+    cmds = tc_commands(LinkConditions(jitter_sigma=0.003))
+    assert "3.0ms distribution normal" in cmds[1]
+    flat = tc_commands(LinkConditions(jitter_sigma=0.0))
+    assert "distribution" not in flat[1]
+
+
+def test_replace_uses_change_verb():
+    cmds = tc_commands(LinkConditions(), replace=True)
+    assert all("qdisc change" in c for c in cmds)
+
+
+def test_schedule_script_replays_table_v():
+    script = schedule_script(table_v_schedule(), interface="wlan1")
+    lines = script.splitlines()
+    assert lines[0] == "#!/bin/sh"
+    assert script.count("sleep") == 5  # six phases, five gaps
+    assert "sleep 30" in script
+    assert "sleep 15" in script
+    assert "loss 7%" in script
+    assert "dev wlan1" in script
+    # first phase adds, later phases change
+    assert script.count("qdisc add") == 2
+    assert script.count("qdisc change") == 10
+
+
+def test_unit_note_mentions_calibration():
+    assert "320 kbit/s" in unit_equivalence_note()

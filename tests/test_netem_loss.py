@@ -1,0 +1,92 @@
+"""Tests for the Gilbert-Elliott bursty-loss model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netem.loss import GilbertElliottChain, GilbertElliottParams
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottParams(p_good_to_bad=1.5, p_bad_to_good=0.5)
+    with pytest.raises(ValueError):
+        GilbertElliottParams.from_average(1.0, 5.0)
+    with pytest.raises(ValueError):
+        GilbertElliottParams.from_average(0.1, 0.5)
+
+
+def test_zero_loss_params():
+    p = GilbertElliottParams.from_average(0.0, 5.0)
+    assert p.stationary_loss == 0.0
+
+
+def test_from_average_round_trips():
+    p = GilbertElliottParams.from_average(0.07, 8.0)
+    assert p.stationary_loss == pytest.approx(0.07)
+    assert p.mean_burst_length == pytest.approx(8.0)
+
+
+@given(
+    loss=st.floats(min_value=0.01, max_value=0.5),
+    burst=st.floats(min_value=1.0, max_value=50.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_from_average_properties(loss, burst):
+    p = GilbertElliottParams.from_average(loss, burst)
+    assert p.stationary_loss == pytest.approx(loss, rel=1e-9)
+    assert p.mean_burst_length == pytest.approx(burst, rel=1e-9)
+
+
+def test_chain_empirical_loss_matches_average():
+    p = GilbertElliottParams.from_average(0.10, 6.0)
+    chain = GilbertElliottChain()
+    rng = np.random.default_rng(0)
+    n = 200_000
+    losses = sum(chain.step(p, rng) for _ in range(n))
+    assert losses / n == pytest.approx(0.10, abs=0.01)
+
+
+def test_chain_losses_are_bursty():
+    """Conditional loss probability given a previous loss must far
+    exceed the unconditional rate."""
+    p = GilbertElliottParams.from_average(0.07, 10.0)
+    chain = GilbertElliottChain()
+    rng = np.random.default_rng(1)
+    seq = [chain.step(p, rng) for _ in range(100_000)]
+    arr = np.asarray(seq)
+    cond = arr[1:][arr[:-1]].mean()  # P(loss | previous loss)
+    assert cond > 5 * arr.mean()
+    assert cond == pytest.approx(1.0 - p.p_bad_to_good, abs=0.03)
+
+
+def test_chain_reset():
+    chain = GilbertElliottChain()
+    chain._bad = True
+    chain.reset()
+    assert not chain.in_bad_state
+
+
+def test_link_uses_ge_chain_when_burst_configured():
+    """A bursty link at the same average loss produces longer stalls
+    (more consecutive retransmissions) than an i.i.d. one."""
+    from repro.netem.link import ConditionBox, Link, LinkConditions
+    from repro.sim import Environment
+
+    def max_gap(loss_burst, seed=3):
+        env = Environment()
+        cond = LinkConditions(
+            bandwidth=10.0, loss=0.15, jitter_sigma=0.0, loss_burst=loss_burst
+        )
+        link = Link(env, np.random.default_rng(seed), ConditionBox(cond),
+                    queue_bytes_cap=1e9)
+        times = []
+        for i in range(400):
+            link.send(11_700, i, lambda p: times.append(env.now))
+        env.run()
+        gaps = np.diff(times)
+        return float(np.max(gaps)) if len(gaps) else 0.0
+
+    # same average loss; bursts concentrate stalls into longer outages
+    assert max_gap(loss_burst=12.0) > max_gap(loss_burst=1.0)

@@ -1,0 +1,83 @@
+"""Unit tests for network schedules (Table V machinery)."""
+
+import pytest
+
+from repro.netem import ConditionBox, LinkConditions, NetworkSchedule, SchedulePhase
+from repro.netem.profiles import named_profile
+from repro.sim import Environment
+from repro.workloads.schedules import TABLE_V_NETWORK, table_v_schedule
+
+
+def test_empty_schedule_rejected():
+    with pytest.raises(ValueError):
+        NetworkSchedule([])
+
+
+def test_first_phase_must_start_at_zero():
+    with pytest.raises(ValueError):
+        NetworkSchedule([SchedulePhase(5.0, LinkConditions())])
+
+
+def test_duplicate_starts_rejected():
+    with pytest.raises(ValueError):
+        NetworkSchedule(
+            [
+                SchedulePhase(0.0, LinkConditions()),
+                SchedulePhase(0.0, LinkConditions(bandwidth=4)),
+            ]
+        )
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SchedulePhase(-1.0, LinkConditions())
+
+
+def test_at_returns_phase_in_effect():
+    sched = table_v_schedule()
+    assert sched.at(0.0).bandwidth == 10.0
+    assert sched.at(29.9).bandwidth == 10.0
+    assert sched.at(30.0).bandwidth == 4.0
+    assert sched.at(50.0).bandwidth == 1.0
+    assert sched.at(95.0).loss == pytest.approx(0.07)
+    assert sched.at(1e9).bandwidth == 4.0  # final phase is open-ended
+
+
+def test_table_v_rows_verbatim():
+    """Table V of the paper, row for row."""
+    assert TABLE_V_NETWORK == (
+        (0.0, 10.0, 0.0),
+        (30.0, 4.0, 0.0),
+        (45.0, 1.0, 0.0),
+        (60.0, 10.0, 0.0),
+        (90.0, 10.0, 7.0),
+        (105.0, 4.0, 7.0),
+    )
+
+
+def test_phases_sorted_regardless_of_input_order():
+    sched = NetworkSchedule(
+        [
+            SchedulePhase(10.0, LinkConditions(bandwidth=4)),
+            SchedulePhase(0.0, LinkConditions(bandwidth=10)),
+        ]
+    )
+    assert sched.change_times == [0.0, 10.0]
+
+
+def test_install_drives_box_through_phases():
+    env = Environment()
+    sched = NetworkSchedule.from_rows([(0, 10, 0), (5, 4, 0), (8, 1, 7)])
+    box = ConditionBox(sched.at(0.0))
+    changes = []
+    sched.install(env, box, on_change=lambda t, c: changes.append((t, c.bandwidth)))
+    env.run(until=10.0)
+    assert changes == [(0.0, 10.0), (5.0, 4.0), (8.0, 1.0)]
+    assert box.conditions.loss == pytest.approx(0.07)
+
+
+def test_named_profiles():
+    assert named_profile("ideal").bandwidth == 10.0
+    assert named_profile("severe").loss == pytest.approx(0.07)
+    with pytest.raises(KeyError):
+        named_profile("nonexistent")

@@ -1,0 +1,129 @@
+"""Tests for synthetic network trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.netem.traces import from_trace, random_walk_schedule, sawtooth_schedule
+
+
+# ----------------------------------------------------------------------
+# from_trace
+# ----------------------------------------------------------------------
+def test_from_trace_basic():
+    sched = from_trace([0.0, 5.0, 10.0], [10.0, 4.0, 1.0], [0.0, 0.07, 0.0])
+    assert sched.at(0.0).bandwidth == 10.0
+    assert sched.at(7.0).loss == pytest.approx(0.07)
+    assert sched.at(12.0).bandwidth == 1.0
+
+
+def test_from_trace_validation():
+    with pytest.raises(ValueError):
+        from_trace([0.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        from_trace([0.0], [1.0], [0.0, 0.1])
+    with pytest.raises(ValueError):
+        from_trace([], [])
+
+
+# ----------------------------------------------------------------------
+# random walk
+# ----------------------------------------------------------------------
+def test_random_walk_stays_in_range():
+    sched = random_walk_schedule(
+        duration=300.0,
+        rng=np.random.default_rng(0),
+        bandwidth_range=(1.0, 10.0),
+        volatility=0.5,
+    )
+    for phase in sched.phases:
+        assert 1.0 <= phase.conditions.bandwidth <= 10.0
+        assert phase.conditions.loss in (0.0, 0.07)
+
+
+def test_random_walk_actually_moves():
+    sched = random_walk_schedule(duration=200.0, rng=np.random.default_rng(1))
+    bws = {p.conditions.bandwidth for p in sched.phases}
+    assert len(bws) > 10
+
+
+def test_random_walk_step_spacing():
+    sched = random_walk_schedule(
+        duration=20.0, rng=np.random.default_rng(2), step_period=2.0
+    )
+    starts = sched.change_times
+    assert starts == [i * 2.0 for i in range(10)]
+
+
+def test_random_walk_deterministic_per_seed():
+    a = random_walk_schedule(60.0, np.random.default_rng(5))
+    b = random_walk_schedule(60.0, np.random.default_rng(5))
+    assert [p.conditions for p in a.phases] == [p.conditions for p in b.phases]
+
+
+def test_random_walk_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        random_walk_schedule(0.0, rng)
+    with pytest.raises(ValueError):
+        random_walk_schedule(10.0, rng, bandwidth_range=(5.0, 2.0))
+    with pytest.raises(ValueError):
+        random_walk_schedule(10.0, rng, volatility=-1.0)
+
+
+def test_random_walk_loss_episodes_occur():
+    sched = random_walk_schedule(
+        duration=600.0,
+        rng=np.random.default_rng(3),
+        loss_episode_rate=0.1,
+    )
+    lossy = sum(1 for p in sched.phases if p.conditions.loss > 0)
+    assert lossy > 10
+
+
+# ----------------------------------------------------------------------
+# sawtooth
+# ----------------------------------------------------------------------
+def test_sawtooth_hits_high_and_low():
+    sched = sawtooth_schedule(duration=60.0, period=30.0, high=10.0, low=2.0)
+    bws = [p.conditions.bandwidth for p in sched.phases]
+    assert max(bws) == pytest.approx(10.0)
+    assert min(bws) == pytest.approx(2.0, abs=1.7)  # one step above the floor
+
+
+def test_sawtooth_is_periodic():
+    sched = sawtooth_schedule(duration=60.0, period=30.0, steps_per_ramp=3)
+    assert sched.at(5.0).bandwidth == pytest.approx(sched.at(35.0).bandwidth)
+
+
+def test_sawtooth_validation():
+    with pytest.raises(ValueError):
+        sawtooth_schedule(0.0)
+    with pytest.raises(ValueError):
+        sawtooth_schedule(10.0, steps_per_ramp=0)
+    with pytest.raises(ValueError):
+        sawtooth_schedule(10.0, high=1.0, low=5.0)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: controllers on a drifting network
+# ----------------------------------------------------------------------
+def test_framefeedback_tracks_random_walk():
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, run_scenario
+    from repro.experiments.standard import framefeedback_factory
+
+    sched = random_walk_schedule(
+        60.0, np.random.default_rng(7), bandwidth_range=(2.0, 10.0), volatility=0.3
+    )
+    result = run_scenario(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=1800),
+            network=sched,
+            seed=0,
+        )
+    )
+    # stays above the local floor throughout the drift
+    assert result.qos.mean_throughput > 12.0
+    # and actually uses the good periods (beats local-only on average)
+    assert result.qos.mean_throughput > 14.0

@@ -1,0 +1,90 @@
+"""Tests for the TCP inference server + socket client (wall clock)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.realtime.netserver import InferenceServer, SocketRemote
+from repro.realtime.runtime import RealTimeLoop
+
+
+def test_single_request_completes():
+    with InferenceServer(base_latency=0.005, per_item=0.001) as server:
+        remote = SocketRemote(server.address, frame_bytes=1_000)
+        assert remote.submit() is True
+    assert server.stats.completed == 1
+    assert server.stats.rejected == 0
+
+
+def test_payload_size_validated():
+    with pytest.raises(ValueError):
+        SocketRemote(("127.0.0.1", 1), frame_bytes=0)
+    with pytest.raises(ValueError):
+        InferenceServer(batch_limit=0)
+
+
+def test_unreachable_server_fails_cleanly():
+    remote = SocketRemote(("127.0.0.1", 1), frame_bytes=100, timeout=0.2)
+    assert remote.submit() is False
+
+
+def test_oversized_payload_rejected():
+    with InferenceServer() as server:
+        remote = SocketRemote(server.address, frame_bytes=2 << 20, timeout=2.0)
+        assert remote.submit() is False
+
+
+def test_concurrent_requests_batch_together():
+    with InferenceServer(base_latency=0.05, per_item=0.0) as server:
+        remote = SocketRemote(server.address, frame_bytes=500, timeout=2.0)
+        results = []
+
+        def worker():
+            results.append(remote.submit())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+    assert all(results)
+    # 8 requests in far fewer than 8 batches proves batching happened
+    assert server.stats.batches < 8
+    assert server.stats.completed == 8
+
+
+def test_flood_beyond_batch_limit_rejects():
+    with InferenceServer(batch_limit=2, base_latency=0.2, per_item=0.0) as server:
+        remote = SocketRemote(server.address, frame_bytes=200, timeout=3.0)
+        results = []
+
+        def worker():
+            results.append(remote.submit())
+
+        threads = [threading.Thread(target=worker) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+    assert results.count(False) > 0
+    assert server.stats.rejected > 0
+    assert server.stats.completed + server.stats.rejected == 10
+
+
+def test_framefeedback_over_real_sockets():
+    """The full closed loop over actual TCP: FrameFeedback ramps up
+    against a healthy server on localhost."""
+    with InferenceServer(base_latency=0.01, per_item=0.002) as server:
+        remote = SocketRemote(server.address, frame_bytes=2_000, timeout=1.0)
+        loop = RealTimeLoop(
+            FrameFeedbackController(30.0),
+            remote=remote,
+            local_latency=0.02,
+            deadline=0.25,
+        )
+        result = loop.run(duration=5.0)
+    assert len(result.times) >= 4
+    assert result.offload_target[-1] >= 9.0  # ramped ~3 fps/s
+    assert server.stats.completed > 20

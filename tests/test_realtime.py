@@ -1,0 +1,69 @@
+"""Tests for the wall-clock runtime (kept short: real seconds elapse)."""
+
+import pytest
+
+from repro.control.baselines import LocalOnlyController
+from repro.control.framefeedback import FrameFeedbackController
+from repro.realtime import FakeRemote, RealTimeLoop, calibrated_spin
+from repro.realtime.fakework import RemoteConditions
+
+
+def test_calibrated_spin_roughly_hits_target():
+    elapsed = calibrated_spin(0.05)
+    assert 0.01 < elapsed < 0.5  # generous: CI machines vary
+
+
+def test_calibrated_spin_rejects_negative():
+    with pytest.raises(ValueError):
+        calibrated_spin(-1.0)
+
+
+def test_fake_remote_honours_failure_probability():
+    remote = FakeRemote(seed=0)
+    remote.set_conditions(
+        RemoteConditions(latency=0.0, jitter=0.0, failure_probability=1.0)
+    )
+    assert remote.submit() is False
+    remote.set_conditions(
+        RemoteConditions(latency=0.0, jitter=0.0, failure_probability=0.0)
+    )
+    assert remote.submit() is True
+
+
+def test_loop_validates_parameters():
+    with pytest.raises(ValueError):
+        RealTimeLoop(LocalOnlyController(), frame_rate=0.0)
+
+
+def test_real_time_framefeedback_ramps_on_good_remote():
+    """Wall-clock closed loop: with a fast reliable remote, the same
+    FrameFeedback object used in the simulator ramps offloading up."""
+    remote = FakeRemote(seed=1)
+    remote.set_conditions(
+        RemoteConditions(latency=0.02, jitter=0.002, failure_probability=0.0)
+    )
+    loop = RealTimeLoop(
+        FrameFeedbackController(30.0),
+        remote=remote,
+        local_latency=0.03,
+    )
+    result = loop.run(duration=5.0)
+    assert len(result.times) >= 4
+    assert result.offload_target[-1] > result.offload_target[0]
+    assert result.offload_target[-1] >= 9.0  # ramped at ~3 fps/s
+
+
+def test_real_time_framefeedback_backs_off_on_bad_remote():
+    remote = FakeRemote(seed=2)
+    remote.set_conditions(
+        RemoteConditions(latency=0.02, jitter=0.002, failure_probability=1.0)
+    )
+    loop = RealTimeLoop(
+        FrameFeedbackController(30.0),
+        remote=remote,
+        local_latency=0.03,
+    )
+    result = loop.run(duration=6.0)
+    # with everything failing, target must stay near the probe floor
+    assert result.offload_target[-1] <= 9.0
+    assert max(result.timeout_rate) > 0

@@ -1,0 +1,83 @@
+"""Tests for the asyncio runtime (kept short: real seconds elapse)."""
+
+import asyncio
+
+import pytest
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.realtime.aio import AsyncFakeRemote, AsyncRealTimeLoop
+from repro.realtime.fakework import RemoteConditions
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AsyncRealTimeLoop(FrameFeedbackController(30.0), None, frame_rate=0.0)
+
+
+def test_async_remote_failure_probability():
+    remote = AsyncFakeRemote(seed=0)
+    remote.conditions = RemoteConditions(
+        latency=0.0, jitter=0.0, failure_probability=1.0
+    )
+    assert run(remote.submit()) is False
+    remote.conditions = RemoteConditions(
+        latency=0.0, jitter=0.0, failure_probability=0.0
+    )
+    assert run(remote.submit()) is True
+
+
+def test_framefeedback_ramps_on_asyncio():
+    remote = AsyncFakeRemote(seed=1)
+    remote.conditions = RemoteConditions(
+        latency=0.02, jitter=0.002, failure_probability=0.0
+    )
+    loop = AsyncRealTimeLoop(
+        FrameFeedbackController(30.0), remote.submit, local_latency=0.02
+    )
+    result = run(loop.run(duration=5.0))
+    assert len(result.times) >= 4
+    assert result.offload_target[-1] >= 9.0
+
+
+def test_framefeedback_backs_off_on_asyncio():
+    remote = AsyncFakeRemote(seed=2)
+    remote.conditions = RemoteConditions(
+        latency=0.02, jitter=0.002, failure_probability=1.0
+    )
+    loop = AsyncRealTimeLoop(
+        FrameFeedbackController(30.0), remote.submit, local_latency=0.02
+    )
+    result = run(loop.run(duration=6.0))
+    assert result.offload_target[-1] <= 9.0
+    assert max(result.timeout_rate) > 0
+
+
+def test_mid_run_degradation_triggers_backoff():
+    async def scenario():
+        remote = AsyncFakeRemote(seed=3)
+        remote.conditions = RemoteConditions(
+            latency=0.02, jitter=0.0, failure_probability=0.0
+        )
+        loop = AsyncRealTimeLoop(
+            FrameFeedbackController(30.0), remote.submit, local_latency=0.02
+        )
+
+        async def degrade():
+            await asyncio.sleep(4.0)
+            remote.conditions = RemoteConditions(
+                latency=0.3, jitter=0.05, failure_probability=0.4
+            )
+
+        task = asyncio.create_task(degrade())
+        result = await loop.run(duration=8.0)
+        await task
+        return result
+
+    result = run(scenario())
+    peak = max(result.offload_target[:5])
+    final = result.offload_target[-1]
+    assert final < peak  # backed off after the degradation

@@ -1,0 +1,71 @@
+"""Tests for the wall-clock remote-condition schedule."""
+
+import time
+
+import pytest
+
+from repro.realtime import FakeRemote, RemotePhase, RemoteSchedule
+from repro.realtime.fakework import RemoteConditions
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RemoteSchedule([])
+    with pytest.raises(ValueError):
+        RemoteSchedule([RemotePhase(1.0, RemoteConditions())])
+    with pytest.raises(ValueError):
+        RemoteSchedule(
+            [
+                RemotePhase(0.0, RemoteConditions()),
+                RemotePhase(0.0, RemoteConditions()),
+            ]
+        )
+    with pytest.raises(ValueError):
+        RemotePhase(-1.0, RemoteConditions())
+
+
+def test_from_rows_and_lookup():
+    sched = RemoteSchedule.from_rows(
+        [(0, 0.05, 0.01, 0.0), (5, 0.2, 0.05, 0.3)]
+    )
+    assert sched.conditions_at(0.0).latency == pytest.approx(0.05)
+    assert sched.conditions_at(4.9).failure_probability == 0.0
+    assert sched.conditions_at(5.0).failure_probability == pytest.approx(0.3)
+    assert sched.conditions_at(100.0).latency == pytest.approx(0.2)
+
+
+def test_install_applies_phases_in_real_time():
+    remote = FakeRemote()
+    sched = RemoteSchedule.from_rows(
+        [(0, 0.01, 0.0, 0.0), (0.3, 0.09, 0.0, 0.5)]
+    )
+    sched.install(remote)
+    try:
+        assert remote.conditions.latency == pytest.approx(0.01)
+        time.sleep(0.6)
+        assert remote.conditions.latency == pytest.approx(0.09)
+        assert remote.conditions.failure_probability == pytest.approx(0.5)
+    finally:
+        sched.stop()
+
+
+def test_double_install_rejected():
+    remote = FakeRemote()
+    sched = RemoteSchedule.from_rows([(0, 0.01, 0.0, 0.0)])
+    sched.install(remote)
+    try:
+        with pytest.raises(RuntimeError):
+            sched.install(remote)
+    finally:
+        sched.stop()
+
+
+def test_stop_halts_future_phases():
+    remote = FakeRemote()
+    sched = RemoteSchedule.from_rows(
+        [(0, 0.01, 0.0, 0.0), (10.0, 0.5, 0.0, 0.9)]
+    )
+    sched.install(remote)
+    sched.stop()
+    time.sleep(0.1)
+    assert remote.conditions.latency == pytest.approx(0.01)

@@ -1,0 +1,95 @@
+"""Tests for terminal reporting (tables, sparklines, renderers)."""
+
+import pytest
+
+from repro.experiments.report import (
+    ascii_table,
+    phase_table,
+    series_panel,
+    spark,
+)
+from repro.metrics.qos import PhaseSummary
+from repro.metrics.timeseries import TimeSeries
+
+
+def _series(values):
+    s = TimeSeries("x")
+    for i, v in enumerate(values):
+        s.append(float(i), float(v))
+    return s
+
+
+def test_ascii_table_aligns_columns():
+    out = ascii_table(["a", "long_header"], [["1", "2"], ["333", "4"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[:2])
+    assert "long_header" in lines[0]
+
+
+def test_ascii_table_stringifies_cells():
+    out = ascii_table(["n"], [[42], [3.5]])
+    assert "42" in out and "3.5" in out
+
+
+def test_spark_length_and_scale():
+    out = spark(_series([0] * 30 + [30] * 30), width=10, vmax=30)
+    assert len(out) == 10
+    assert out[0] == " "  # zero level
+    assert out[-1] == "@"  # full level
+
+
+def test_spark_empty_series():
+    assert spark(TimeSeries()) == "(empty)"
+
+
+def test_spark_clips_above_vmax():
+    out = spark(_series([100] * 10), width=5, vmax=30)
+    assert out == "@@@@@"
+
+
+def test_series_panel_shared_scale():
+    panel = series_panel({"a": _series([1, 2, 3]), "bb": _series([30, 30, 30])})
+    lines = panel.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("a ")
+    assert lines[1].startswith("bb")
+    assert "max=30.0" in lines[0]
+
+
+def test_phase_table_includes_winner():
+    phases = [
+        PhaseSummary(0, 10, "p1", {"A": 10.0, "B": 20.0}),
+        PhaseSummary(10, 20, "p2", {"A": 30.0, "B": 5.0}),
+    ]
+    out = phase_table(phases)
+    assert "winner" in out
+    lines = out.splitlines()
+    assert lines[2].rstrip().endswith("B")
+    assert lines[3].rstrip().endswith("A")
+
+
+def test_render_functions_produce_text():
+    """Smoke the experiment renderers on small runs."""
+    from repro.experiments.fig2 import run_fig2
+    from repro.experiments.report import (
+        render_fig2,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+    from repro.experiments.table2 import run_table2
+    from repro.experiments.table3 import run_table3, run_tradeoff_sweep
+    from repro.experiments.table4 import paper_settings_rows
+
+    fig2 = render_fig2(run_fig2(gains=[(0.2, 0.26)], duration=35.0))
+    assert "Fig 2" in fig2 and "Kp=0.2" in fig2
+
+    t2 = render_table2(run_table2(duration=20.0))
+    assert "Table II" in t2 and "MobileNetV3Small" in t2
+
+    t3 = render_table3(run_table3(), run_tradeoff_sweep())
+    assert "77.1%" in t3
+
+    t4 = render_table4(paper_settings_rows(), [])
+    assert "K_P" in t4 and "0.2" in t4

@@ -1,0 +1,49 @@
+"""Smoke tests for the fig3/fig4 renderers on miniature runs."""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.report import render_fig3, render_fig4
+
+
+@pytest.fixture(scope="module")
+def tiny_fig3():
+    # 40 s covers the first two Table V phases; enough for rendering
+    return run_fig3(seed=0, total_frames=1200)
+
+
+@pytest.fixture(scope="module")
+def tiny_fig4():
+    return run_fig4(seed=0, total_frames=1200)
+
+
+def test_render_fig3_contains_all_series(tiny_fig3):
+    out = render_fig3(tiny_fig3)
+    for name in ("FrameFeedback", "LocalOnly", "AlwaysOffload", "AllOrNothing"):
+        assert name in out
+    assert "FF P_o (target)" in out
+    assert "winner" in out
+
+
+def test_render_fig3_phase_rows(tiny_fig3):
+    out = render_fig3(tiny_fig3)
+    assert "bw=10 loss=0" in out
+    assert "bw=4  loss=0" in out
+
+
+def test_render_fig4_contains_load_phases(tiny_fig4):
+    out = render_fig4(tiny_fig4)
+    assert "load=0/s" in out
+    assert "load=90/s" in out
+    assert "Table VI" in out
+
+
+def test_fig3_result_accessors(tiny_fig3):
+    assert set(tiny_fig3.throughput) == set(tiny_fig3.runs)
+    assert len(tiny_fig3.framefeedback_offload) > 10
+
+
+def test_fig4_result_accessors(tiny_fig4):
+    assert set(tiny_fig4.throughput) == set(tiny_fig4.runs)
+    assert len(tiny_fig4.framefeedback_offload) > 10

@@ -1,0 +1,116 @@
+"""Tests for the reservation broker (ATOMS-lite admission)."""
+
+import numpy as np
+import pytest
+
+from repro.models.latency import GpuBatchModel
+from repro.server.admission import ReservationBroker
+from repro.server.requests import InferenceRequest
+from repro.server.server import EdgeServer
+from repro.sim import Environment
+
+
+def make_broker(env=None, utilization_target=0.85):
+    env = env or Environment()
+    server = EdgeServer(env, np.random.default_rng(0))
+    broker = ReservationBroker(env, server, utilization_target=utilization_target)
+    return env, server, broker
+
+
+def test_validation():
+    env = Environment()
+    server = EdgeServer(env, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        ReservationBroker(env, server, utilization_target=0.0)
+    with pytest.raises(ValueError):
+        ReservationBroker(env, server, measure_period=0.0)
+    _, _, broker = make_broker()
+    with pytest.raises(ValueError):
+        broker.request("t", -1.0)
+
+
+def test_single_tenant_gets_ask_when_capacity_allows():
+    _, _, broker = make_broker()
+    grant = broker.request("pi", 30.0)
+    assert grant == pytest.approx(30.0)
+
+
+def test_ask_beyond_capacity_is_capped():
+    _, _, broker = make_broker()
+    grant = broker.request("pi", 10_000.0)
+    assert grant == pytest.approx(broker.capacity())
+
+
+def test_two_tenants_split_fairly():
+    _, _, broker = make_broker()
+    cap = broker.capacity()
+    a = broker.request("a", cap)
+    b = broker.request("b", cap)
+    # after both asks are standing, each gets half
+    assert b == pytest.approx(cap / 2)
+    assert broker.request("a", cap) == pytest.approx(cap / 2)
+    assert a <= cap  # first call saw only itself
+
+
+def test_max_min_small_ask_fully_served():
+    _, _, broker = make_broker()
+    cap = broker.capacity()
+    broker.request("big", cap)
+    small = broker.request("small", 2.0)
+    assert small == pytest.approx(2.0)
+    big = broker.request("big", cap)
+    assert big == pytest.approx(cap - 2.0)
+
+
+def test_release_returns_capacity():
+    _, _, broker = make_broker()
+    cap = broker.capacity()
+    broker.request("a", cap)
+    broker.request("b", cap)
+    broker.release("a")
+    assert broker.request("b", cap) == pytest.approx(cap)
+
+
+def test_background_rate_measured_and_deducted():
+    env, server, broker = make_broker()
+
+    def background(env, server):
+        while env.now < 5.0:
+            server.submit(
+                InferenceRequest(
+                    tenant="bg0",
+                    model_name="efficientnet_b0",
+                    sent_at=env.now,
+                    payload_bytes=100,
+                    respond=lambda r: None,
+                )
+            )
+            yield env.timeout(0.02)  # 50 req/s
+
+    env.process(background(env, server))
+    env.run(until=4.0)
+    assert broker.background_rate == pytest.approx(50.0, rel=0.2)
+    grant = broker.request("pi", 1000.0)
+    assert grant == pytest.approx(broker.capacity() - broker.background_rate, rel=0.05)
+
+
+def test_reserved_tenant_not_counted_as_background():
+    env, server, broker = make_broker()
+    broker.request("pi", 30.0)
+
+    def reserved_traffic(env, server):
+        while env.now < 3.0:
+            server.submit(
+                InferenceRequest(
+                    tenant="pi",
+                    model_name="mobilenet_v3_small",
+                    sent_at=env.now,
+                    payload_bytes=100,
+                    respond=lambda r: None,
+                )
+            )
+            yield env.timeout(1 / 30)
+
+    env.process(reserved_traffic(env, server))
+    env.run(until=3.0)
+    assert broker.background_rate == pytest.approx(0.0, abs=0.5)

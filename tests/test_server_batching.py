@@ -1,0 +1,132 @@
+"""Unit + property tests for the §IV-A adaptive batcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.batching import DEFAULT_BATCH_LIMIT, AdaptiveBatcher, BatchPolicy
+from repro.server.requests import InferenceRequest
+
+
+def req(tenant="t", model="mobilenet_v3_small", t=0.0):
+    return InferenceRequest(
+        tenant=tenant,
+        model_name=model,
+        sent_at=t,
+        payload_bytes=100,
+        respond=lambda r: None,
+    )
+
+
+def test_default_batch_limit_is_paper_15():
+    assert DEFAULT_BATCH_LIMIT == 15
+    assert AdaptiveBatcher().batch_limit == 15
+
+
+def test_batch_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        AdaptiveBatcher(batch_limit=0)
+
+
+def test_under_limit_everything_batched_nothing_rejected():
+    b = AdaptiveBatcher(batch_limit=5)
+    reqs = [req() for _ in range(3)]
+    for r in reqs:
+        b.enqueue(r)
+    batch, rejected = b.form_batch()
+    assert batch == reqs
+    assert rejected == []
+    assert b.pending == 0
+
+
+def test_over_limit_fifo_keeps_oldest():
+    b = AdaptiveBatcher(batch_limit=2)
+    reqs = [req() for _ in range(5)]
+    for r in reqs:
+        b.enqueue(r)
+    batch, rejected = b.form_batch()
+    assert batch == reqs[:2]
+    assert rejected == reqs[2:]
+
+
+def test_form_batch_empties_queue_completely():
+    """§IV-A: the *rest of the queue* is rejected, not left waiting."""
+    b = AdaptiveBatcher(batch_limit=1)
+    for _ in range(4):
+        b.enqueue(req())
+    batch, rejected = b.form_batch()
+    assert len(batch) + len(rejected) == 4
+    assert b.pending == 0
+
+
+def test_empty_queue_forms_empty_batch():
+    assert AdaptiveBatcher().form_batch() == ([], [])
+
+
+def test_fair_policy_round_robins_tenants():
+    b = AdaptiveBatcher(batch_limit=4, policy=BatchPolicy.FAIR)
+    greedy = [req(tenant="hog") for _ in range(6)]
+    meek = [req(tenant="meek") for _ in range(2)]
+    for r in greedy + meek:
+        b.enqueue(r)
+    batch, rejected = b.form_batch()
+    tenants = [r.tenant for r in batch]
+    assert tenants.count("meek") == 2  # fair share despite arriving last
+    assert tenants.count("hog") == 2
+    assert all(r.tenant == "hog" for r in rejected)
+
+
+def test_fair_policy_fifo_within_tenant():
+    b = AdaptiveBatcher(batch_limit=2, policy=BatchPolicy.FAIR)
+    first, second, third = req(tenant="a"), req(tenant="a"), req(tenant="a")
+    for r in (first, second, third):
+        b.enqueue(r)
+    batch, rejected = b.form_batch()
+    assert batch == [first, second]
+    assert rejected == [third]
+
+
+@given(
+    tenant_ids=st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=60),
+    limit=st.integers(min_value=1, max_value=20),
+    policy=st.sampled_from([BatchPolicy.FIFO, BatchPolicy.FAIR]),
+)
+@settings(max_examples=120, deadline=None)
+def test_batching_invariants(tenant_ids, limit, policy):
+    """Every request is batched xor rejected; batch never exceeds limit."""
+    b = AdaptiveBatcher(batch_limit=limit, policy=policy)
+    reqs = [req(tenant=f"t{i}") for i in tenant_ids]
+    for r in reqs:
+        b.enqueue(r)
+    batch, rejected = b.form_batch()
+    assert len(batch) <= limit
+    assert len(batch) + len(rejected) == len(reqs)
+    assert {id(r) for r in batch}.isdisjoint({id(r) for r in rejected})
+    assert {id(r) for r in batch} | {id(r) for r in rejected} == {id(r) for r in reqs}
+    if len(reqs) >= limit:
+        assert len(batch) == limit
+
+
+@given(
+    counts=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=1, max_value=20),
+        min_size=2,
+    ),
+    limit=st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_fair_policy_minimizes_max_envy(counts, limit):
+    """FAIR: no tenant gets 2+ more slots than a tenant with unmet demand."""
+    b = AdaptiveBatcher(batch_limit=limit, policy=BatchPolicy.FAIR)
+    for tenant, n in counts.items():
+        for _ in range(n):
+            b.enqueue(req(tenant=tenant))
+    batch, rejected = b.form_batch()
+    got = {t: 0 for t in counts}
+    for r in batch:
+        got[r.tenant] += 1
+    unmet = {r.tenant for r in rejected}
+    for t_unmet in unmet:
+        for t_any in counts:
+            assert got[t_any] - got[t_unmet] <= 1

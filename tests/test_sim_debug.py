@@ -1,0 +1,75 @@
+"""Tests for the kernel introspection probe."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.debug import KernelProbe
+
+
+def workload(env, n=50):
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(0.1)
+
+    env.process(proc(env))
+
+
+def test_probe_counts_events():
+    env = Environment()
+    workload(env)
+    with KernelProbe(env) as probe:
+        env.run()
+    assert probe.stats.events_processed > 50
+    assert probe.stats.by_type["Timeout"] >= 50
+    assert probe.stats.max_heap_depth >= 1
+    assert len(probe.stats.recent) > 0
+
+
+def test_probe_detaches_cleanly():
+    env = Environment()
+    workload(env, n=5)
+    with KernelProbe(env) as probe:
+        env.run(until=0.25)
+    counted = probe.stats.events_processed
+    env.run()  # outside the probe: no further counting
+    assert probe.stats.events_processed == counted
+
+
+def test_double_attach_rejected():
+    env = Environment()
+    probe = KernelProbe(env)
+    with probe:
+        with pytest.raises(RuntimeError):
+            probe.__enter__()
+
+
+def test_summary_is_human_readable():
+    env = Environment()
+    workload(env, n=10)
+    with KernelProbe(env) as probe:
+        env.run()
+    text = probe.stats.summary()
+    assert "events" in text and "Timeout" in text
+
+
+def test_probe_does_not_perturb_results():
+    """Instrumentation must be observation-only."""
+
+    def run(instrument):
+        env = Environment()
+        out = []
+
+        def proc(env):
+            for i in range(20):
+                yield env.timeout(0.05)
+                out.append((i, env.now))
+
+        env.process(proc(env))
+        if instrument:
+            with KernelProbe(env):
+                env.run()
+        else:
+            env.run()
+        return out
+
+    assert run(True) == run(False)

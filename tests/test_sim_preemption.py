@@ -1,0 +1,136 @@
+"""Tests for the preemptive resource."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Preempted, PreemptiveResource
+
+
+def test_high_priority_preempts_low():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def low(env, res):
+        with res.request(priority=5) as req:
+            yield req
+            log.append(("low-start", env.now))
+            try:
+                yield env.timeout(10.0)
+                log.append(("low-done", env.now))
+            except Interrupt as exc:
+                assert isinstance(exc.cause, Preempted)
+                log.append(("low-preempted", env.now, exc.cause.usage_since))
+
+    def high(env, res):
+        yield env.timeout(2.0)
+        with res.request(priority=1) as req:
+            yield req
+            log.append(("high-start", env.now))
+            yield env.timeout(1.0)
+        log.append(("high-done", env.now))
+
+    env.process(low(env, res))
+    env.process(high(env, res))
+    env.run()
+    assert ("low-start", 0.0) in log
+    assert ("low-preempted", 2.0, 0.0) in log
+    assert ("high-start", 2.0) in log
+    assert ("high-done", 3.0) in log
+    assert not any(e[0] == "low-done" for e in log)
+
+
+def test_equal_priority_does_not_preempt():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    order = []
+
+    def user(env, res, tag, delay):
+        yield env.timeout(delay)
+        with res.request(priority=3) as req:
+            yield req
+            order.append((tag, env.now))
+            yield env.timeout(5.0)
+
+    env.process(user(env, res, "first", 0.0))
+    env.process(user(env, res, "second", 1.0))
+    env.run()
+    assert order == [("first", 0.0), ("second", 5.0)]
+
+
+def test_lower_priority_waits_instead_of_preempting():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request(priority=1) as req:
+            yield req
+            order.append(("holder", env.now))
+            yield env.timeout(4.0)
+
+    def meek(env, res):
+        yield env.timeout(1.0)
+        with res.request(priority=9) as req:
+            yield req
+            order.append(("meek", env.now))
+
+    env.process(holder(env, res))
+    env.process(meek(env, res))
+    env.run()
+    assert order == [("holder", 0.0), ("meek", 4.0)]
+
+
+def test_preempted_victim_can_rerequest():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=1)
+    finished = {}
+
+    def persistent(env, res):
+        remaining = 5.0
+        while remaining > 0:
+            with res.request(priority=5) as req:
+                yield req
+                start = env.now
+                try:
+                    yield env.timeout(remaining)
+                    remaining = 0.0
+                except Interrupt:
+                    remaining -= env.now - start
+        finished["at"] = env.now
+
+    def vip(env, res):
+        yield env.timeout(2.0)
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(3.0)
+
+    env.process(persistent(env, res))
+    env.process(vip(env, res))
+    env.run()
+    # 2 s of work, 3 s preempted, 3 s remaining work => done at 8 s
+    assert finished["at"] == pytest.approx(8.0)
+
+
+def test_preemption_only_with_full_capacity():
+    env = Environment()
+    res = PreemptiveResource(env, capacity=2)
+    preempted = []
+
+    def low(env, res):
+        with res.request(priority=5) as req:
+            yield req
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                preempted.append(env.now)
+
+    def high(env, res):
+        yield env.timeout(1.0)
+        with res.request(priority=0) as req:
+            yield req  # a free slot exists: no preemption needed
+            yield env.timeout(1.0)
+
+    env.process(low(env, res))
+    env.process(high(env, res))
+    env.run()
+    assert preempted == []

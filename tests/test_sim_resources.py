@@ -1,0 +1,155 @@
+"""Unit tests for sim resources (counted resources, priority queues)."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, res, tag):
+        with res.request() as req:
+            yield req
+            granted.append((tag, env.now))
+            yield env.timeout(5.0)
+
+    for tag in range(3):
+        env.process(user(env, res, tag))
+    env.run(until=1.0)
+    assert [g[0] for g in granted] == [0, 1]
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_release_grants_next_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    events = []
+
+    def user(env, res, tag, hold):
+        with res.request() as req:
+            yield req
+            events.append(("start", tag, env.now))
+            yield env.timeout(hold)
+        events.append(("end", tag, env.now))
+
+    env.process(user(env, res, "a", 2.0))
+    env.process(user(env, res, "b", 1.0))
+    env.run()
+    assert events == [
+        ("start", "a", 0.0),
+        ("end", "a", 2.0),
+        ("start", "b", 2.0),
+        ("end", "b", 3.0),
+    ]
+
+
+def test_context_manager_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def bad(env, res):
+        with res.request() as req:
+            yield req
+            raise ValueError("boom")
+
+    def good(env, res, marker):
+        with res.request() as req:
+            yield req
+            marker["got_it"] = env.now
+
+    marker = {}
+    p = env.process(bad(env, res))
+    env.process(good(env, res, marker))
+    with pytest.raises(ValueError):
+        env.run(until=p)
+    env.run()
+    assert marker["got_it"] == 0.0
+    assert res.count == 0
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    env.process(holder(env, res))
+    env.run(until=0.1)
+    queued = res.request()
+    assert res.queue_length == 1
+    queued.cancel()
+    assert res.queue_length == 0
+
+
+def test_fifo_ordering_within_same_priority():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1.0)
+
+    for tag in "abcd":
+        env.process(user(env, res, tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def user(env, res, tag, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(0.5)
+
+    env.process(holder(env, res))
+    env.process(user(env, res, "low", 5, 0.1))
+    env.process(user(env, res, "high", 1, 0.2))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_count_and_queue_length_track_state():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    assert res.count == 0 and res.queue_length == 0
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.run(until=0.5)
+    assert res.count == 1
+    assert res.queue_length == 1
+    env.run()
+    assert res.count == 0
+    assert res.queue_length == 0

@@ -1,0 +1,134 @@
+"""Golden-master transcripts for every pure controller.
+
+The measurement sequence is a deterministic synthetic gauntlet hitting
+every regime: clean ramp, partial congestion, total failure, recovery.
+Golden targets are regenerated below and checked into this file as the
+frozen contract — a change to any controller's arithmetic fails here
+with the exact diverging step.
+"""
+
+import json
+
+import pytest
+
+from repro.control.aimd import AimdController
+from repro.control.base import Measurement
+from repro.control.baselines import (
+    AllOrNothingController,
+    AlwaysOffloadController,
+    LocalOnlyController,
+)
+from repro.control.framefeedback import FrameFeedbackController
+from repro.control.headroom import HeadroomController
+from repro.control.transcript import (
+    TranscriptMismatch,
+    dumps,
+    loads,
+    record,
+    replay,
+)
+
+FS = 30.0
+
+
+def gauntlet():
+    """The regime gauntlet: (T_window, T_last, rtt_p95, probe) tuples."""
+    spec = (
+        [(0.0, 0.0, 0.08, True)] * 12  # clean: ramp to F_s
+        + [(5.0, 6.0, 0.20, False)] * 6  # partial congestion
+        + [(20.0, 22.0, None, False)] * 6  # total failure
+        + [(0.0, 0.0, 0.09, True)] * 8  # recovery
+        + [(3.0, 0.0, 0.23, True)] * 4  # threshold hover
+    )
+    measurements = []
+    target = 0.0
+    for i, (t_avg, t_last, rtt, probe) in enumerate(spec):
+        measurements.append(
+            Measurement(
+                time=float(i),
+                frame_rate=FS,
+                offload_target=target,
+                offload_rate=target,
+                offload_success_rate=max(0.0, target - t_avg),
+                timeout_rate=t_avg,
+                timeout_rate_last=t_last,
+                local_rate=13.0,
+                throughput=13.0 + max(0.0, target - t_avg),
+                probe_ok=probe,
+                rtt_mean=rtt,
+                rtt_p95=rtt,
+            )
+        )
+        target = min(max(target + 2.0, 0.0), FS)  # context only
+    return measurements
+
+
+CONTROLLERS = {
+    "FrameFeedback": lambda: FrameFeedbackController(FS),
+    "LocalOnly": lambda: LocalOnlyController(),
+    "AlwaysOffload": lambda: AlwaysOffloadController(),
+    "AllOrNothing": lambda: AllOrNothingController(),
+    "AIMD": lambda: AimdController(FS),
+    "Headroom": lambda: HeadroomController(FS, 0.25),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONTROLLERS))
+def test_record_replay_round_trip(name):
+    factory = CONTROLLERS[name]
+    transcript = record(factory(), gauntlet())
+    # serialize through JSON like the golden files would
+    replay(factory, loads(dumps(transcript)))
+
+
+@pytest.mark.parametrize("name", sorted(CONTROLLERS))
+def test_transcript_is_deterministic(name):
+    factory = CONTROLLERS[name]
+    a = record(factory(), gauntlet())
+    b = record(factory(), gauntlet())
+    assert dumps(a) == dumps(b)
+
+
+def test_mismatch_reports_step():
+    transcript = record(FrameFeedbackController(FS), gauntlet())
+    transcript["steps"][7]["target"] += 0.5  # corrupt one step
+    with pytest.raises(TranscriptMismatch) as exc:
+        replay(lambda: FrameFeedbackController(FS), transcript)
+    assert exc.value.step == 7
+
+
+def test_version_checked():
+    transcript = record(LocalOnlyController(), gauntlet())
+    transcript["version"] = 99
+    with pytest.raises(ValueError):
+        replay(lambda: LocalOnlyController(), transcript)
+
+
+# ----------------------------------------------------------------------
+# the frozen golden values for the paper's control law
+# ----------------------------------------------------------------------
+#: FrameFeedback targets over the gauntlet, frozen 2026-07 (Table IV
+#: settings).  Regenerate ONLY for a deliberate control-law change:
+#:   python -c "from tests.test_transcripts import *; \
+#:              print([round(s['target'], 6) for s in \
+#:              record(FrameFeedbackController(FS), gauntlet())['steps']])"
+FRAMEFEEDBACK_GOLDEN = [
+    3.0, 6.0, 9.0, 12.0, 14.82, 17.1228, 19.099512, 20.765664, 22.179332,
+    23.375912, 24.389619, 25.248131,  # clean ramp: clamp then P-decay
+    22.869432, 22.469432, 22.069432, 21.669432, 21.269432, 20.869432,
+    # partial congestion: e = 3 - 5 = -2 each step -> -0.4 fps/step
+    13.569432, 10.169432, 6.769432, 3.369432, 0.0, 0.0,
+    # total failure: e = 3 - 20 = -17 -> P floorward, clamped at 0
+    3.0, 6.0, 9.0, 12.0, 14.82, 17.1228, 19.099512, 20.765664,
+    # recovery: same deterministic ramp shape as the start
+    17.931538, 17.931538, 17.931538, 17.931538,
+    # threshold hover: T == 0.1 F_s -> e = 0, derivative settles
+]
+
+
+def test_framefeedback_golden_targets():
+    transcript = record(FrameFeedbackController(FS), gauntlet())
+    actual = [round(s["target"], 6) for s in transcript["steps"]]
+    assert len(actual) == len(FRAMEFEEDBACK_GOLDEN)
+    for i, (a, g) in enumerate(zip(actual, FRAMEFEEDBACK_GOLDEN)):
+        assert a == pytest.approx(g, abs=1e-6), f"step {i}: {a} != {g}"

@@ -1,0 +1,35 @@
+"""CI gate: every reproduction claim must hold (reduced scale here;
+full scale via `framefeedback validate`)."""
+
+import pytest
+
+from repro.experiments.validation import CLAIMS, render_results, validate_all
+
+
+@pytest.fixture(scope="module")
+def results():
+    # 2400 frames (~80 s) covers the phases every claim measures while
+    # keeping the whole gate under ~30 s
+    return validate_all(frames=2400)
+
+
+def test_every_claim_holds(results):
+    failing = [r for r in results if not r.passed]
+    assert not failing, render_results(failing)
+
+
+def test_all_claims_were_run(results):
+    assert len(results) == len(CLAIMS)
+    assert len({r.claim_id for r in results}) == len(results)
+
+
+def test_render_marks_verdicts(results):
+    text = render_results(results)
+    assert "PASS" in text
+    assert f"{len(results)}/{len(results)} claims hold" in text
+
+
+def test_claims_have_statements():
+    for claim in CLAIMS:
+        assert claim.statement
+        assert claim.claim_id

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries
+from repro.viz import histogram, line_chart
+
+
+def _series(name, pairs):
+    s = TimeSeries(name)
+    for t, v in pairs:
+        s.append(float(t), float(v))
+    return s
+
+
+def test_line_chart_basic_structure():
+    s = _series("p", [(t, t) for t in range(30)])
+    out = line_chart({"p": s}, width=40, height=10, title="ramp")
+    lines = out.splitlines()
+    assert lines[0] == "ramp"
+    assert len(lines) == 1 + 10 + 3  # title + rows + axis + xlabels + legend
+    assert "o=p" in lines[-1]
+    assert "+----" in lines[-3]
+
+
+def test_line_chart_ramp_is_monotone_diagonal():
+    s = _series("p", [(t, t) for t in range(40)])
+    out = line_chart({"p": s}, width=40, height=10)
+    rows = [line.split("|", 1)[1] for line in out.splitlines() if "|" in line]
+    # first column's marker is in the bottom row, last column's on top
+    assert rows[-1][0] == "o"
+    assert rows[0][-1] == "o"
+
+
+def test_line_chart_multiple_series_distinct_markers():
+    a = _series("a", [(t, 5) for t in range(10)])
+    b = _series("b", [(t, 25) for t in range(10)])
+    out = line_chart({"a": a, "b": b}, width=30, height=8, y_max=30)
+    assert "o=a" in out and "*=b" in out
+    body = "\n".join(line for line in out.splitlines() if "|" in line)
+    assert "o" in body and "*" in body
+
+
+def test_line_chart_y_max_clips():
+    s = _series("p", [(t, 1000.0) for t in range(10)])
+    out = line_chart({"p": s}, width=20, height=6, y_max=30.0)
+    rows = [line.split("|", 1)[1] for line in out.splitlines() if "|" in line]
+    assert "o" in rows[0]  # clipped to the top row, no crash
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    s = _series("p", [(0, 1)])
+    with pytest.raises(ValueError):
+        line_chart({"p": s}, width=5)
+    with pytest.raises(ValueError):
+        line_chart({f"s{i}": s for i in range(9)})
+
+
+def test_line_chart_empty_series_ok():
+    out = line_chart({"empty": TimeSeries("empty")}, width=20, height=6)
+    assert "o=empty" in out
+
+
+def test_histogram_counts_sum():
+    out = histogram([1, 1, 2, 3, 3, 3], bins=3, title="h")
+    assert out.splitlines()[0] == "h"
+    # the counts appear at line ends
+    counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()[1:]]
+    assert sum(counts) == 6
+    assert max(counts) == 3
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        histogram([])
+    with pytest.raises(ValueError):
+        histogram([1.0], bins=0)
