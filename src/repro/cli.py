@@ -240,6 +240,69 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    """Composed link+server+device fault run with recovery validation."""
+    from repro.control.aimd import AimdController
+    from repro.control.headroom import HeadroomController
+    from repro.device.config import DeviceConfig
+    from repro.experiments.chaos import (
+        ChaosScenario,
+        default_chaos_injectors,
+        run_chaos,
+    )
+    from repro.experiments.report import ascii_table, series_panel
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.standard import framefeedback_factory
+
+    factories = {
+        "framefeedback": framefeedback_factory(),
+        # floor = 0.1 F_s so AIMD keeps the paper's standing-probe role
+        "aimd": lambda cfg: AimdController(cfg.frame_rate, floor=0.1 * cfg.frame_rate),
+        "headroom": lambda cfg: HeadroomController(cfg.frame_rate, cfg.deadline),
+    }
+    if args.controller not in factories:
+        raise SystemExit(
+            f"unknown controller {args.controller!r}; choose from {sorted(factories)}"
+        )
+    chaos = ChaosScenario(
+        base=Scenario(
+            controller_factory=factories[args.controller],
+            device=DeviceConfig(total_frames=args.frames),
+            seed=args.seed,
+        ),
+        injectors=default_chaos_injectors(),
+    )
+    result = run_chaos(chaos)
+    lines = [
+        f"Cross-layer chaos run ({args.controller}, seed={args.seed}, "
+        f"{args.frames} frames)",
+        "",
+        series_panel(
+            {
+                "P": result.run.traces.throughput,
+                "P_o": result.run.traces.offload_target,
+                "T": result.run.traces.timeout_rate,
+            },
+            vmax=chaos.base.device.frame_rate,
+        ),
+        "",
+        "Per-window QoS (means over each fault window):",
+        ascii_table(
+            ["injector", "layer", "window", "P", "T", "P_o"],
+            [w.row() for w in result.window_qos],
+        ),
+        "",
+        "Recovery invariants (paper §II-A.3 / Table IV):",
+        ascii_table(
+            ["invariant", "window", "observed", "expected", "verdict"],
+            [c.row() for c in result.invariants],
+        ),
+        "",
+        f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_combined(args: argparse.Namespace) -> str:
     from repro.experiments.combined import run_additivity_check, run_combined
 
@@ -265,6 +328,7 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "table4": _cmd_table4,
     "energy": _cmd_energy,
+    "chaos": _cmd_chaos,
     "combined": _cmd_combined,
     "controllers": _cmd_controllers,
     "breakdown": _cmd_breakdown,
@@ -308,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--iface", type=str, default="wlan0", help="network interface (netem)"
+    )
+    parser.add_argument(
+        "--controller",
+        type=str,
+        default="framefeedback",
+        help="controller under chaos: framefeedback | aimd | headroom",
     )
     return parser
 

@@ -49,7 +49,23 @@ class FrameSource:
         self.total_frames = total_frames
         self.frames_emitted = 0
         self.done = env.event()
+        self._paused_until = 0.0
         env.process(self._run(), name=name)
+
+    def pause(self, duration: float) -> None:
+        """Freeze the sensor for ``duration`` seconds (fault injection).
+
+        No frames are emitted while frozen; the stream resumes on its
+        own cadence afterwards, so a stall *delays* the tail of a
+        bounded stream rather than dropping frames from it.
+        """
+        if duration < 0:
+            raise ValueError(f"negative pause duration {duration}")
+        self._paused_until = max(self._paused_until, self.env.now + duration)
+
+    @property
+    def paused(self) -> bool:
+        return self.env.now < self._paused_until
 
     def _run(self):
         env = self.env
@@ -57,6 +73,8 @@ class FrameSource:
         frame_id = 0
         while self.total_frames is None or frame_id < self.total_frames:
             yield env.timeout(period)
+            while env.now < self._paused_until:
+                yield env.timeout(self._paused_until - env.now)
             frame = Frame(frame_id=frame_id, captured_at=env.now, nbytes=self._size_of())
             self.frames_emitted += 1
             self.sink(frame)

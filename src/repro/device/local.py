@@ -42,7 +42,15 @@ class LocalPipeline:
         self.completed = 0
         self.skipped = 0
         self.busy_seconds = 0.0
+        #: latency multiplier driven by fault injection (1.0 = healthy)
+        self.slowdown = 1.0
         self._pending: Optional[Frame] = None
+
+    def set_slowdown(self, factor: float) -> None:
+        """Stretch local inference by ``factor`` (thermal throttling)."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.slowdown = float(factor)
 
     def offer(self, frame: Frame) -> bool:
         """Offer a frame; returns False (skipped) when engine + slot are full."""
@@ -58,7 +66,7 @@ class LocalPipeline:
 
     def _infer(self, frame: Frame):
         while True:
-            latency = self.latency_model.sample(self.rng)
+            latency = self.latency_model.sample(self.rng) * self.slowdown
             yield self.env.timeout(latency)
             self.busy_seconds += latency
             self.completed += 1

@@ -6,12 +6,20 @@ returns structured results; :mod:`repro.experiments.report` formats
 them as the rows/series the paper prints.
 """
 
+from repro.experiments.chaos import (
+    ChaosResult,
+    ChaosScenario,
+    default_chaos_injectors,
+    run_chaos,
+)
 from repro.experiments.fleet import FleetMember, FleetScenario, run_fleet
 from repro.experiments.parallel import run_many
 from repro.experiments.scenario import (
     RunResult,
     Scenario,
     ScenarioContext,
+    ScenarioRuntime,
+    build_runtime,
     run_scenario,
 )
 from repro.experiments.seeds import compare_across_seeds, run_across_seeds, win_rate
@@ -19,14 +27,20 @@ from repro.experiments.standard import extended_controllers, standard_controller
 from repro.experiments.validation import validate_all
 
 __all__ = [
+    "ChaosResult",
+    "ChaosScenario",
     "FleetMember",
     "FleetScenario",
     "RunResult",
     "Scenario",
     "ScenarioContext",
+    "ScenarioRuntime",
+    "build_runtime",
     "compare_across_seeds",
+    "default_chaos_injectors",
     "extended_controllers",
     "run_across_seeds",
+    "run_chaos",
     "run_fleet",
     "run_many",
     "run_scenario",

@@ -1,0 +1,242 @@
+"""Chaos scenarios: composed fault injection with recovery validation.
+
+A :class:`ChaosScenario` is an ordinary :class:`Scenario` plus a set of
+:class:`~repro.faults.FaultInjector` instances composed over one
+simulated run.  :func:`run_chaos`
+
+* validates the plan (same-resource injectors must not overlap),
+* wires the testbed via :func:`~repro.experiments.scenario.build_runtime`
+  and installs every injector on the live substrate,
+* wraps the controller so the full measurement→target transcript is
+  captured (:mod:`repro.control.transcript` format — two runs with the
+  same seed must serialize byte-identically),
+* records per-window QoS for every fault window, and
+* evaluates the paper's recovery invariants (§II-A.3 / Table IV) on
+  every *total-failure* window: ``P_o`` settles at the ``0.1 F_s``
+  standing probe, and re-converges within a bounded number of control
+  periods after the fault heals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.control.transcript import FORMAT_VERSION
+from repro.experiments.scenario import RunResult, Scenario, build_runtime
+from repro.faults.base import FaultInjector, validate_plan
+from repro.faults.device import CameraStall, CpuThrottle
+from repro.faults.invariants import (
+    MIN_PROBE_WINDOW,
+    InvariantCheck,
+    reconvergence_invariant,
+    standing_probe_invariant,
+)
+from repro.faults.link import BandwidthCollapse, BurstLoss
+from repro.faults.server import ServerCrash, ServerSlowdown
+from repro.faults.windows import FaultTimeline, FaultWindow
+
+
+class RecordingController:
+    """Transparent controller wrapper capturing the control transcript.
+
+    Duck-typed, not a :class:`~repro.control.base.Controller` subclass:
+    every attribute the device reads (``wants_probe``, ``name``,
+    ``last_error``, ``capture_quality``, ...) is forwarded to the
+    wrapped controller, so wrapping never changes behaviour — only
+    observes it.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.steps: List[dict] = []
+
+    def update(self, measurement) -> float:
+        target = self.inner.update(measurement)
+        self.steps.append(
+            {
+                "measurement": dataclasses.asdict(measurement),
+                "target": float(target),
+            }
+        )
+        return target
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.steps.clear()
+
+    def transcript(self, frame_rate: float) -> Dict[str, object]:
+        """The captured run in :mod:`repro.control.transcript` format."""
+        return {
+            "version": FORMAT_VERSION,
+            "controller": self.inner.name,
+            "initial_target": float(self.inner.initial_target(frame_rate)),
+            "steps": list(self.steps),
+        }
+
+    def __getattr__(self, item):
+        if item == "inner":  # guard unpickling/copy before __init__
+            raise AttributeError(item)
+        return getattr(self.inner, item)
+
+
+@dataclass(frozen=True)
+class WindowQos:
+    """Per-fault-window QoS summary read from the device traces."""
+
+    injector: str
+    layer: str
+    window: FaultWindow
+    mean_throughput: float
+    mean_timeout_rate: float
+    mean_offload_target: float
+
+    def row(self) -> list:
+        return [
+            self.injector,
+            self.layer,
+            f"[{self.window.start:g},{self.window.end:g})",
+            f"{self.mean_throughput:6.2f}",
+            f"{self.mean_timeout_rate:6.2f}",
+            f"{self.mean_offload_target:6.2f}",
+        ]
+
+
+@dataclass
+class ChaosScenario:
+    """One scenario plus the fault plan composed over it."""
+
+    base: Scenario
+    injectors: Sequence[FaultInjector] = ()
+    #: standing-probe fraction the controller under test parks at
+    #: during total failure (FrameFeedback/Headroom: the Table IV
+    #: ``0.1``; AIMD: set its ``floor`` to match)
+    probe_frac: float = 0.1
+    #: re-convergence threshold as a fraction of ``F_s``
+    reconverge_frac: float = 0.6
+    #: control periods allowed for re-convergence after healing
+    reconverge_periods: int = 25
+
+    def with_seed(self, seed: int) -> "ChaosScenario":
+        return dataclasses.replace(
+            self, base=dataclasses.replace(self.base, seed=seed)
+        )
+
+
+@dataclass
+class ChaosResult:
+    """Everything observable from one chaos run."""
+
+    run: RunResult
+    transcript: Dict[str, object]
+    window_qos: List[WindowQos] = field(default_factory=list)
+    invariants: List[InvariantCheck] = field(default_factory=list)
+
+    @property
+    def all_invariants_hold(self) -> bool:
+        return all(c.passed for c in self.invariants)
+
+
+def _window_qos(result: RunResult, injector: FaultInjector) -> List[WindowQos]:
+    out: List[WindowQos] = []
+    for w in injector.timeline:
+        t1 = min(w.end, result.elapsed)
+        if t1 <= w.start:
+            continue  # window entirely past the run's end
+
+        def mean(series):
+            v = series.mean_over(w.start, t1)
+            return 0.0 if math.isnan(v) else v
+
+        out.append(
+            WindowQos(
+                injector=injector.name,
+                layer=injector.layer,
+                window=w,
+                mean_throughput=mean(result.traces.throughput),
+                mean_timeout_rate=mean(result.traces.timeout_rate),
+                mean_offload_target=mean(result.traces.offload_target),
+            )
+        )
+    return out
+
+
+def _recovery_checks(
+    chaos: ChaosScenario, result: RunResult
+) -> List[InvariantCheck]:
+    """Evaluate both invariants on every total-failure window."""
+    checks: List[InvariantCheck] = []
+    fs = chaos.base.device.frame_rate
+    period = chaos.base.device.measure_period
+    po = result.traces.offload_target
+    for injector in chaos.injectors:
+        if not injector.total_failure:
+            continue
+        for w in injector.timeline:
+            if w.duration >= MIN_PROBE_WINDOW and w.end <= result.elapsed:
+                checks.append(
+                    standing_probe_invariant(po, w, fs, probe_frac=chaos.probe_frac)
+                )
+            # Only judge re-convergence when the run actually observed
+            # the full allowance after healing.
+            horizon = w.end + chaos.reconverge_periods * period
+            if w.end < result.elapsed and horizon <= result.elapsed:
+                checks.append(
+                    reconvergence_invariant(
+                        po,
+                        heal_time=w.end,
+                        frame_rate=fs,
+                        threshold_frac=chaos.reconverge_frac,
+                        max_periods=chaos.reconverge_periods,
+                        control_period=period,
+                        window=w,
+                    )
+                )
+    return checks
+
+
+def run_chaos(chaos: ChaosScenario) -> ChaosResult:
+    """Execute one chaos scenario deterministically."""
+    validate_plan(list(chaos.injectors))
+    runtime = build_runtime(chaos.base)
+
+    recorder = RecordingController(runtime.device.controller)
+    runtime.device.controller = recorder
+
+    targets = runtime.fault_targets()
+    for injector in chaos.injectors:
+        injector.install(runtime.env, targets)
+
+    result = runtime.run()
+
+    window_qos: List[WindowQos] = []
+    for injector in chaos.injectors:
+        window_qos.extend(_window_qos(result, injector))
+
+    return ChaosResult(
+        run=result,
+        transcript=recorder.transcript(chaos.base.device.frame_rate),
+        window_qos=window_qos,
+        invariants=_recovery_checks(chaos, result),
+    )
+
+
+def default_chaos_injectors() -> List[FaultInjector]:
+    """The canned cross-layer plan behind ``framefeedback chaos``.
+
+    One fault per substrate knob, spread over ~two minutes: burst loss
+    and a server slowdown (degraded-but-alive regimes), a 20 s server
+    blackout and a 12 s bandwidth collapse (the two total-failure
+    windows the recovery invariants are asserted on), plus device-side
+    CPU throttling and a camera stall.
+    """
+    return [
+        BurstLoss(FaultTimeline.from_rows([(15.0, 10.0)]), loss=0.25, burst=6.0),
+        ServerSlowdown(FaultTimeline.from_rows([(32.0, 10.0)]), factor=4.0),
+        ServerCrash(FaultTimeline.from_rows([(50.0, 20.0)])),
+        CpuThrottle(FaultTimeline.from_rows([(74.0, 8.0)]), factor=2.0),
+        CameraStall(FaultTimeline.from_rows([(84.0, 3.0)])),
+        BandwidthCollapse(FaultTimeline.from_rows([(89.0, 16.0)]), factor=0.01),
+    ]

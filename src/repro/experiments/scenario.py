@@ -119,8 +119,65 @@ class RunResult:
         return self.qos.name
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Execute one scenario deterministically."""
+@dataclass
+class ScenarioRuntime:
+    """A fully-wired testbed that has not started running yet.
+
+    :func:`build_runtime` assembles the substrate (links, server,
+    device, schedules) and hands it back *before* ``env.run``, so
+    callers can attach extra machinery — fault injectors, probes,
+    tracing — to live components.  :meth:`run` then executes and
+    collects the :class:`RunResult` exactly as :func:`run_scenario`
+    always did.
+    """
+
+    scenario: Scenario
+    env: Environment
+    rng: RngRegistry
+    box: ConditionBox
+    uplink: Link
+    downlink: Link
+    server: EdgeServer
+    background: Optional[BackgroundLoad]
+    context: ScenarioContext
+    controller: Controller
+    device: EdgeDevice
+
+    def fault_targets(self):
+        """Substrate handles for :meth:`repro.faults.FaultInjector.install`."""
+        from repro.faults.base import FaultTargets
+
+        return FaultTargets(
+            box=self.box,
+            server=self.server,
+            device=self.device,
+            rng=self.rng.stream("faults"),
+        )
+
+    def run(self, until: Optional[float] = None) -> RunResult:
+        """Execute to ``until`` (default: the scenario's duration)."""
+        duration = until if until is not None else self.scenario.run_duration
+        self.env.run(until=duration)
+        return self.collect(duration)
+
+    def collect(self, elapsed: float) -> RunResult:
+        """Snapshot every observable into a :class:`RunResult`."""
+        return RunResult(
+            scenario=self.scenario,
+            traces=self.device.traces,
+            qos=self.device.qos_report(elapsed),
+            server_stats=self.server.stats,
+            uplink_stats=self.uplink.stats,
+            background_sent=self.background.sent if self.background else 0,
+            background_rejected=self.background.rejected if self.background else 0,
+            gpu_utilization=self.server.gpu.utilization(elapsed),
+            elapsed=elapsed,
+            breakdown=self.device.breakdown,
+        )
+
+
+def build_runtime(scenario: Scenario) -> ScenarioRuntime:
+    """Wire one scenario's testbed without running it."""
     env = Environment()
     rng = RngRegistry(seed=scenario.seed)
 
@@ -184,21 +241,24 @@ def run_scenario(scenario: Scenario) -> RunResult:
         rng=rng.stream("device"),
     )
 
-    duration = scenario.run_duration
-    env.run(until=duration)
-
-    return RunResult(
+    return ScenarioRuntime(
         scenario=scenario,
-        traces=device.traces,
-        qos=device.qos_report(duration),
-        server_stats=server.stats,
-        uplink_stats=uplink.stats,
-        background_sent=background.sent if background else 0,
-        background_rejected=background.rejected if background else 0,
-        gpu_utilization=server.gpu.utilization(duration),
-        elapsed=duration,
-        breakdown=device.breakdown,
+        env=env,
+        rng=rng,
+        box=box,
+        uplink=uplink,
+        downlink=downlink,
+        server=server,
+        background=background,
+        context=context,
+        controller=controller,
+        device=device,
     )
+
+
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Execute one scenario deterministically."""
+    return build_runtime(scenario).run()
 
 
 def run_controllers(

@@ -1,0 +1,55 @@
+"""Composable, deterministic fault injection across every substrate layer.
+
+The chaos layer for the reproduction: validated fault timelines
+(:mod:`~repro.faults.windows`), an injector interface with exclusive
+resource keys (:mod:`~repro.faults.base`), injectors for the link
+(:mod:`~repro.faults.link`), the server (:mod:`~repro.faults.server`)
+and the device (:mod:`~repro.faults.device`), plus the recovery
+invariants the paper's robustness claims pin
+(:mod:`~repro.faults.invariants`).
+
+Compose any set of injectors over a timeline with
+:class:`~repro.experiments.chaos.ChaosScenario`; every stochastic
+choice draws from the run's :class:`~repro.sim.rng.RngRegistry`, so a
+chaos run is bit-reproducible from its seed.
+"""
+
+from repro.faults.base import FaultInjector, FaultTargets, validate_plan
+from repro.faults.device import CameraStall, CpuThrottle
+from repro.faults.invariants import (
+    InvariantCheck,
+    reconvergence_invariant,
+    standing_probe_invariant,
+)
+from repro.faults.link import BandwidthCollapse, BurstLoss, LatencySpike, LinkFault
+from repro.faults.server import (
+    GpuContention,
+    OutageSchedule,
+    OutageWindow,
+    ServerCrash,
+    ServerSlowdown,
+)
+from repro.faults.windows import FaultOverlapError, FaultTimeline, FaultWindow
+
+__all__ = [
+    "BandwidthCollapse",
+    "BurstLoss",
+    "CameraStall",
+    "CpuThrottle",
+    "FaultInjector",
+    "FaultOverlapError",
+    "FaultTargets",
+    "FaultTimeline",
+    "FaultWindow",
+    "GpuContention",
+    "InvariantCheck",
+    "LatencySpike",
+    "LinkFault",
+    "OutageSchedule",
+    "OutageWindow",
+    "ServerCrash",
+    "ServerSlowdown",
+    "reconvergence_invariant",
+    "standing_probe_invariant",
+    "validate_plan",
+]

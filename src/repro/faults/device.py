@@ -1,0 +1,64 @@
+"""Device-layer injectors: CPU throttling and camera stalls.
+
+These attack the parts of the pipeline the controller can *not* route
+around: :class:`CpuThrottle` slows the local fallback path (thermal
+throttling on a passively-cooled Pi), so during a throttle window the
+``P_l < F_s`` gap widens and offloading becomes more valuable exactly
+when the rest of the chaos plan may be degrading it.
+:class:`CameraStall` freezes the frame source itself — no frames, no
+measurements moving, a sensor-driver hiccup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import FaultInjector, FaultTargets
+from repro.faults.windows import FaultTimeline
+from repro.sim.core import Environment
+
+
+class CpuThrottle(FaultInjector):
+    """Multiply local inference latency by ``factor`` during windows."""
+
+    layer = "device"
+    resource = "device.cpu"
+
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        factor: float = 2.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if factor <= 1.0:
+            raise ValueError(f"throttle factor must be > 1, got {factor}")
+        super().__init__(timeline, name)
+        self.factor = factor
+
+    def bind(self, env: Environment, targets: FaultTargets) -> None:
+        targets.require("device", self.name)
+
+    def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
+        device = targets.require("device", self.name)
+        device.local.set_slowdown(self.factor)
+
+    def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
+        device = targets.require("device", self.name)
+        device.local.set_slowdown(1.0)
+
+
+class CameraStall(FaultInjector):
+    """Freeze the frame source for each window (sensor stall)."""
+
+    layer = "device"
+    resource = "device.camera"
+
+    def bind(self, env: Environment, targets: FaultTargets) -> None:
+        targets.require("device", self.name)
+
+    def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
+        device = targets.require("device", self.name)
+        device.source.pause(window.end - env.now)
+
+    def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
+        pass  # pause() already encoded the resume instant

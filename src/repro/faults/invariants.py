@@ -1,0 +1,126 @@
+"""Recovery invariants: what a healthy controller must do under chaos.
+
+Two properties from the paper's robustness story (§II-A.3, Table IV):
+
+* **Standing probe** — under *total* offload failure the error is zero
+  at ``T = 0.1 F_s``, so ``P_o`` must settle at the probe floor
+  ``0.1 F_s`` (± one actuation step, the Table IV update clamp
+  ``0.1 F_s``) instead of pinning to 0 or thrashing.
+* **Re-convergence** — once the path heals, ``P_o`` must climb back to
+  a healthy level within a bounded number of control periods; the
+  standing probe is precisely what makes this bound small.
+
+Both checks read the recorded ``P_o`` trace, so they apply to *any*
+controller (FrameFeedback, AIMD with a matching floor, Headroom, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.windows import FaultWindow
+from repro.metrics.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One evaluated invariant: verdict plus the numbers behind it."""
+
+    name: str
+    passed: bool
+    observed: float
+    expected: float
+    tolerance: float
+    window: Optional[FaultWindow] = None
+    detail: str = ""
+
+    def row(self) -> list:
+        span = (
+            f"[{self.window.start:g},{self.window.end:g})" if self.window else "-"
+        )
+        return [
+            self.name,
+            span,
+            f"{self.observed:.2f}",
+            f"{self.expected:.2f}±{self.tolerance:.2f}",
+            "PASS" if self.passed else "FAIL",
+        ]
+
+
+#: seconds of a failure window discarded before judging the settle
+SETTLE_SKIP = 8.0
+
+#: minimum window length for the standing-probe check to be meaningful
+MIN_PROBE_WINDOW = 12.0
+
+
+def standing_probe_invariant(
+    offload_target: TimeSeries,
+    window: FaultWindow,
+    frame_rate: float,
+    probe_frac: float = 0.1,
+    tolerance: Optional[float] = None,
+) -> InvariantCheck:
+    """``P_o`` settles at ``probe_frac * F_s`` inside a failure window.
+
+    The first :data:`SETTLE_SKIP` seconds of the window are excluded —
+    Table IV's ``-0.5 F_s`` clamp needs a couple of periods to unwind a
+    full-rate target, and the ``T`` window (3 buckets) must fill with
+    failures first.
+    """
+    if window.duration < MIN_PROBE_WINDOW:
+        raise ValueError(
+            f"window {window} too short to assert settling "
+            f"(need >= {MIN_PROBE_WINDOW} s)"
+        )
+    expected = probe_frac * frame_rate
+    # one actuation step: the Table IV max update, 0.1 F_s
+    tol = tolerance if tolerance is not None else 0.1 * frame_rate
+    observed = offload_target.mean_over(window.start + SETTLE_SKIP, window.end)
+    passed = not math.isnan(observed) and abs(observed - expected) <= tol
+    return InvariantCheck(
+        name="standing-probe",
+        passed=passed,
+        observed=observed,
+        expected=expected,
+        tolerance=tol,
+        window=window,
+        detail=f"mean P_o over [{window.start + SETTLE_SKIP:g},{window.end:g})",
+    )
+
+
+def reconvergence_invariant(
+    offload_target: TimeSeries,
+    heal_time: float,
+    frame_rate: float,
+    threshold_frac: float = 0.6,
+    max_periods: int = 30,
+    control_period: float = 1.0,
+    window: Optional[FaultWindow] = None,
+) -> InvariantCheck:
+    """``P_o`` re-crosses ``threshold_frac * F_s`` within the bound.
+
+    ``observed`` is the number of control periods from ``heal_time`` to
+    the first sample at/above the threshold (``inf`` when it never
+    recovers inside the trace).
+    """
+    if max_periods <= 0:
+        raise ValueError(f"max_periods must be positive, got {max_periods}")
+    threshold = threshold_frac * frame_rate
+    periods = float("inf")
+    for t, v in offload_target:
+        if t >= heal_time and v >= threshold:
+            periods = max(0.0, (t - heal_time) / control_period)
+            break
+    passed = periods <= max_periods
+    return InvariantCheck(
+        name="re-convergence",
+        passed=passed,
+        observed=periods,
+        expected=float(max_periods),
+        tolerance=0.0,
+        window=window,
+        detail=f"periods until P_o >= {threshold:.1f} after t={heal_time:g}",
+    )

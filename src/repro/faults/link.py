@@ -1,0 +1,150 @@
+"""Link-layer injectors: degrade the emulated wireless path.
+
+Each injector is an *override layer* on the scenario's shared
+:class:`~repro.netem.link.ConditionBox`: while a window is active the
+box holds ``transform(underlying)``, where ``underlying`` tracks
+whatever the benign :class:`~repro.netem.schedule.NetworkSchedule`
+(or nobody) last set.  A schedule change landing mid-fault is
+re-degraded immediately, and healing restores the schedule's *current*
+conditions, not a stale pre-fault snapshot — the same layering NetEm
+achieves when a chaos qdisc is stacked on a shaping qdisc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.faults.base import FaultInjector, FaultTargets
+from repro.faults.windows import FaultTimeline
+from repro.netem.link import ConditionBox, LinkConditions
+from repro.sim.core import Environment
+
+
+class LinkFault(FaultInjector):
+    """Base class: maintain the override while windows are active."""
+
+    layer = "link"
+    resource = "link.conditions"
+
+    def __init__(self, timeline: FaultTimeline, name: Optional[str] = None) -> None:
+        super().__init__(timeline, name)
+        self._engaged = False
+        self._applying = False
+        self._underlying: Optional[LinkConditions] = None
+        self._box: Optional[ConditionBox] = None
+
+    def transform(self, cond: LinkConditions) -> LinkConditions:
+        """The degraded version of ``cond`` (subclasses override)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def bind(self, env: Environment, targets: FaultTargets) -> None:
+        box = targets.require("box", self.name)
+        self._box = box
+        self._underlying = box.conditions
+        box.subscribe(self._on_box_set)
+
+    def _on_box_set(self, cond: LinkConditions) -> None:
+        if self._applying:
+            return  # our own write echoing back
+        self._underlying = cond
+        if self._engaged:
+            self._apply(self.transform(cond))
+
+    def _apply(self, cond: LinkConditions) -> None:
+        assert self._box is not None
+        self._applying = True
+        try:
+            self._box.set(cond)
+        finally:
+            self._applying = False
+
+    # ------------------------------------------------------------------
+    def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
+        self._engaged = True
+        assert self._underlying is not None
+        self._apply(self.transform(self._underlying))
+
+    def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
+        self._engaged = False
+        assert self._underlying is not None
+        self._apply(self._underlying)
+
+
+class BandwidthCollapse(LinkFault):
+    """Throttle the link to a fraction of its scheduled bandwidth.
+
+    ``factor=0.01`` against the default 10-unit link leaves 32 kbit/s —
+    serialization alone blows the 250 ms deadline, so an active window
+    is a *total* offload failure (the Chakrabarti et al. token-bucket
+    starvation regime).
+    """
+
+    total_failure = True
+
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        factor: float = 0.01,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"collapse factor must be in (0, 1), got {factor}")
+        super().__init__(timeline, name)
+        self.factor = factor
+        # below ~0.3 units even one frame cannot meet the deadline
+        self.total_failure = factor * 10.0 < 0.5
+
+    def transform(self, cond: LinkConditions) -> LinkConditions:
+        return replace(cond, bandwidth=cond.bandwidth * self.factor)
+
+
+class LatencySpike(LinkFault):
+    """Add propagation delay (and optional jitter) during windows."""
+
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        extra_delay: float = 0.150,
+        extra_jitter: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if extra_delay < 0 or extra_jitter < 0:
+            raise ValueError("latency spike extras must be non-negative")
+        super().__init__(timeline, name)
+        self.extra_delay = extra_delay
+        self.extra_jitter = extra_jitter
+        # a spike beyond the paper's 250 ms deadline kills every offload
+        self.total_failure = extra_delay >= 0.250
+
+    def transform(self, cond: LinkConditions) -> LinkConditions:
+        return replace(
+            cond,
+            propagation_delay=cond.propagation_delay + self.extra_delay,
+            jitter_sigma=cond.jitter_sigma + self.extra_jitter,
+        )
+
+
+class BurstLoss(LinkFault):
+    """Gilbert–Elliott burst loss during windows (wireless fading)."""
+
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        loss: float = 0.30,
+        burst: float = 8.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0.0 < loss < 1.0:
+            raise ValueError(f"loss must be in (0, 1), got {loss}")
+        if burst < 1.0:
+            raise ValueError(f"burst length must be >= 1, got {burst}")
+        super().__init__(timeline, name)
+        self.loss = loss
+        self.burst = burst
+
+    def transform(self, cond: LinkConditions) -> LinkConditions:
+        return replace(
+            cond, loss=max(cond.loss, self.loss), loss_burst=max(cond.loss_burst, self.burst)
+        )

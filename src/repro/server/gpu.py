@@ -32,6 +32,19 @@ class GpuExecutor:
         self.busy_seconds = 0.0
         self.batches_run = 0
         self.frames_run = 0
+        #: latency multiplier driven by fault injection (1.0 = healthy)
+        self.slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Stretch every batch by ``factor`` (contention / throttling).
+
+        Takes effect from the next batch; the batch currently on the
+        GPU keeps its already-sampled duration, like a real preempting
+        co-tenant arriving mid-kernel.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.slowdown = float(factor)
 
     def execute(self, model: ModelSpec, batch_size: int):
         """Process generator: occupy the GPU for one batch.
@@ -40,7 +53,7 @@ class GpuExecutor:
 
             yield from gpu.execute(model_spec, len(batch))
         """
-        duration = self.cost_model.sample(model, batch_size, self.rng)
+        duration = self.cost_model.sample(model, batch_size, self.rng) * self.slowdown
         yield self.env.timeout(duration)
         self.busy_seconds += duration
         self.batches_run += 1

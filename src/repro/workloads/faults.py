@@ -1,69 +1,14 @@
-"""Scheduled fault injection: server outage windows.
+"""Backward-compatibility shim: fault injection moved to :mod:`repro.faults`.
 
-§II-A.3's scenario — "specific workloads may saturate a server, thus
-causing QoS violations ... the system should respond by reducing
-offloading" — in its hardest form: the server goes away entirely for a
-window.  :class:`OutageSchedule` stalls an :class:`EdgeServer` over
-configured windows; the controller under test only sees the resulting
-timeout/rejection burst.
+The original module held only :class:`OutageSchedule` (server stall
+windows).  That grew into the full cross-layer chaos package —
+link/server/device injectors, timeline algebra, recovery invariants —
+under :mod:`repro.faults`; import from there in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from repro.faults.server import OutageSchedule, OutageWindow
+from repro.faults.windows import FaultTimeline, FaultWindow
 
-from repro.server.server import EdgeServer
-from repro.sim.core import Environment
-
-
-@dataclass(frozen=True)
-class OutageWindow:
-    """One server stall: ``[start, start + duration)``."""
-
-    start: float
-    duration: float
-
-    def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError(f"outage start must be >= 0, got {self.start}")
-        if self.duration <= 0:
-            raise ValueError(f"outage duration must be positive, got {self.duration}")
-
-    @property
-    def end(self) -> float:
-        return self.start + self.duration
-
-
-class OutageSchedule:
-    """A set of non-overlapping outage windows applied to a server."""
-
-    def __init__(self, windows: Sequence[OutageWindow]) -> None:
-        ordered = sorted(windows, key=lambda w: w.start)
-        for a, b in zip(ordered, ordered[1:]):
-            if b.start < a.end:
-                raise ValueError(f"overlapping outages: {a} and {b}")
-        self.windows: List[OutageWindow] = list(ordered)
-
-    @classmethod
-    def from_rows(cls, rows: Sequence[Tuple[float, float]]) -> "OutageSchedule":
-        """Build from ``(start, duration)`` pairs."""
-        return cls([OutageWindow(float(s), float(d)) for s, d in rows])
-
-    def is_down(self, t: float) -> bool:
-        return any(w.start <= t < w.end for w in self.windows)
-
-    @property
-    def total_downtime(self) -> float:
-        return sum(w.duration for w in self.windows)
-
-    def install(self, env: Environment, server: EdgeServer) -> None:
-        """Apply the windows to ``server`` inside ``env``."""
-
-        def driver():
-            for window in self.windows:
-                if window.start > env.now:
-                    yield env.timeout(window.start - env.now)
-                server.pause(window.duration)
-
-        env.process(driver(), name="outage-schedule")
+__all__ = ["FaultTimeline", "FaultWindow", "OutageSchedule", "OutageWindow"]

@@ -105,6 +105,26 @@ def test_cli_sweep_requires_config():
         main(["sweep"])
 
 
+def test_parser_accepts_chaos():
+    args = build_parser().parse_args(["chaos", "--controller", "aimd"])
+    assert args.command == "chaos"
+    assert args.controller == "aimd"
+
+
+def test_cli_chaos_smoke(capsys):
+    assert main(["chaos", "--frames", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "Cross-layer chaos run" in out
+    assert "standing-probe" in out
+    assert "re-convergence" in out
+    assert "verdict: PASS" in out
+
+
+def test_cli_chaos_unknown_controller():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--controller", "bogus"])
+
+
 def test_cli_sweep_runs_seeds(tmp_path, capsys):
     import json
 
