@@ -18,7 +18,7 @@ from repro.netem.link import ConditionBox, Link, LinkConditions
 from repro.server.server import EdgeServer
 from repro.sim import Environment
 from repro.sim.rng import RngRegistry
-from repro.workloads.faults import OutageSchedule
+from repro.faults import OutageSchedule
 
 OUTAGES = ((25.0, 8.0), (60.0, 4.0))
 DURATION = 100.0

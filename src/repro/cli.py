@@ -240,8 +240,14 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_chaos(args: argparse.Namespace) -> str:
-    """Composed link+server+device fault run with recovery validation."""
+def _cmd_chaos(args: argparse.Namespace):
+    """Composed link+server+device fault run with recovery validation.
+
+    Returns ``(text, exit_code)``: a failed recovery invariant exits
+    non-zero so CI gates can consume the command directly.
+    """
+    import json as _json
+
     from repro.control.aimd import AimdController
     from repro.control.headroom import HeadroomController
     from repro.device.config import DeviceConfig
@@ -253,6 +259,7 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     from repro.experiments.report import ascii_table, series_panel
     from repro.experiments.scenario import Scenario
     from repro.experiments.standard import framefeedback_factory
+    from repro.resilience.config import ResilienceConfig
 
     factories = {
         "framefeedback": framefeedback_factory(),
@@ -271,11 +278,16 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
             seed=args.seed,
         ),
         injectors=default_chaos_injectors(),
+        resilience=ResilienceConfig() if args.resilience else None,
     )
     result = run_chaos(chaos)
+    code = 0 if result.all_invariants_hold else 1
+    if args.json:
+        return _json.dumps(result.to_dict(), indent=1, sort_keys=True), code
+    stack = "resilience stack on" if args.resilience else "bare client"
     lines = [
         f"Cross-layer chaos run ({args.controller}, seed={args.seed}, "
-        f"{args.frames} frames)",
+        f"{args.frames} frames, {stack})",
         "",
         series_panel(
             {
@@ -297,10 +309,21 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
             ["invariant", "window", "observed", "expected", "verdict"],
             [c.row() for c in result.invariants],
         ),
-        "",
-        f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}",
     ]
-    return "\n".join(lines)
+    if args.resilience:
+        taxonomy = {k: v for k, v in result.failure_taxonomy.items() if v}
+        lines += [
+            "",
+            f"Breaker transitions: {len(result.breaker_transitions)} "
+            f"(opened {sum(1 for _, s in result.breaker_transitions if s.value == 'open')}x)",
+            "Failure taxonomy: "
+            + (
+                ", ".join(f"{k}={v}" for k, v in sorted(taxonomy.items()))
+                or "(clean)"
+            ),
+        ]
+    lines += ["", f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}"]
+    return "\n".join(lines), code
 
 
 def _cmd_combined(args: argparse.Namespace) -> str:
@@ -379,17 +402,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="framefeedback",
         help="controller under chaos: framefeedback | aimd | headroom",
     )
+    parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable the resilient offload path (retries + circuit "
+        "breaker + server pushback) for the chaos run",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON summary (chaos)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     commands = _PAPER_ORDER if args.command == "all" else [args.command]
+    exit_code = 0
     for i, name in enumerate(commands):
         if i:
             print("\n" + "=" * 72 + "\n")
-        print(_COMMANDS[name](args))
-    return 0
+        out = _COMMANDS[name](args)
+        # Commands return either text, or (text, exit_code) when they
+        # carry a verdict (chaos): any failure makes the run non-zero.
+        if isinstance(out, tuple):
+            out, code = out
+            exit_code = max(exit_code, code)
+        print(out)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

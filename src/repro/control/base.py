@@ -54,6 +54,14 @@ class Measurement:
     rtt_mean: Optional[float] = None
     #: 95th-percentile RTT of this bucket's successful offloads
     rtt_p95: Optional[float] = None
+    #: server overload-pushback responses/s this bucket (resilience
+    #: layer only; always 0.0 for the paper's bare client)
+    overload_rate: float = 0.0
+    #: retransmissions placed on the wire/s this bucket
+    retry_rate: float = 0.0
+    #: circuit-breaker state at bucket close: 0 closed, 0.5 half-open,
+    #: 1 open (0.0 when no resilience layer is configured)
+    breaker_open: float = 0.0
 
 
 class Controller(abc.ABC):

@@ -32,7 +32,11 @@ def _measurement_to_dict(m: Measurement) -> dict:
 
 
 def _measurement_from_dict(d: dict) -> Measurement:
-    return Measurement(**d)
+    # Tolerate transcripts recorded by a *newer* Measurement: unknown
+    # keys are dropped (fields only ever accrete, with defaults, so a
+    # replay on the intersection stays meaningful).
+    known = {f.name for f in dataclasses.fields(Measurement)}
+    return Measurement(**{k: v for k, v in d.items() if k in known})
 
 
 def record(

@@ -10,6 +10,7 @@ from repro.models.frames import FrameSpec
 from repro.models.zoo import MOBILENET_V3_SMALL, ModelSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.config import ResilienceConfig
     from repro.workloads.video import VideoContentModel
 
 #: the paper's source frame rate (§I: "a typical frame rate of 30")
@@ -50,6 +51,9 @@ class DeviceConfig:
     #: optional content-driven frame-size variation (None = fixed
     #: sizes, the paper's setup)
     video: "Optional[VideoContentModel]" = None
+    #: optional resilient offload path (retries + circuit breaker,
+    #: :mod:`repro.resilience`); None = the paper's bare client
+    resilience: "Optional[ResilienceConfig]" = None
 
     def __post_init__(self) -> None:
         if self.frame_rate <= 0:

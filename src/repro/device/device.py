@@ -18,9 +18,11 @@ from repro.metrics.breakdown import BreakdownCollector
 from repro.metrics.counters import WindowedRate
 from repro.metrics.qos import QosReport
 from repro.metrics.streaming import StreamingHistogram
+from repro.metrics.taxonomy import FailureKind
 from repro.metrics.timeseries import TimeSeries
 from repro.models.latency import LocalLatencyModel
 from repro.netem.link import Link
+from repro.resilience.layer import ResilienceLayer
 from repro.server.server import EdgeServer
 from repro.sim.core import Environment
 
@@ -44,6 +46,9 @@ class DeviceTraces:
     error: TimeSeries = field(default_factory=lambda: TimeSeries("e(t)"))
     cpu_utilization: TimeSeries = field(default_factory=lambda: TimeSeries("cpu"))
     capture_quality: TimeSeries = field(default_factory=lambda: TimeSeries("JPEG q"))
+    #: circuit-breaker state per period (0 closed / 0.5 half-open /
+    #: 1 open); flat zero when no resilience layer is configured
+    breaker_state: TimeSeries = field(default_factory=lambda: TimeSeries("breaker"))
 
 
 class EdgeDevice:
@@ -83,6 +88,12 @@ class EdgeDevice:
         self.breakdown = BreakdownCollector()
         #: whole-run RTT distribution (bounded memory), for reports
         self.rtt_histogram = StreamingHistogram(min_value=1e-3, max_value=5.0)
+        #: optional resilient offload path (None = the paper's device)
+        self.resilience: Optional[ResilienceLayer] = None
+        if config.resilience is not None:
+            self.resilience = ResilienceLayer(config.resilience, config.frame_rate)
+            self.resilience.breaker.on_open = self._on_breaker_open
+        self._breaker_probing = False
         self.offload = OffloadClient(
             env,
             uplink=uplink,
@@ -96,6 +107,7 @@ class EdgeDevice:
             on_timeout=self._on_offload_timeout,
             on_probe_result=self._on_probe_result,
             breakdown=self.breakdown,
+            resilience=self.resilience,
         )
 
         # --- measurement state ----------------------------------------------
@@ -150,6 +162,16 @@ class EdgeDevice:
 
     def _on_frame(self, frame: Frame) -> None:
         self.frames_seen += 1
+        if self.resilience is not None and not self.resilience.breaker.is_closed:
+            # Breaker tripped: the offload path is declared dead, so
+            # *every* frame takes the local fallback — no 250 ms stalls
+            # beyond the ones that tripped it.  Only the probe loop's
+            # synthetic trials ride the wire while not closed.
+            self.resilience.record(FailureKind.BREAKER_FALLBACK)
+            if not self.local.offer(frame):
+                self.local_skips += 1
+                self.resilience.record(FailureKind.BREAKER_FALLBACK_DROPPED)
+            return
         if self.splitter.route():
             self._bucket_offload_attempts += 1
             self.offload.send(frame)
@@ -185,19 +207,77 @@ class EdgeDevice:
         cfg = self.config
         period = cfg.measure_period
         while True:
-            if self.controller.wants_probe:
+            if self.controller.wants_probe and not self._breaker_engaged:
                 self._send_probe()
             yield env.timeout(period)
             measurement = self._close_buckets(period)
-            new_target = self.controller.update(measurement)
-            self.splitter.set_target(new_target)
-            quality = getattr(self.controller, "capture_quality", None)
-            if quality is not None:
-                self.capture_quality = float(quality)
+            if self._breaker_engaged:
+                # Controller frozen (anti-windup): it would otherwise
+                # integrate an outage it cannot observe — every frame
+                # is being saved locally, so T reads zero — and resume
+                # from a nonsense state.  The splitter is parked at the
+                # paper's 0.1 F_s standing probe; on close the
+                # controller picks up exactly where it was frozen.
+                self.splitter.set_target(self.resilience.open_target)
+            else:
+                new_target = self.controller.update(measurement)
+                self.splitter.set_target(new_target)
+                quality = getattr(self.controller, "capture_quality", None)
+                if quality is not None:
+                    self.capture_quality = float(quality)
             self.traces.offload_target.append(env.now, self.splitter.target)
             self.traces.capture_quality.append(env.now, self.capture_quality)
             err = getattr(self.controller, "last_error", 0.0)
             self.traces.error.append(env.now, err)
+
+    @property
+    def _breaker_engaged(self) -> bool:
+        return self.resilience is not None and not self.resilience.breaker.is_closed
+
+    # ------------------------------------------------------------------
+    # circuit-breaker probe loop
+    # ------------------------------------------------------------------
+    def _on_breaker_open(self) -> None:
+        """Breaker just tripped: start the half-open probe loop."""
+        if self._breaker_probing:
+            return
+        self._breaker_probing = True
+        self.env.process(
+            self._breaker_probe_loop(), name=f"{self.config.name}:breaker-probe"
+        )
+
+    def _breaker_probe_loop(self):
+        """Trial probes with exponential backoff until the path heals.
+
+        One probe per backoff interval; the loop waits for each trial's
+        verdict (the offload watchdog bounds that wait by the deadline)
+        so at most one trial is ever in flight.
+        """
+        resilience = self.resilience
+        breaker = resilience.breaker
+        while not breaker.is_closed:
+            yield self.env.timeout(breaker.current_backoff)
+            if breaker.is_closed:
+                break
+            verdict = self.env.event()
+
+            def on_result(ok: bool, verdict=verdict) -> None:
+                breaker.record_probe(ok, self.env.now)
+                if not ok:
+                    resilience.record(FailureKind.PROBE_FAILED)
+                if not verdict.triggered:
+                    verdict.succeed()
+
+            breaker.on_probe_sent(self.env.now)
+            self._probe_counter += 1
+            trial = Frame(
+                frame_id=-self._probe_counter,
+                captured_at=self.env.now,
+                nbytes=self._frame_nbytes(),
+            )
+            self.offload.send(trial, is_probe=True, on_result=on_result)
+            yield verdict
+        self._breaker_probing = False
 
     def _send_probe(self) -> None:
         """One heartbeat request (AllOrNothing's profiling probe)."""
@@ -227,6 +307,13 @@ class EdgeDevice:
         self._prev_local_busy = busy_now
         cpu = self.energy_model.utilization(busy_frac, offload_rate)
 
+        overload_rate = retry_rate = breaker_open = 0.0
+        if self.resilience is not None:
+            fault_rates = self.resilience.taxonomy.close_bucket(period)
+            overload_rate = fault_rates[FailureKind.OVERLOADED]
+            retry_rate = fault_rates[FailureKind.RETRY_SENT]
+            breaker_open = self.resilience.breaker.state_value()
+
         self.traces.throughput.append(env.now, throughput)
         self.traces.offload_rate.append(env.now, offload_rate)
         self.traces.offload_success.append(env.now, success_rate)
@@ -234,6 +321,7 @@ class EdgeDevice:
         self.traces.timeout_rate.append(env.now, timeout_last)
         self.traces.timeout_window.append(env.now, t_avg)
         self.traces.cpu_utilization.append(env.now, cpu)
+        self.traces.breaker_state.append(env.now, breaker_open)
 
         rtt_mean = rtt_p95 = None
         if self._bucket_rtts:
@@ -254,6 +342,9 @@ class EdgeDevice:
             probe_ok=self._probe_result,
             rtt_mean=rtt_mean,
             rtt_p95=rtt_p95,
+            overload_rate=overload_rate,
+            retry_rate=retry_rate,
+            breaker_open=breaker_open,
         )
 
         self._bucket_offload_attempts = 0
@@ -277,6 +368,22 @@ class EdgeDevice:
             if len(self.traces.timeout_rate)
             else 0.0
         )
+        extras = {
+            "offload_successes": float(self.offload_successes),
+            "local_successes": float(self.local_successes),
+            "mean_cpu_utilization": (
+                float(self.traces.cpu_utilization.values.mean())
+                if len(self.traces.cpu_utilization)
+                else 0.0
+            ),
+            "rtt_p50": self.rtt_histogram.quantile(0.5),
+            "rtt_p95": self.rtt_histogram.quantile(0.95),
+        }
+        if self.resilience is not None:
+            extras["breaker_opens"] = float(self.resilience.breaker.opened_count)
+            extras["retries_sent"] = float(self.offload.retries)
+            for kind, count in self.resilience.taxonomy.as_dict().items():
+                extras[f"faults.{kind}"] = float(count)
         return QosReport(
             name=self.controller.name,
             total_frames=self.frames_seen,
@@ -286,15 +393,5 @@ class EdgeDevice:
             dropped_local=self.local_skips,
             mean_throughput=mean_p,
             mean_violation_rate=mean_t,
-            extras={
-                "offload_successes": float(self.offload_successes),
-                "local_successes": float(self.local_successes),
-                "mean_cpu_utilization": (
-                    float(self.traces.cpu_utilization.values.mean())
-                    if len(self.traces.cpu_utilization)
-                    else 0.0
-                ),
-                "rtt_p50": self.rtt_histogram.quantile(0.5),
-                "rtt_p95": self.rtt_histogram.quantile(0.95),
-            },
+            extras=extras,
         )

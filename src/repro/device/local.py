@@ -52,6 +52,11 @@ class LocalPipeline:
             raise ValueError(f"slowdown factor must be >= 1, got {factor}")
         self.slowdown = float(factor)
 
+    @property
+    def can_accept(self) -> bool:
+        """True when :meth:`offer` would take a frame right now."""
+        return not self.busy or self._pending is None
+
     def offer(self, frame: Frame) -> bool:
         """Offer a frame; returns False (skipped) when engine + slot are full."""
         if self.busy:

@@ -15,6 +15,21 @@ overlap frame processing".  So the client
 A late success (response after the deadline) is discarded: the frame
 already counted as a violation and real-time results have no value
 past their deadline.
+
+With a :class:`~repro.resilience.ResilienceLayer` attached the client
+additionally
+
+* hedges a retransmission once ``retry_after_frac`` of the deadline
+  has passed with no reply (first response wins; the watchdog still
+  anchors at the *original* send, so a retried frame gets no deadline
+  extension);
+* honours server overload pushback: an ``OVERLOADED`` response is
+  retried after the server's ``retry_after`` hint when the remaining
+  budget still admits a useful reply, and otherwise counts as a
+  definitive failure immediately instead of burning the rest of the
+  250 ms in silence;
+* feeds every definitive outcome to the circuit breaker and the
+  failure taxonomy.
 """
 
 from __future__ import annotations
@@ -24,7 +39,9 @@ from typing import Callable, Dict, Optional
 
 from repro.device.camera import Frame
 from repro.metrics.breakdown import BreakdownCollector, LatencySample
+from repro.metrics.taxonomy import FailureKind
 from repro.netem.link import Link
+from repro.resilience.layer import ResilienceLayer
 from repro.server.requests import InferenceRequest, Response
 from repro.server.server import EdgeServer
 from repro.sim.core import Environment
@@ -36,6 +53,12 @@ class _Outstanding:
     sent_at: float
     settled: bool = False
     is_probe: bool = False
+    #: retransmissions already spent on this frame
+    retries: int = 0
+    #: per-send result hook (half-open trial probes); when set, the
+    #: outcome goes here instead of the shared ``on_probe_result`` so
+    #: breaker trials never pollute the controller's heartbeat signal
+    on_result: Optional[Callable[[bool], None]] = None
 
 
 class OffloadClient:
@@ -55,6 +78,7 @@ class OffloadClient:
         on_timeout: Callable[[Frame, str], None],
         on_probe_result: Optional[Callable[[bool], None]] = None,
         breakdown: Optional[BreakdownCollector] = None,
+        resilience: Optional[ResilienceLayer] = None,
     ) -> None:
         self.env = env
         self.uplink = uplink
@@ -70,15 +94,22 @@ class OffloadClient:
         #: optional omniscient-analysis collector (T_n/T_l attribution);
         #: never consulted by any controller — that is the paper's point
         self.breakdown = breakdown
+        #: optional resilient-path state (None = the paper's bare client)
+        self.resilience = resilience
         self._outstanding: Dict[int, _Outstanding] = {}
         #: frames already counted as violations whose attribution waits
-        #: for a (late) response: frame_id -> (record, violation time)
+        #: for a (late) response: frame_id -> (record, violation time,
+        #: resolution event for the grace process)
         self._late_pending: Dict[int, tuple] = {}
         self.sent = 0
         self.probes_sent = 0
         self.successes = 0
         self.timeouts = 0
         self.rejections = 0
+        #: server overload-pushback responses received
+        self.overloads = 0
+        #: retransmissions placed on the wire
+        self.retries = 0
         #: end-to-end latency of the last successful offload (probe incl.)
         self.last_rtt: Optional[float] = None
 
@@ -87,14 +118,33 @@ class OffloadClient:
     def outstanding_count(self) -> int:
         return len(self._outstanding)
 
-    def send(self, frame: Frame, is_probe: bool = False) -> None:
+    def send(
+        self,
+        frame: Frame,
+        is_probe: bool = False,
+        on_result: Optional[Callable[[bool], None]] = None,
+    ) -> None:
         """Ship one frame; non-blocking (pipelined)."""
-        record = _Outstanding(frame=frame, sent_at=self.env.now, is_probe=is_probe)
+        record = _Outstanding(
+            frame=frame,
+            sent_at=self.env.now,
+            is_probe=is_probe,
+            on_result=on_result,
+        )
         self._outstanding[frame.frame_id] = record
         if is_probe:
             self.probes_sent += 1
         else:
             self.sent += 1
+        self._transmit(record)
+        self.env.process(self._watchdog(frame.frame_id), name="offload-watchdog")
+        r = self.resilience
+        if r is not None and not is_probe and r.config.max_retries > 0:
+            self.env.process(self._retry_timer(frame.frame_id), name="offload-hedge")
+
+    def _transmit(self, record: _Outstanding) -> None:
+        """Put one copy of the frame on the uplink (send or re-send)."""
+        frame = record.frame
         request = InferenceRequest(
             tenant=self.tenant,
             model_name=self.model_name,
@@ -102,17 +152,70 @@ class OffloadClient:
             payload_bytes=frame.nbytes,
             respond=self._on_server_response,
             frame_id=frame.frame_id,
-            # deadline hint for DEADLINE_AWARE servers; note this
-            # presumes synchronized clocks (the very machinery ATOMS
-            # needs and the paper's design avoids) — the default FIFO
-            # policy never reads it
-            deadline_at=self.env.now + self.deadline,
+            # deadline hint for DEADLINE_AWARE servers, anchored at the
+            # *original* send; note this presumes synchronized clocks
+            # (the very machinery ATOMS needs and the paper's design
+            # avoids) — the default FIFO policy never reads it
+            deadline_at=record.sent_at + self.deadline,
         )
         # A dropped uplink send needs no special handling: the watchdog
         # will fire at the deadline, which is exactly what the real
         # system observes (silence).
         self.uplink.send(frame.nbytes, request, self.server.submit)
-        self.env.process(self._watchdog(frame.frame_id), name="offload-watchdog")
+
+    # ------------------------------------------------------------------
+    # deadline-budgeted retransmission
+    # ------------------------------------------------------------------
+    def _retry_timer(self, frame_id: int):
+        """Hedge: re-send once ``retry_after_frac`` of the budget is gone."""
+        yield self.env.timeout(
+            self.resilience.config.retry_after_frac * self.deadline
+        )
+        record = self._outstanding.get(frame_id)
+        if record is None or record.settled:
+            return
+        self._maybe_retry(record)
+
+    def _maybe_retry(self, record: _Outstanding, wait: float = 0.0) -> bool:
+        """Try to spend a retransmission on ``record``.
+
+        ``wait`` defers the re-send (server retry-after hint).  Returns
+        True when a retry was committed — the caller must then leave
+        the record outstanding for the watchdog to guard.
+        """
+        r = self.resilience
+        if r is None or record.retries >= r.config.max_retries:
+            return False
+        if not r.breaker.is_closed:
+            # the breaker already declared the path dead; retries there
+            # are exactly the amplification it exists to prevent
+            return False
+        now = self.env.now
+        remaining = record.sent_at + self.deadline - (now + wait)
+        if remaining < r.config.min_reply_frac * self.deadline:
+            r.record(FailureKind.RETRY_WINDOW_CLOSED)
+            return False
+        if not r.retry_budget.try_acquire(now):
+            r.record(FailureKind.RETRY_DENIED)
+            return False
+        record.retries += 1
+        self.retries += 1
+        r.record(FailureKind.RETRY_SENT)
+        if wait > 0:
+            self.env.process(
+                self._deferred_resend(record.frame.frame_id, wait),
+                name="offload-retry",
+            )
+        else:
+            self._transmit(record)
+        return True
+
+    def _deferred_resend(self, frame_id: int, wait: float):
+        yield self.env.timeout(wait)
+        record = self._outstanding.get(frame_id)
+        if record is None or record.settled:
+            return  # a response (or the watchdog) beat the hint
+        self._transmit(record)
 
     # ------------------------------------------------------------------
     def _on_server_response(self, response: Response) -> None:
@@ -139,17 +242,45 @@ class OffloadClient:
         if response.ok and rtt <= self.deadline:
             self._settle(record, response.frame_id)
             self.last_rtt = rtt
+            self._record_path_outcome(record, ok=True)
             if record.is_probe:
-                self._probe_done(True)
+                self._probe_done(record, True)
             else:
                 self.successes += 1
                 self.on_success(record.frame, rtt)
+        elif response.overloaded:
+            # Explicit pushback: the server is saturated but alive.
+            self.overloads += 1
+            r = self.resilience
+            if r is not None:
+                r.note_overload(response.retry_after)
+                r.record(FailureKind.OVERLOADED)
+                if not record.is_probe and self._maybe_retry(
+                    record, wait=response.retry_after or 0.0
+                ):
+                    return  # still outstanding; the watchdog guards it
+            # No retry possible: a definitive failure *now* — don't
+            # burn the rest of the deadline waiting for nothing.
+            self._settle(record, response.frame_id)
+            self._record_path_outcome(
+                record, ok=False, retry_after=response.retry_after
+            )
+            if record.is_probe:
+                self._probe_done(record, False)
+            else:
+                if self.breakdown is not None:
+                    self.breakdown.record_rejection(self.env.now)
+                self.timeouts += 1
+                self.on_timeout(record.frame, "overloaded")
         elif not response.ok:
             # Rejection: a definitive failure, counted immediately.
             self._settle(record, response.frame_id)
+            if self.resilience is not None:
+                self.resilience.record(FailureKind.REJECTED)
             self.rejections += 1
+            self._record_path_outcome(record, ok=False)
             if record.is_probe:
-                self._probe_done(False)
+                self._probe_done(record, False)
             else:
                 if self.breakdown is not None:
                     self.breakdown.record_rejection(self.env.now)
@@ -164,8 +295,11 @@ class OffloadClient:
         if record is None or record.settled:
             return
         self._settle(record, frame_id)
+        if self.resilience is not None:
+            self.resilience.record(FailureKind.SILENT_TIMEOUT)
+        self._record_path_outcome(record, ok=False)
         if record.is_probe:
-            self._probe_done(False)
+            self._probe_done(record, False)
             return
         self.timeouts += 1
         self.on_timeout(record.frame, "deadline")
@@ -173,14 +307,18 @@ class OffloadClient:
             # Attribution is deferred: a late response (if one ever
             # comes) tells us whether network or server ate the budget;
             # true silence is a network loss.
-            self._late_pending[frame_id] = (record, self.env.now)
-            self.env.process(self._attribution_grace(frame_id))
+            resolved = self.env.event()
+            self._late_pending[frame_id] = (record, self.env.now, resolved)
+            self.env.process(self._attribution_grace(frame_id, resolved))
 
-    def _attribution_grace(self, frame_id: int):
-        yield self.env.timeout(max(4.0 * self.deadline, 1.0))
+    def _attribution_grace(self, frame_id: int, resolved):
+        # Wake early if a late response already resolved attribution —
+        # otherwise a grace sleep per silent frame keeps the event heap
+        # (and wall-clock drain time) needlessly inflated.
+        yield self.env.timeout(max(4.0 * self.deadline, 1.0)) | resolved
         pending = self._late_pending.pop(frame_id, None)
         if pending is not None:
-            _record, violated_at = pending
+            _record, violated_at, _resolved = pending
             self.breakdown.record_silent_timeout(violated_at)
 
     def _attribute_late(self, response: Response) -> None:
@@ -188,7 +326,9 @@ class OffloadClient:
         pending = self._late_pending.pop(response.frame_id, None)
         if pending is None or self.breakdown is None:
             return
-        record, violated_at = pending
+        record, violated_at, resolved = pending
+        if not resolved.triggered:
+            resolved.succeed()
         if response.ok:
             self.breakdown.record_response(
                 LatencySample(
@@ -207,6 +347,28 @@ class OffloadClient:
         record.settled = True
         self._outstanding.pop(frame_id, None)
 
-    def _probe_done(self, ok: bool) -> None:
-        if self.on_probe_result is not None:
+    def _record_path_outcome(
+        self,
+        record: _Outstanding,
+        ok: bool,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        """Feed a definitive outcome to the circuit breaker.
+
+        Half-open trial probes (``on_result`` set) are excluded: their
+        verdicts flow through :meth:`CircuitBreaker.record_probe` via
+        the device's probe loop, not the data-path counters.
+        """
+        r = self.resilience
+        if r is None or record.on_result is not None:
+            return
+        if ok:
+            r.breaker.record_success(self.env.now)
+        else:
+            r.breaker.record_failure(self.env.now, retry_after=retry_after)
+
+    def _probe_done(self, record: _Outstanding, ok: bool) -> None:
+        if record.on_result is not None:
+            record.on_result(ok)
+        elif self.on_probe_result is not None:
             self.on_probe_result(ok)

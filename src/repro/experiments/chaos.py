@@ -30,13 +30,17 @@ from repro.faults.base import FaultInjector, validate_plan
 from repro.faults.device import CameraStall, CpuThrottle
 from repro.faults.invariants import (
     MIN_PROBE_WINDOW,
+    BreakerTransitions,
     InvariantCheck,
+    breaker_reclose_invariant,
+    breaker_trip_invariant,
     reconvergence_invariant,
     standing_probe_invariant,
 )
 from repro.faults.link import BandwidthCollapse, BurstLoss
 from repro.faults.server import ServerCrash, ServerSlowdown
 from repro.faults.windows import FaultTimeline, FaultWindow
+from repro.resilience.config import ResilienceConfig
 
 
 class RecordingController:
@@ -118,10 +122,28 @@ class ChaosScenario:
     reconverge_frac: float = 0.6
     #: control periods allowed for re-convergence after healing
     reconverge_periods: int = 25
+    #: when set, the run gets the full defense stack: the device is
+    #: rebuilt with this resilience config and the server with overload
+    #: pushback, and the breaker trip/re-close invariants join the
+    #: recovery checks on every total-failure window
+    resilience: Optional[ResilienceConfig] = None
+    #: control periods within which the breaker must trip after a
+    #: total-failure onset (resilience runs only)
+    breaker_trip_periods: float = 3.0
 
     def with_seed(self, seed: int) -> "ChaosScenario":
         return dataclasses.replace(
             self, base=dataclasses.replace(self.base, seed=seed)
+        )
+
+    def effective_base(self) -> Scenario:
+        """The base scenario with the resilience stack applied, if any."""
+        if self.resilience is None:
+            return self.base
+        return dataclasses.replace(
+            self.base,
+            device=dataclasses.replace(self.base.device, resilience=self.resilience),
+            server_pushback=True,
         )
 
 
@@ -133,10 +155,65 @@ class ChaosResult:
     transcript: Dict[str, object]
     window_qos: List[WindowQos] = field(default_factory=list)
     invariants: List[InvariantCheck] = field(default_factory=list)
+    #: circuit-breaker state changes ``(time, state)``; empty when the
+    #: run had no resilience layer
+    breaker_transitions: BreakerTransitions = field(default_factory=list)
+    #: cumulative failure-taxonomy counts (wire names); empty likewise
+    failure_taxonomy: Dict[str, int] = field(default_factory=dict)
 
     @property
     def all_invariants_hold(self) -> bool:
         return all(c.passed for c in self.invariants)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (``repro chaos --json``)."""
+
+        def finite(x: float) -> Optional[float]:
+            return float(x) if math.isfinite(x) else None
+
+        qos = self.run.qos
+        return {
+            "controller": self.run.controller_name,
+            "seed": self.run.scenario.seed,
+            "elapsed": self.run.elapsed,
+            "resilience": bool(self.breaker_transitions or self.failure_taxonomy),
+            "qos": {
+                "total_frames": qos.total_frames,
+                "successful": qos.successful,
+                "timeouts": qos.timeouts,
+                "rejected": qos.rejected,
+                "mean_throughput": qos.mean_throughput,
+                "mean_violation_rate": qos.mean_violation_rate,
+            },
+            "window_qos": [
+                {
+                    "injector": w.injector,
+                    "layer": w.layer,
+                    "window": [w.window.start, w.window.end],
+                    "mean_throughput": w.mean_throughput,
+                    "mean_timeout_rate": w.mean_timeout_rate,
+                    "mean_offload_target": w.mean_offload_target,
+                }
+                for w in self.window_qos
+            ],
+            "invariants": [
+                {
+                    "name": c.name,
+                    "window": [c.window.start, c.window.end] if c.window else None,
+                    "observed": finite(c.observed),
+                    "expected": finite(c.expected),
+                    "tolerance": c.tolerance,
+                    "passed": c.passed,
+                    "detail": c.detail,
+                }
+                for c in self.invariants
+            ],
+            "breaker_transitions": [
+                [t, state.value] for t, state in self.breaker_transitions
+            ],
+            "failure_taxonomy": dict(self.failure_taxonomy),
+            "verdict": "PASS" if self.all_invariants_hold else "FAIL",
+        }
 
 
 def _window_qos(result: RunResult, injector: FaultInjector) -> List[WindowQos]:
@@ -164,13 +241,25 @@ def _window_qos(result: RunResult, injector: FaultInjector) -> List[WindowQos]:
 
 
 def _recovery_checks(
-    chaos: ChaosScenario, result: RunResult
+    chaos: ChaosScenario,
+    result: RunResult,
+    breaker_transitions: Optional[BreakerTransitions] = None,
 ) -> List[InvariantCheck]:
-    """Evaluate both invariants on every total-failure window."""
+    """Evaluate the recovery invariants on every total-failure window."""
     checks: List[InvariantCheck] = []
     fs = chaos.base.device.frame_rate
     period = chaos.base.device.measure_period
     po = result.traces.offload_target
+    # Worst re-close case: a max-length backoff sleep begun just before
+    # the heal, its probe failing at the deadline, then one more
+    # max-length sleep before the probe that finally lands.
+    reclose_delay = None
+    if chaos.resilience is not None:
+        reclose_delay = (
+            chaos.resilience.backoff_max
+            + chaos.base.device.deadline
+            + 2.0 * period
+        )
     for injector in chaos.injectors:
         if not injector.total_failure:
             continue
@@ -194,13 +283,33 @@ def _recovery_checks(
                         window=w,
                     )
                 )
+            if breaker_transitions is None or reclose_delay is None:
+                continue
+            if w.end <= result.elapsed:
+                checks.append(
+                    breaker_trip_invariant(
+                        breaker_transitions,
+                        w,
+                        control_period=period,
+                        max_periods=chaos.breaker_trip_periods,
+                    )
+                )
+            if w.end + reclose_delay <= result.elapsed:
+                checks.append(
+                    breaker_reclose_invariant(
+                        breaker_transitions,
+                        heal_time=w.end,
+                        max_delay=reclose_delay,
+                        window=w,
+                    )
+                )
     return checks
 
 
 def run_chaos(chaos: ChaosScenario) -> ChaosResult:
     """Execute one chaos scenario deterministically."""
     validate_plan(list(chaos.injectors))
-    runtime = build_runtime(chaos.base)
+    runtime = build_runtime(chaos.effective_base())
 
     recorder = RecordingController(runtime.device.controller)
     runtime.device.controller = recorder
@@ -215,11 +324,17 @@ def run_chaos(chaos: ChaosScenario) -> ChaosResult:
     for injector in chaos.injectors:
         window_qos.extend(_window_qos(result, injector))
 
+    resilience = runtime.device.resilience
+    transitions = list(resilience.breaker.transitions) if resilience else []
     return ChaosResult(
         run=result,
         transcript=recorder.transcript(chaos.base.device.frame_rate),
         window_qos=window_qos,
-        invariants=_recovery_checks(chaos, result),
+        invariants=_recovery_checks(
+            chaos, result, breaker_transitions=transitions if resilience else None
+        ),
+        breaker_transitions=transitions,
+        failure_taxonomy=resilience.taxonomy.as_dict() if resilience else {},
     )
 
 

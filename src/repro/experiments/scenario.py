@@ -86,6 +86,9 @@ class Scenario:
     gpu_model: GpuBatchModel = field(default_factory=GpuBatchModel)
     batch_policy: BatchPolicy = BatchPolicy.FIFO
     uplink_queue_bytes: float = 131_072.0
+    #: server answers overflow with OVERLOADED + retry-after instead of
+    #: bare rejections (pairs with ``device.resilience``)
+    server_pushback: bool = False
 
     def with_seed(self, seed: int) -> "Scenario":
         return replace(self, seed=seed)
@@ -210,6 +213,7 @@ def build_runtime(scenario: Scenario) -> ScenarioRuntime:
         rng.stream("server"),
         cost_model=scenario.gpu_model,
         batch_policy=scenario.batch_policy,
+        pushback=scenario.server_pushback,
     )
 
     background: Optional[BackgroundLoad] = None

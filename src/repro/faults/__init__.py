@@ -18,6 +18,8 @@ from repro.faults.base import FaultInjector, FaultTargets, validate_plan
 from repro.faults.device import CameraStall, CpuThrottle
 from repro.faults.invariants import (
     InvariantCheck,
+    breaker_reclose_invariant,
+    breaker_trip_invariant,
     reconvergence_invariant,
     standing_probe_invariant,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "OutageWindow",
     "ServerCrash",
     "ServerSlowdown",
+    "breaker_reclose_invariant",
+    "breaker_trip_invariant",
     "reconvergence_invariant",
     "standing_probe_invariant",
     "validate_plan",

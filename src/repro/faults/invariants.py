@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.faults.windows import FaultWindow
 from repro.metrics.timeseries import TimeSeries
+from repro.resilience.breaker import BreakerState
 
 
 @dataclass(frozen=True)
@@ -123,4 +124,92 @@ def reconvergence_invariant(
         tolerance=0.0,
         window=window,
         detail=f"periods until P_o >= {threshold:.1f} after t={heal_time:g}",
+    )
+
+
+# ----------------------------------------------------------------------
+# circuit-breaker invariants (resilience runs only)
+# ----------------------------------------------------------------------
+
+#: transition log type: ``CircuitBreaker.transitions``
+BreakerTransitions = List[Tuple[float, BreakerState]]
+
+
+def _breaker_state_at(transitions: BreakerTransitions, t: float) -> BreakerState:
+    """Breaker state just after ``t`` (initial state is CLOSED)."""
+    state = BreakerState.CLOSED
+    for when, s in transitions:
+        if when > t:
+            break
+        state = s
+    return state
+
+
+def breaker_trip_invariant(
+    transitions: BreakerTransitions,
+    window: FaultWindow,
+    control_period: float = 1.0,
+    max_periods: float = 3.0,
+) -> InvariantCheck:
+    """The breaker opens within ``max_periods`` of a total-failure onset.
+
+    A breaker that dawdles is pure cost: every frame offloaded between
+    onset and trip pays the full deadline in silence.  ``observed`` is
+    control periods from ``window.start`` to the first OPEN transition
+    (0 when already open at onset; ``inf`` when it never opened).
+    """
+    if _breaker_state_at(transitions, window.start) is not BreakerState.CLOSED:
+        periods = 0.0
+    else:
+        periods = float("inf")
+        for when, state in transitions:
+            if when >= window.start and state is BreakerState.OPEN:
+                periods = (when - window.start) / control_period
+                break
+    passed = periods <= max_periods
+    return InvariantCheck(
+        name="breaker-trip",
+        passed=passed,
+        observed=periods,
+        expected=float(max_periods),
+        tolerance=0.0,
+        window=window,
+        detail=f"periods from onset t={window.start:g} to OPEN",
+    )
+
+
+def breaker_reclose_invariant(
+    transitions: BreakerTransitions,
+    heal_time: float,
+    max_delay: float,
+    window: Optional[FaultWindow] = None,
+) -> InvariantCheck:
+    """The breaker re-closes within ``max_delay`` seconds of healing.
+
+    With exponential backoff capped at ``backoff_max`` the worst case
+    is one full ``backoff_max`` sleep started just before the heal,
+    plus the trial probe's round trip — callers size ``max_delay``
+    accordingly (``backoff_max + deadline + slack``).  ``observed`` is
+    seconds from ``heal_time`` until the breaker is CLOSED (0 when it
+    never opened or already closed; ``inf`` when it stays open).
+    """
+    if max_delay <= 0:
+        raise ValueError(f"max_delay must be positive, got {max_delay}")
+    if _breaker_state_at(transitions, heal_time) is BreakerState.CLOSED:
+        delay = 0.0
+    else:
+        delay = float("inf")
+        for when, state in transitions:
+            if when >= heal_time and state is BreakerState.CLOSED:
+                delay = when - heal_time
+                break
+    passed = delay <= max_delay
+    return InvariantCheck(
+        name="breaker-reclose",
+        passed=passed,
+        observed=delay,
+        expected=max_delay,
+        tolerance=0.0,
+        window=window,
+        detail=f"seconds from heal t={heal_time:g} to CLOSED",
     )

@@ -10,11 +10,14 @@ from repro.metrics.breakdown import BreakdownCollector, LatencySample, TimeoutCa
 from repro.metrics.counters import EventCounter, WindowedRate
 from repro.metrics.qos import PhaseSummary, QosReport, summarize_phases
 from repro.metrics.streaming import StreamingHistogram
+from repro.metrics.taxonomy import FailureKind, FailureTaxonomy
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
     "BreakdownCollector",
     "EventCounter",
+    "FailureKind",
+    "FailureTaxonomy",
     "LatencySample",
     "PhaseSummary",
     "QosReport",

@@ -1,0 +1,82 @@
+"""Failure taxonomy: what exactly went wrong on the offload path.
+
+The controller's ``T`` folds every failure into one number — that is
+the paper's deliberate observability constraint.  The *resilience*
+layer (:mod:`repro.resilience`) must not be so blind: a circuit
+breaker needs to distinguish "server said it is saturated, back off"
+from "the network went silent, probe", and chaos invariants need to
+assert which defense fired.  :class:`FailureTaxonomy` is the shared
+counter set both consult; it feeds the control transcript (via the
+per-period :class:`~repro.control.base.Measurement` rates) and the
+whole-run QoS extras.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class FailureKind(enum.Enum):
+    """One classified event on the resilient offload path."""
+
+    #: watchdog fired with no response at all (network dead or server
+    #: answer still in flight past the deadline)
+    SILENT_TIMEOUT = "silent_timeout"
+    #: server rejection without overload semantics (legacy/rejected)
+    REJECTED = "rejected"
+    #: explicit server pushback: shed with a retry-after hint
+    OVERLOADED = "overloaded"
+    #: frame diverted to the local pipeline while the breaker was open
+    BREAKER_FALLBACK = "breaker_fallback"
+    #: diverted frame the local pipeline could not even accept
+    BREAKER_FALLBACK_DROPPED = "breaker_fallback_dropped"
+    #: retransmission actually placed on the wire
+    RETRY_SENT = "retry_sent"
+    #: retransmission suppressed: token bucket empty
+    RETRY_DENIED = "retry_denied"
+    #: retransmission suppressed: remaining deadline budget too small
+    #: for any reply to still be useful
+    RETRY_WINDOW_CLOSED = "retry_window_closed"
+    #: half-open trial probe that came back dead
+    PROBE_FAILED = "probe_failed"
+
+
+class FailureTaxonomy:
+    """Monotone per-kind counters with a per-bucket view.
+
+    ``record`` bumps both the cumulative count and the open
+    measurement bucket; :meth:`close_bucket` returns the bucket's
+    per-second rates and resets it, mirroring the device's
+    measurement-loop bucket discipline so taxonomy rates line up
+    sample-for-sample with every other per-period series.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[FailureKind, int] = {k: 0 for k in FailureKind}
+        self._bucket: Dict[FailureKind, int] = {k: 0 for k in FailureKind}
+
+    def record(self, kind: FailureKind, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        self._totals[kind] += count
+        self._bucket[kind] += count
+
+    def total(self, kind: FailureKind) -> int:
+        return self._totals[kind]
+
+    def bucket(self, kind: FailureKind) -> int:
+        """Events of ``kind`` in the currently open bucket."""
+        return self._bucket[kind]
+
+    def close_bucket(self, bucket_seconds: float = 1.0) -> Dict[FailureKind, float]:
+        """End the open bucket; returns per-kind rates (events/s)."""
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket length must be positive, got {bucket_seconds}")
+        rates = {k: c / bucket_seconds for k, c in self._bucket.items()}
+        self._bucket = {k: 0 for k in FailureKind}
+        return rates
+
+    def as_dict(self) -> Dict[str, int]:
+        """Cumulative counts keyed by the kind's wire name."""
+        return {k.value: c for k, c in self._totals.items()}

@@ -1,0 +1,36 @@
+"""Resilient offload path: active defenses under the control loop.
+
+The paper leans on the controller alone to absorb failures — every
+timeout folds into ``T`` and the control law backs ``P_o`` off one
+period later.  That leaves three gaps this package closes:
+
+* a frame lost to the network stalls the pipeline for the full 250 ms
+  deadline before anyone reacts → **deadline-budgeted retransmission**
+  (:class:`RetryBudget` gating hedged re-sends while a useful reply is
+  still possible);
+* during a total outage *every* offloaded frame pays that stall →
+  a **circuit breaker** (:class:`CircuitBreaker`) that trips after a
+  few consecutive failures, routes frames to the local pipeline, and
+  re-probes with exponential backoff;
+* a bare rejection is indistinguishable from a dead link → **server
+  overload pushback** (``RequestOutcome.OVERLOADED`` + retry-after,
+  see :mod:`repro.server.requests`), classified by the
+  :class:`~repro.metrics.taxonomy.FailureTaxonomy`.
+
+Enable it per device via
+``DeviceConfig(resilience=ResilienceConfig())``; chaos runs flip it on
+with ``ChaosScenario(resilience=...)`` or ``repro chaos --resilience``.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.budget import RetryBudget
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.layer import ResilienceLayer
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "ResilienceLayer",
+    "RetryBudget",
+]

@@ -1,0 +1,140 @@
+"""Circuit breaker for the offload path.
+
+State machine::
+
+    CLOSED ──(trip_threshold consecutive failures)──▶ OPEN
+    OPEN ──(backoff elapsed, trial probe sent)──▶ HALF_OPEN
+    HALF_OPEN ──(probe ok × close_after)──▶ CLOSED   (backoff reset)
+    HALF_OPEN ──(probe failed)──▶ OPEN               (backoff doubled)
+
+While not CLOSED, the device routes offload-designated frames straight
+to the local pipeline, so a dead path costs zero per-frame 250 ms
+stalls beyond the frames that tripped the breaker.  The breaker is
+deliberately simulation-free — every method takes ``now`` explicitly —
+so the state machine is unit-testable without an event loop and
+reusable by :mod:`repro.realtime`.
+
+A server overload hint (``retry-after``) can seed the first backoff:
+"the server told us when to come back" beats a blind initial delay.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Tuple
+
+from repro.resilience.config import ResilienceConfig
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with exponential half-open backoff."""
+
+    def __init__(self, config: Optional[ResilienceConfig] = None) -> None:
+        self.config = config or ResilienceConfig()
+        self.state = BreakerState.CLOSED
+        self.current_backoff = self.config.backoff_initial
+        #: every state change as ``(time, state)``, in order
+        self.transitions: List[Tuple[float, BreakerState]] = []
+        #: times at which half-open trial probes were launched
+        self.probe_times: List[float] = []
+        #: invoked once per CLOSED->OPEN trip (the device hooks its
+        #: half-open probe loop here)
+        self.on_open: Optional[Callable[[], None]] = None
+        self.opened_count = 0
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_closed(self) -> bool:
+        return self.state is BreakerState.CLOSED
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is BreakerState.OPEN
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def state_value(self) -> float:
+        """Numeric encoding for traces: 0 closed, 0.5 half-open, 1 open."""
+        return {
+            BreakerState.CLOSED: 0.0,
+            BreakerState.HALF_OPEN: 0.5,
+            BreakerState.OPEN: 1.0,
+        }[self.state]
+
+    # ------------------------------------------------------------------
+    # data-path outcomes (CLOSED bookkeeping only; stragglers that
+    # settle after the trip must not re-trip or close anything)
+    # ------------------------------------------------------------------
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+
+    def record_failure(self, now: float, retry_after: Optional[float] = None) -> None:
+        if self.state is not BreakerState.CLOSED:
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.config.trip_threshold:
+            self._trip(now, retry_after)
+
+    # ------------------------------------------------------------------
+    # half-open probe protocol (driven by the device's probe loop)
+    # ------------------------------------------------------------------
+    def on_probe_sent(self, now: float) -> None:
+        """A trial probe just left; OPEN becomes HALF_OPEN."""
+        if self.state is BreakerState.CLOSED:
+            raise RuntimeError("half-open probe sent while breaker closed")
+        self.probe_times.append(now)
+        if self.state is BreakerState.OPEN:
+            self._transition(now, BreakerState.HALF_OPEN)
+
+    def record_probe(self, ok: bool, now: float) -> None:
+        """Outcome of the trial probe: close, or reopen with backoff."""
+        if self.state is not BreakerState.HALF_OPEN:
+            return
+        if ok:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.close_after:
+                self._close(now)
+            return
+        self._probe_successes = 0
+        self.current_backoff = min(
+            self.current_backoff * self.config.backoff_multiplier,
+            self.config.backoff_max,
+        )
+        self._transition(now, BreakerState.OPEN)
+
+    # ------------------------------------------------------------------
+    def _trip(self, now: float, retry_after: Optional[float]) -> None:
+        self.opened_count += 1
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self.current_backoff = self.config.backoff_initial
+        if retry_after is not None and retry_after > 0:
+            # the server scheduled our comeback; don't probe earlier
+            self.current_backoff = min(
+                max(self.current_backoff, float(retry_after)),
+                self.config.backoff_max,
+            )
+        self._transition(now, BreakerState.OPEN)
+        if self.on_open is not None:
+            self.on_open()
+
+    def _close(self, now: float) -> None:
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self.current_backoff = self.config.backoff_initial
+        self._transition(now, BreakerState.CLOSED)
+
+    def _transition(self, now: float, state: BreakerState) -> None:
+        self.state = state
+        self.transitions.append((now, state))

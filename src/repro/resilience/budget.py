@@ -1,0 +1,53 @@
+"""The retry token bucket: retries may help, amplification never does.
+
+Token-bucket-constrained offloading (Chakrabarti et al.,
+arXiv:2010.13737) budgets *when* a frame may be (re)transmitted; this
+is that idea applied to the failure path only.  During a healthy run
+the bucket stays full and every eligible retry is granted; during an
+outage the bucket drains after ``burst`` retries and thereafter meters
+them at ``rate`` — so the wire sees at most ``rate`` extra frames/s no
+matter how many frames are failing.
+"""
+
+from __future__ import annotations
+
+
+class RetryBudget:
+    """Continuous-refill token bucket gating retransmissions."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._updated_at = 0.0
+        self.granted = 0
+        self.denied = 0
+
+    def _refill(self, now: float) -> None:
+        if now < self._updated_at:
+            raise ValueError(
+                f"time went backwards: {now} < {self._updated_at}"
+            )
+        self._tokens = min(self.burst, self._tokens + (now - self._updated_at) * self.rate)
+        self._updated_at = now
+
+    def tokens(self, now: float) -> float:
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; False means deny."""
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self._refill(now)
+        if self._tokens + 1e-12 >= cost:
+            self._tokens -= cost
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False

@@ -1,0 +1,92 @@
+"""Every knob of the resilient offload path, in one validated record.
+
+Defaults are tuned for the paper's evaluation point (30 fps source,
+250 ms deadline, 1 s control period) and follow two budget arguments:
+
+* **Retry budget.**  A retransmission is only worth sending while the
+  remaining deadline budget still admits a useful reply, so the retry
+  fires at ``retry_after_frac`` of the deadline (125 ms by default —
+  half the budget gone with no response is already a strong loss
+  signal) and is suppressed when less than ``min_reply_frac`` of the
+  deadline would remain at transmission time.  A token bucket
+  (``retry_budget_rate``/``retry_budget_burst``) caps the *aggregate*
+  retry rate so an outage can never amplify into a send storm: at the
+  defaults, retries add at most 3 frames/s sustained — 10 % of the
+  source rate, the same fraction the paper already reserves for its
+  standing probe.
+* **Breaker economics.**  Each frame sent into a dead path costs a
+  full 250 ms of silence.  After ``trip_threshold`` consecutive
+  failures the expected value of further attempts is negative, so the
+  breaker opens and frames take the local fallback instead.  Re-probes
+  back off exponentially (``backoff_initial`` doubling to
+  ``backoff_max``), which bounds both probe waste during a long outage
+  and the re-close delay after healing (one ``backoff_max`` in the
+  worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Configuration for :class:`~repro.resilience.ResilienceLayer`."""
+
+    # --- deadline-budgeted retransmission ------------------------------
+    #: fraction of the deadline to wait before the hedged retransmit
+    #: (the original may still be in flight; first response wins)
+    retry_after_frac: float = 0.5
+    #: minimum remaining deadline fraction for a retry to be worth it
+    min_reply_frac: float = 0.3
+    #: retransmissions allowed per frame
+    max_retries: int = 1
+    #: sustained retry rate the token bucket refills at (retries/s)
+    retry_budget_rate: float = 3.0
+    #: burst capacity of the retry token bucket (tokens)
+    retry_budget_burst: float = 6.0
+
+    # --- circuit breaker ----------------------------------------------
+    #: consecutive offload failures that trip the breaker open
+    trip_threshold: int = 5
+    #: first half-open probe delay after tripping (seconds)
+    backoff_initial: float = 0.5
+    #: backoff growth factor per failed half-open probe
+    backoff_multiplier: float = 2.0
+    #: backoff ceiling (seconds); also bounds re-close delay post-heal
+    backoff_max: float = 8.0
+    #: consecutive successful probes required to close again
+    close_after: int = 1
+    #: ``P_o`` target (as a fraction of ``F_s``) held while the breaker
+    #: is open — the paper's 0.1 F_s standing probe, now owned by the
+    #: resilience layer because the controller no longer sees failures
+    #: (its frames are being saved by the local fallback)
+    open_target_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.retry_after_frac < 1.0:
+            raise ValueError(
+                f"retry_after_frac must be in (0, 1), got {self.retry_after_frac}"
+            )
+        if not 0.0 <= self.min_reply_frac < 1.0:
+            raise ValueError(
+                f"min_reply_frac must be in [0, 1), got {self.min_reply_frac}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_budget_rate <= 0 or self.retry_budget_burst <= 0:
+            raise ValueError("retry budget rate and burst must be positive")
+        if self.trip_threshold < 1:
+            raise ValueError(f"trip_threshold must be >= 1, got {self.trip_threshold}")
+        if self.backoff_initial <= 0:
+            raise ValueError("backoff_initial must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_max < self.backoff_initial:
+            raise ValueError("backoff_max must be >= backoff_initial")
+        if self.close_after < 1:
+            raise ValueError(f"close_after must be >= 1, got {self.close_after}")
+        if not 0.0 < self.open_target_frac < 1.0:
+            raise ValueError(
+                f"open_target_frac must be in (0, 1), got {self.open_target_frac}"
+            )

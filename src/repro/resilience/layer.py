@@ -1,0 +1,49 @@
+"""The per-device bundle of resilience state.
+
+One :class:`ResilienceLayer` is shared by the
+:class:`~repro.device.device.EdgeDevice` (breaker-aware routing,
+half-open probe loop, measurement integration) and its
+:class:`~repro.device.offload.OffloadClient` (retransmissions, outcome
+classification).  It owns no processes itself — the device drives it —
+which keeps every piece independently unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.taxonomy import FailureKind, FailureTaxonomy
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import RetryBudget
+from repro.resilience.config import ResilienceConfig
+
+
+class ResilienceLayer:
+    """Breaker + retry budget + failure taxonomy for one device."""
+
+    def __init__(self, config: ResilienceConfig, frame_rate: float) -> None:
+        if frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate}")
+        self.config = config
+        self.frame_rate = frame_rate
+        self.breaker = CircuitBreaker(config)
+        self.retry_budget = RetryBudget(
+            rate=config.retry_budget_rate, burst=config.retry_budget_burst
+        )
+        self.taxonomy = FailureTaxonomy()
+        #: most recent server retry-after hint (None until one arrives)
+        self.last_retry_after: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def open_target(self) -> float:
+        """``P_o`` held while the breaker is not closed (standing probe)."""
+        return self.config.open_target_frac * self.frame_rate
+
+    def note_overload(self, retry_after: Optional[float]) -> None:
+        """Remember the server's latest pushback hint."""
+        if retry_after is not None and retry_after >= 0:
+            self.last_retry_after = float(retry_after)
+
+    def record(self, kind: FailureKind, count: int = 1) -> None:
+        self.taxonomy.record(kind, count)

@@ -65,6 +65,21 @@ class AdaptiveBatcher:
         """Add a request to the accumulating queue."""
         self._queue.append(request)
 
+    @staticmethod
+    def expired(request: InferenceRequest, now: Optional[float]) -> bool:
+        """True when the request's deadline hint has already passed.
+
+        Shared by ``DEADLINE_AWARE`` batch formation and the server's
+        overload-pushback classification (an expired request is the
+        *client's* loss, not a server-saturation signal, so pushback
+        must not label it ``OVERLOADED``).
+        """
+        return (
+            now is not None
+            and request.deadline_at is not None
+            and request.deadline_at <= now
+        )
+
     def form_batch(
         self, now: Optional[float] = None
     ) -> Tuple[List[InferenceRequest], List[InferenceRequest]]:
@@ -82,7 +97,7 @@ class AdaptiveBatcher:
         if self.policy is BatchPolicy.DEADLINE_AWARE and now is not None:
             alive = []
             for req in drained:
-                if req.deadline_at is not None and req.deadline_at <= now:
+                if self.expired(req, now):
                     expired.append(req)
                 else:
                     alive.append(req)

@@ -15,6 +15,13 @@ class RequestOutcome(enum.Enum):
 
     COMPLETED = "completed"
     REJECTED = "rejected"  # dropped at batch formation (queue overflow)
+    #: shed by the admission path because the server is saturated.
+    #: Distinguishable from REJECTED so the device can tell "server
+    #: overloaded, back off" from "network dead, probe"; carries a
+    #: ``retry_after`` hint.  Only emitted when the server is built
+    #: with ``pushback=True`` (the paper's server sends bare
+    #: rejections).
+    OVERLOADED = "overloaded"
 
 
 @dataclass
@@ -62,7 +69,14 @@ class Response:
     #: classification result placeholder (label index); carries no
     #: semantics in the simulation but keeps the wire format honest
     label: int = 0
+    #: overload pushback hint: seconds the client should wait before
+    #: re-sending (None for every non-OVERLOADED outcome)
+    retry_after: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         return self.outcome is RequestOutcome.COMPLETED
+
+    @property
+    def overloaded(self) -> bool:
+        return self.outcome is RequestOutcome.OVERLOADED

@@ -1,6 +1,6 @@
 """Workload generation: background tenants and the paper's schedules."""
 
-from repro.workloads.faults import OutageSchedule, OutageWindow
+from repro.faults.server import OutageSchedule, OutageWindow
 from repro.workloads.loadgen import BackgroundLoad, LoadSchedule, LoadPhase
 from repro.workloads.mobility import (
     RadioModel,

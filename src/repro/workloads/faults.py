@@ -4,11 +4,24 @@ The original module held only :class:`OutageSchedule` (server stall
 windows).  That grew into the full cross-layer chaos package —
 link/server/device injectors, timeline algebra, recovery invariants —
 under :mod:`repro.faults`; import from there in new code.
+
+Importing this module raises a :class:`DeprecationWarning` pointing at
+the new home.  The shim (and the warning) will be removed once nothing
+imports it.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.faults.server import OutageSchedule, OutageWindow
 from repro.faults.windows import FaultTimeline, FaultWindow
+
+warnings.warn(
+    "repro.workloads.faults is deprecated; import OutageSchedule, "
+    "OutageWindow, FaultTimeline and FaultWindow from repro.faults instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["FaultTimeline", "FaultWindow", "OutageSchedule", "OutageWindow"]

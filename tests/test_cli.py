@@ -142,3 +142,42 @@ def test_cli_sweep_runs_seeds(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "3-seed sweep" in out
     assert "mean P" in out
+
+
+def test_cli_chaos_resilience_json_exits_zero(capsys):
+    import json
+
+    assert main(["chaos", "--resilience", "--frames", "4000", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"] == "PASS"
+    assert doc["resilience"] is True
+    assert doc["breaker_transitions"]  # the breaker actually tripped
+    assert doc["failure_taxonomy"]["breaker_fallback"] > 0
+    names = {c["name"] for c in doc["invariants"]}
+    assert {"standing-probe", "re-convergence", "breaker-trip", "breaker-reclose"} <= names
+
+
+def test_cli_chaos_invariant_failure_exits_nonzero(monkeypatch, capsys):
+    """CI gates on the exit code: any failed invariant must be non-zero."""
+    import repro.experiments.chaos as chaos_mod
+    from repro.faults.invariants import InvariantCheck
+
+    real = chaos_mod.run_chaos
+
+    def sabotaged(chaos):
+        result = real(chaos)
+        result.invariants.append(
+            InvariantCheck(
+                name="forced-fail",
+                passed=False,
+                observed=1.0,
+                expected=0.0,
+                tolerance=0.0,
+                detail="injected by the test",
+            )
+        )
+        return result
+
+    monkeypatch.setattr(chaos_mod, "run_chaos", sabotaged)
+    assert main(["chaos", "--frames", "1200"]) == 1
+    assert "verdict: FAIL" in capsys.readouterr().out

@@ -12,7 +12,7 @@ from repro.server.requests import InferenceRequest
 from repro.server.server import EdgeServer
 from repro.sim import Environment
 from repro.sim.rng import RngRegistry
-from repro.workloads.faults import OutageSchedule, OutageWindow
+from repro.faults import OutageSchedule, OutageWindow
 
 
 # ----------------------------------------------------------------------

@@ -114,3 +114,65 @@ def test_reserved_tenant_not_counted_as_background():
     env.process(reserved_traffic(env, server))
     env.run(until=3.0)
     assert broker.background_rate == pytest.approx(0.0, abs=0.5)
+
+
+# ----------------------------------------------------------------------
+# max-min fairness as a property (Hypothesis)
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_asks_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _final_grants(asks, order=None):
+    """Register every ask, then re-query each tenant so all grants are
+    computed against the full, settled set of standing asks."""
+    _, _, broker = make_broker()
+    tenants = [f"t{i}" for i in range(len(asks))]
+    order = order if order is not None else list(range(len(asks)))
+    for i in order:
+        broker.request(tenants[i], asks[i])
+    grants = {tenants[i]: broker.request(tenants[i], asks[i]) for i in order}
+    return broker, grants
+
+
+@settings(max_examples=60, deadline=None)
+@given(asks=_asks_strategy)
+def test_grants_never_exceed_asks(asks):
+    _, grants = _final_grants(asks)
+    for i, ask in enumerate(asks):
+        assert grants[f"t{i}"] <= ask + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(asks=_asks_strategy)
+def test_grants_never_exceed_capacity(asks):
+    broker, grants = _final_grants(asks)
+    assert sum(grants.values()) <= broker.capacity() + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(asks=_asks_strategy, data=st.data())
+def test_grants_are_order_insensitive(asks, data):
+    order = data.draw(st.permutations(list(range(len(asks)))))
+    _, forward = _final_grants(asks)
+    _, permuted = _final_grants(asks, order=order)
+    for tenant, grant in forward.items():
+        assert permuted[tenant] == pytest.approx(grant, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(asks=_asks_strategy)
+def test_unsatisfied_tenants_get_no_less_than_satisfied_ones(asks):
+    """Max-min: a tenant whose ask was cut never ends up with less than
+    any fully-served tenant asked for."""
+    _, grants = _final_grants(asks)
+    cut = [grants[f"t{i}"] for i, a in enumerate(asks) if grants[f"t{i}"] < a - 1e-9]
+    served = [a for i, a in enumerate(asks) if grants[f"t{i}"] >= a - 1e-9]
+    if cut and served:
+        assert min(cut) >= max(served) - 1e-6
