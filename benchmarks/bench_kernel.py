@@ -51,6 +51,77 @@ def test_kernel_process_spawn_throughput(benchmark):
     assert benchmark(run) == 5_000
 
 
+def test_kernel_sleep_throughput(benchmark):
+    """10k allocation-free sleeps (the fast path behind periodic loops)."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.sleep(0.001)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) > 9.9
+
+
+def test_kernel_timer_cancellation(benchmark):
+    """20k armed-then-cancelled deadline timers (lazy heap deletion)."""
+
+    def run():
+        env = Environment()
+        timers = [env.timeout(10.0) for _ in range(20_000)]
+        for t in timers:
+            assert t.cancel()
+        env.run()
+        assert env.now == 0.0  # every entry was dead; the clock never moved
+        return len(timers)
+
+    assert benchmark(run) == 20_000
+
+
+def test_kernel_offload_round_trip(benchmark):
+    """2k frames device->link->server->link->device (§II-B hot path)."""
+    from repro.device.camera import Frame
+    from repro.device.offload import OffloadClient
+    from repro.server.server import EdgeServer
+
+    def run():
+        env = Environment()
+        box = ConditionBox(LinkConditions(bandwidth=10.0, loss=0.0))
+        uplink = Link(env, np.random.default_rng(1), box, queue_bytes_cap=1e9)
+        downlink = Link(env, np.random.default_rng(2), box, name="downlink",
+                        queue_bytes_cap=1e9)
+        server = EdgeServer(env, np.random.default_rng(3))
+        done = {"ok": 0, "bad": 0}
+        client = OffloadClient(
+            env,
+            uplink=uplink,
+            downlink=downlink,
+            server=server,
+            tenant="bench",
+            model_name="mobilenet_v3_small",
+            deadline=0.25,
+            response_bytes=256,
+            on_success=lambda frame, rtt: done.__setitem__("ok", done["ok"] + 1),
+            on_timeout=lambda frame, why: done.__setitem__("bad", done["bad"] + 1),
+        )
+
+        def driver(env):
+            for i in range(2_000):
+                client.send(Frame(frame_id=i, captured_at=env.now, nbytes=11_700))
+                yield env.sleep(1.0 / 30.0)
+
+        env.process(driver(env))
+        env.run()
+        return done["ok"] + done["bad"]
+
+    assert benchmark(run) == 2_000
+
+
 def test_link_frame_throughput(benchmark):
     """Push 2k frames through a lossy link."""
 

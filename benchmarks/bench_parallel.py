@@ -6,11 +6,13 @@ parallel results are bit-identical to serial execution (determinism
 survives process boundaries).
 """
 
+import json
 import os
 import time
 
 from repro.experiments.parallel import run_many, seed_sweep_configs
 from repro.experiments.report import ascii_table
+from repro.sim import core as sim_core
 
 BASE = {
     "controller": "FrameFeedback",
@@ -66,3 +68,40 @@ def test_parallel_sweep(benchmark, emit):
     else:
         # on one core the pool may only add bounded overhead
         assert parallel_wall < serial_wall * 1.5
+
+
+def test_sweep_kernel_event_cost(emit):
+    """Kernel events/sec across one paper-scale run, via EnvStats.
+
+    The wall-clock of a sweep is (events per run) x (cost per event) /
+    workers; this reports both factors so a kernel regression is
+    attributable before it shows up as a slower sweep.  The numbers are
+    the in-simulator counterpart of ``BENCH_kernel.json`` (which CI
+    gates on via ``kernel_baseline.py --check``).
+    """
+    configs = seed_sweep_configs(BASE, range(1))
+    sink: list = []
+    sim_core.capture_env_stats(sink)
+    try:
+        t0 = time.perf_counter()
+        run_many(configs, workers=1)
+        wall = time.perf_counter() - t0
+    finally:
+        sim_core.capture_env_stats(None)
+
+    processed = sum(s.events_processed for s in sink)
+    cancelled = sum(s.events_cancelled for s in sink)
+    assert processed > 0
+    emit(
+        "paper-scale run kernel cost (EnvStats over "
+        f"{len(sink)} environment(s)):\n"
+        + json.dumps(
+            {
+                "events_processed": processed,
+                "events_cancelled": cancelled,
+                "events_per_wall_sec": round(processed / wall, 1),
+                "wall_sec": round(wall, 2),
+            },
+            indent=1,
+        )
+    )

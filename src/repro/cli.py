@@ -326,6 +326,82 @@ def _cmd_chaos(args: argparse.Namespace):
     return "\n".join(lines), code
 
 
+def _cmd_profile(args: argparse.Namespace) -> str:
+    """Profile one scenario: cProfile hot spots + kernel EnvStats.
+
+    ``framefeedback profile fig3`` answers two questions at once: where
+    the wall-clock goes (cProfile, cumulative) and what the kernel did
+    to earn it (events scheduled/cancelled/skipped, peak heap, which
+    processes flood the heap).  See docs/performance.md for how to read
+    the output.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.sim import core as sim_core
+
+    def _fig3() -> None:
+        from repro.experiments.fig3 import run_fig3
+
+        run_fig3(seed=args.seed, total_frames=args.frames)
+
+    def _fig4() -> None:
+        from repro.experiments.fig4 import run_fig4
+
+        run_fig4(seed=args.seed, total_frames=args.frames)
+
+    def _chaos() -> None:
+        from repro.device.config import DeviceConfig
+        from repro.experiments.chaos import (
+            ChaosScenario,
+            default_chaos_injectors,
+            run_chaos,
+        )
+        from repro.experiments.scenario import Scenario
+        from repro.experiments.standard import framefeedback_factory
+
+        run_chaos(
+            ChaosScenario(
+                base=Scenario(
+                    controller_factory=framefeedback_factory(),
+                    device=DeviceConfig(total_frames=args.frames),
+                    seed=args.seed,
+                ),
+                injectors=default_chaos_injectors(),
+            )
+        )
+
+    runners = {"fig3": _fig3, "fig4": _fig4, "chaos": _chaos}
+    name = args.scenario or "fig3"
+    if name not in runners:
+        raise SystemExit(
+            f"unknown profile scenario {name!r}; choose from {sorted(runners)}"
+        )
+
+    sink: list = []
+    sim_core.capture_env_stats(sink)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        runners[name]()
+        profiler.disable()
+    finally:
+        sim_core.capture_env_stats(None)
+
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+    lines = [
+        f"profile: {name} (seed={args.seed}, frames={args.frames})",
+        "",
+        f"kernel stats ({len(sink)} environment(s)):",
+    ]
+    for i, env_stats in enumerate(sink):
+        lines.append(f"  env[{i}]: {env_stats.summary()}")
+    lines += ["", "cProfile, top 15 by cumulative time:", buf.getvalue().rstrip()]
+    return "\n".join(lines)
+
+
 def _cmd_combined(args: argparse.Namespace) -> str:
     from repro.experiments.combined import run_additivity_check, run_combined
 
@@ -356,6 +432,7 @@ _COMMANDS = {
     "controllers": _cmd_controllers,
     "breakdown": _cmd_breakdown,
     "fleet": _cmd_fleet,
+    "profile": _cmd_profile,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "netem": _cmd_netem,
@@ -371,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the FrameFeedback paper's tables and figures.",
     )
     parser.add_argument("command", choices=[*_COMMANDS, "all"], help="what to run")
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario to instrument (profile): fig3 | fig4 | chaos",
+    )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
         "--frames", type=int, default=4000, help="stream length (fig3/fig4/combined)"

@@ -72,9 +72,9 @@ class FrameSource:
         period = 1.0 / self.frame_rate
         frame_id = 0
         while self.total_frames is None or frame_id < self.total_frames:
-            yield env.timeout(period)
+            yield env.sleep(period)
             while env.now < self._paused_until:
-                yield env.timeout(self._paused_until - env.now)
+                yield env.sleep(self._paused_until - env.now)
             frame = Frame(frame_id=frame_id, captured_at=env.now, nbytes=self._size_of())
             self.frames_emitted += 1
             self.sink(frame)

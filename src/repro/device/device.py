@@ -209,7 +209,7 @@ class EdgeDevice:
         while True:
             if self.controller.wants_probe and not self._breaker_engaged:
                 self._send_probe()
-            yield env.timeout(period)
+            yield env.sleep(period)
             measurement = self._close_buckets(period)
             if self._breaker_engaged:
                 # Controller frozen (anti-windup): it would otherwise
@@ -256,7 +256,7 @@ class EdgeDevice:
         resilience = self.resilience
         breaker = resilience.breaker
         while not breaker.is_closed:
-            yield self.env.timeout(breaker.current_backoff)
+            yield self.env.sleep(breaker.current_backoff)
             if breaker.is_closed:
                 break
             verdict = self.env.event()

@@ -72,7 +72,7 @@ class LocalPipeline:
     def _infer(self, frame: Frame):
         while True:
             latency = self.latency_model.sample(self.rng) * self.slowdown
-            yield self.env.timeout(latency)
+            yield self.env.sleep(latency)
             self.busy_seconds += latency
             self.completed += 1
             if self.on_complete is not None:

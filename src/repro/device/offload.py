@@ -45,6 +45,7 @@ from repro.resilience.layer import ResilienceLayer
 from repro.server.requests import InferenceRequest, Response
 from repro.server.server import EdgeServer
 from repro.sim.core import Environment
+from repro.sim.events import Event
 
 
 @dataclass
@@ -59,6 +60,10 @@ class _Outstanding:
     #: outcome goes here instead of the shared ``on_probe_result`` so
     #: breaker trials never pollute the controller's heartbeat signal
     on_result: Optional[Callable[[bool], None]] = None
+    #: cancellable deadline / hedge timers (fast path only); retired in
+    #: ``_settle`` the moment a definitive outcome lands
+    watchdog: Optional[Event] = None
+    hedge: Optional[Event] = None
 
 
 class OffloadClient:
@@ -137,10 +142,26 @@ class OffloadClient:
         else:
             self.sent += 1
         self._transmit(record)
-        self.env.process(self._watchdog(frame.frame_id), name="offload-watchdog")
+        env = self.env
         r = self.resilience
-        if r is not None and not is_probe and r.config.max_retries > 0:
-            self.env.process(self._retry_timer(frame.frame_id), name="offload-hedge")
+        hedged = r is not None and not is_probe and r.config.max_retries > 0
+        if env.slowpath:
+            env.process(self._watchdog(frame.frame_id), name="offload-watchdog")
+            if hedged:
+                env.process(self._retry_timer(frame.frame_id), name="offload-hedge")
+        else:
+            # Fast path: one cancellable heap entry per timer instead of
+            # a process + init event + timeout each — and both timers
+            # are retired for O(1) in _settle when the response wins.
+            record.watchdog = env.call_later(
+                self.deadline, self._watchdog_fire, value=frame.frame_id
+            )
+            if hedged:
+                record.hedge = env.call_later(
+                    r.config.retry_after_frac * self.deadline,
+                    self._hedge_fire,
+                    value=frame.frame_id,
+                )
 
     def _transmit(self, record: _Outstanding) -> None:
         """Put one copy of the frame on the uplink (send or re-send)."""
@@ -171,6 +192,13 @@ class OffloadClient:
         yield self.env.timeout(
             self.resilience.config.retry_after_frac * self.deadline
         )
+        self._hedge_expired(frame_id)
+
+    def _hedge_fire(self, event: Event) -> None:
+        """call_later body of the fast-path hedge timer."""
+        self._hedge_expired(event.value)
+
+    def _hedge_expired(self, frame_id: int) -> None:
         record = self._outstanding.get(frame_id)
         if record is None or record.settled:
             return
@@ -291,6 +319,13 @@ class OffloadClient:
 
     def _watchdog(self, frame_id: int):
         yield self.env.timeout(self.deadline)
+        self._watchdog_expired(frame_id)
+
+    def _watchdog_fire(self, event: Event) -> None:
+        """call_later body of the fast-path deadline watchdog."""
+        self._watchdog_expired(event.value)
+
+    def _watchdog_expired(self, frame_id: int) -> None:
         record = self._outstanding.get(frame_id)
         if record is None or record.settled:
             return
@@ -346,6 +381,14 @@ class OffloadClient:
     def _settle(self, record: _Outstanding, frame_id: int) -> None:
         record.settled = True
         self._outstanding.pop(frame_id, None)
+        # Retire the frame's timers; cancel() is a no-op (False) for the
+        # timer whose own firing brought us here.
+        if record.watchdog is not None:
+            record.watchdog.cancel()
+            record.watchdog = None
+        if record.hedge is not None:
+            record.hedge.cancel()
+            record.hedge = None
 
     def _record_path_outcome(
         self,

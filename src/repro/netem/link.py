@@ -216,7 +216,7 @@ class Link:
                 attempts = 1
                 while True:
                     self.stats.packets_sent += 1
-                    yield env.timeout(pkt_time)
+                    yield env.sleep(pkt_time)
                     if not self._packet_lost(cond):
                         break  # got through
                     attempts += 1
@@ -226,7 +226,7 @@ class Link:
                         break
                     # Loss detection stall before the retry occupies
                     # the channel (wireless MAC behaviour).
-                    yield env.timeout(self._rto(cond))
+                    yield env.sleep(self._rto(cond))
                 if abandoned:
                     break
 
@@ -241,10 +241,20 @@ class Link:
             delay = cond.propagation_delay
             if cond.jitter_sigma > 0:
                 delay = max(0.0, delay + self.rng.normal(0.0, cond.jitter_sigma))
-            env.process(self._deliver_after(delay, payload, deliver))
+            if env.slowpath:
+                env.process(self._deliver_after(delay, payload, deliver))
+            else:
+                # One heap entry per in-flight payload instead of a
+                # process + init event + timeout.
+                env.call_later(delay, self._deliver_cb, value=(payload, deliver))
 
     def _deliver_after(self, delay: float, payload: Any, deliver: Callable[[Any], None]):
         yield self.env.timeout(delay)
+        deliver(payload)
+
+    @staticmethod
+    def _deliver_cb(event: Event) -> None:
+        payload, deliver = event.value
         deliver(payload)
 
     def _packet_lost(self, cond: LinkConditions) -> bool:

@@ -107,7 +107,7 @@ class ReservationBroker:
     def _measure_loop(self):
         env = self.env
         while True:
-            yield env.timeout(self.measure_period)
+            yield env.sleep(self.measure_period)
             counts = dict(self.server.stats.per_tenant_received)
             delta = 0.0
             for tenant, total in counts.items():

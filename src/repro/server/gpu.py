@@ -54,7 +54,7 @@ class GpuExecutor:
             yield from gpu.execute(model_spec, len(batch))
         """
         duration = self.cost_model.sample(model, batch_size, self.rng) * self.slowdown
-        yield self.env.timeout(duration)
+        yield self.env.sleep(duration)
         self.busy_seconds += duration
         self.batches_run += 1
         self.frames_run += batch_size

@@ -159,7 +159,7 @@ class EdgeServer:
         env = self.env
         while True:
             if env.now < self._paused_until:
-                yield env.timeout(self._paused_until - env.now)
+                yield env.sleep(self._paused_until - env.now)
                 continue
             ran_any = False
             # Round-robin across models with pending work; each model

@@ -31,7 +31,7 @@ Typical usage::
     env.run(until=10.0)
 """
 
-from repro.sim.core import Environment, StopSimulation
+from repro.sim.core import Environment, EnvStats, StopSimulation
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -53,6 +53,7 @@ from repro.sim.store import Store, StoreFull
 __all__ = [
     "AllOf",
     "AnyOf",
+    "EnvStats",
     "Environment",
     "Event",
     "EventPriority",

@@ -54,6 +54,9 @@ class KernelProbe:
         original = self._original_step
 
         def step() -> None:
+            # Prune cancelled tombstones off the heap top so the sample
+            # below describes the event step() will actually process.
+            env.peek()
             depth = env.queue_size()
             if depth > stats.max_heap_depth:
                 stats.max_heap_depth = depth
@@ -62,8 +65,8 @@ class KernelProbe:
                 stats.by_type[type(event).__name__] += 1
                 stats.by_priority[prio] += 1
                 stats.recent.append((when, type(event).__name__))
-            stats.events_processed += 1
             original()
+            stats.events_processed += 1
 
         self.env.step = step  # type: ignore[method-assign]
         return self

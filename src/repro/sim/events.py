@@ -63,9 +63,22 @@ class Event:
     *triggered* (scheduled on the event heap) → *processed* (callbacks
     ran).  Events may only be triggered once; re-triggering raises
     ``RuntimeError``.
+
+    A *scheduled* event may be :meth:`cancel`\\ led instead: it stays in
+    the heap as a dead entry that the kernel skips (and eventually
+    compacts away) without running callbacks — the cheap way to retire
+    the deadline watchdogs and hedge timers that usually never fire.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_scheduled",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -74,6 +87,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self._cancelled = False
         # A failed event whose exception was delivered to at least one
         # waiter is "defused"; undefused failures crash the run so
         # errors are never silently dropped.
@@ -113,6 +127,32 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so it won't crash the run."""
         self._defused = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn from the schedule."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Withdraw a scheduled-but-unprocessed event from the schedule.
+
+        The heap entry is *not* searched for (that would be O(n)); the
+        event is marked dead and the kernel skips it when it pops —
+        lazy deletion, with periodic compaction when dead entries pile
+        up.  Callbacks never run for a cancelled event.
+
+        Returns True when the event was cancelled by this call; False
+        when it had already been processed (the race a deadline
+        watchdog loses) or already cancelled.  Cancelling an event that
+        was never scheduled is an error: there is nothing to withdraw.
+        """
+        if self.callbacks is None or self._cancelled:
+            return False
+        if not self._scheduled:
+            raise RuntimeError(f"{self!r} is not scheduled; nothing to cancel")
+        self._cancelled = True
+        self.env._note_cancel()
+        return True
 
     # ------------------------------------------------------------------
     # triggering
@@ -154,8 +194,21 @@ class Event:
             self.callbacks.append(callback)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is not None and callback in self.callbacks:
-            self.callbacks.remove(callback)
+        """Detach ``callback`` (matched by identity) if still attached.
+
+        Identity matching is deliberate: equality on bound methods
+        compares ``__self__``/``__func__`` pair-wise, which made the old
+        ``in``-then-``remove`` implementation two O(n) equality scans.
+        Callers that detach (the run-loop teardown, process re-targeting
+        on interrupt) all hold the exact callable they attached.
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            return
+        for i, cb in enumerate(callbacks):
+            if cb is callback:
+                del callbacks[i]
+                return
 
     # ------------------------------------------------------------------
     # composition sugar: (a & b) waits for both, (a | b) for either
@@ -198,25 +251,39 @@ class Condition(Event):
     """Composite event over several sub-events.
 
     Fires when ``evaluate(events, n_done)`` returns True.  The value is
-    an ordered dict-like mapping of the *triggered* sub-events to their
+    an ordered dict-like mapping of the *processed* sub-events to their
     values (insertion order = construction order).
+
+    Fired sub-events are collected incrementally in :meth:`_check`, so
+    triggering an ``AnyOf`` over a large event set is O(1) per firing
+    instead of a full rescan of every sub-event; the construction-order
+    contract of the value dict is restored once, at collect time.
     """
 
-    __slots__ = ("_events", "_count")
+    __slots__ = ("_events", "_count", "_fired")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         self._count = 0
+        #: ok sub-events seen by :meth:`_check`, in processing order
+        self._fired: List[Event] = []
         for ev in self._events:
             if ev.env is not env:
                 raise ValueError("events belong to different environments")
         if not self._events:
-            self.succeed(self._collect())
+            self.succeed({})
             return
+        # Sub-events already processed at construction are pre-collected
+        # in construction order: the condition may trigger on the first
+        # of them, and its value must still include every one (matching
+        # the old collect-time rescan semantics).
+        for ev in self._events:
+            if ev.callbacks is None and ev._ok:
+                self._fired.append(ev)
         for ev in self._events:
             if ev.callbacks is None:
-                self._check(ev)
+                self._check(ev, _record=False)
             else:
                 ev.add_callback(self._check)
 
@@ -224,12 +291,14 @@ class Condition(Event):
         raise NotImplementedError
 
     def _collect(self) -> dict:
-        # Note: ``processed``, not ``triggered`` — Timeouts carry their
-        # value from construction, so ``triggered`` is true before they
-        # actually fire.
-        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+        fired = self._fired
+        if len(fired) > 1:
+            # restore construction order (fired holds processing order)
+            fired_set = set(fired)
+            return {ev: ev._value for ev in self._events if ev in fired_set}
+        return {ev: ev._value for ev in fired}
 
-    def _check(self, event: Event) -> None:
+    def _check(self, event: Event, _record: bool = True) -> None:
         if self.triggered:
             if not event.ok:
                 event.defuse()
@@ -238,6 +307,8 @@ class Condition(Event):
             event.defuse()
             self.fail(event.value)
             return
+        if _record:
+            self._fired.append(event)
         self._count += 1
         if self._evaluate(self._count, len(self._events)):
             self.succeed(self._collect())

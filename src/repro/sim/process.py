@@ -4,10 +4,28 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, EventPriority, Interrupt
+from repro.sim.events import Event, EventPriority, Interrupt, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
+
+
+class _SleepEvent(Event):
+    """A process's reusable resume timer (see :meth:`Process.sleep`).
+
+    Single-waiter by construction: its callback list is the owning
+    process's pre-wired ``[resume]`` list, shared across every reuse, so
+    nothing else may register on it.
+    """
+
+    __slots__ = ()
+
+    def add_callback(self, callback) -> None:
+        raise RuntimeError(
+            "sleep events are single-waiter: yield them immediately from "
+            "the sleeping process; use env.timeout() for timers that are "
+            "shared or composed with | / &"
+        )
 
 
 class Process(Event):
@@ -21,7 +39,7 @@ class Process(Event):
     other (fork/join).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_sleep_ev", "_sleep_cbs")
 
     def __init__(
         self,
@@ -36,13 +54,22 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: the event this process is currently waiting on (None if ready)
         self._target: Optional[Event] = None
+        # Bound-method access allocates a fresh object each time (so two
+        # reads of self._resume are never `is`-identical); cache one
+        # canonical callback for registration *and* identity removal.
+        self._resume_cb = self._resume
+        #: reusable sleep timer + its pre-wired callback list, created
+        #: lazily on the first sleep() so short-lived processes that
+        #: never sleep pay nothing for them
+        self._sleep_ev: Optional[_SleepEvent] = None
+        self._sleep_cbs: Optional[list] = None
         # Kick-start: resume at the current time, before normal events
         # at this instant settle, so a freshly spawned process can react
         # to the same-instant world state.
         init = Event(env)
         init._ok = True
         init._value = None
-        init.add_callback(self._resume)
+        init.callbacks.append(self._resume_cb)
         env.schedule(init, priority=EventPriority.URGENT)
 
     # ------------------------------------------------------------------
@@ -72,8 +99,44 @@ class Process(Event):
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
-        interrupt_ev.add_callback(self._resume)
+        interrupt_ev.callbacks.append(self._resume_cb)
         self.env.schedule(interrupt_ev, priority=EventPriority.URGENT)
+
+    def sleep(self, delay: float) -> Event:
+        """Suspend this process for ``delay`` seconds, allocation-free.
+
+        Reuses one pre-wired :class:`_SleepEvent` whose callback list is
+        permanently ``[self._resume]``: each tick of a periodic loop is
+        a single ``heappush``, with no Event construction, no callback
+        list, and no ``add_callback``.  A fresh timer is allocated only
+        when the previous one was cancelled mid-flight (its tombstone
+        must stay dead in the heap) — in steady state that never
+        happens.  Must be yielded immediately by this process.
+        """
+        env = self.env
+        if env._slowpath:
+            return Timeout(env, delay)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if self._sleep_cbs is None:
+            self._sleep_cbs = [self._resume_cb]
+        ev = self._sleep_ev
+        if ev is not None and ev.callbacks is None and not ev._cancelled:
+            # Previous sleep completed normally: rewire and rearm.
+            ev.callbacks = self._sleep_cbs
+            ev._scheduled = False
+        else:
+            # First sleep, or the old timer is a cancelled tombstone
+            # still sitting in the heap — it must keep its dead state,
+            # so it is abandoned and a fresh timer takes its place.
+            ev = _SleepEvent.__new__(_SleepEvent)
+            Event.__init__(ev, env)
+            ev._ok = True
+            ev._value = None
+            ev.callbacks = self._sleep_cbs
+            self._sleep_ev = ev
+        env.schedule(ev, priority=EventPriority.NORMAL, delay=delay)
+        return ev
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -83,8 +146,14 @@ class Process(Event):
 
         # Detach from the event we were waiting on (it may differ from
         # `event` if this resumption is an interrupt).
-        if self._target is not None and self._target is not event:
-            self._target.remove_callback(self._resume)
+        target = self._target
+        if target is not None and target is not event:
+            if type(target) is _SleepEvent:
+                # The sleep timer's callback list is the shared pre-wired
+                # one — never mutate it; kill the whole timer instead.
+                target.cancel()
+            else:
+                target.remove_callback(self._resume_cb)
         self._target = None
 
         try:
@@ -111,6 +180,15 @@ class Process(Event):
 
         env._active_process = None
 
+        if type(result) is _SleepEvent:
+            # Fast path: the callback is pre-wired, no add_callback.
+            if result is not self._sleep_ev or result.callbacks is not self._sleep_cbs:
+                raise RuntimeError(
+                    f"process {self.name!r} yielded a sleep event it does "
+                    "not own (or yielded it late)"
+                )
+            self._target = result
+            return
         if not isinstance(result, Event):
             raise RuntimeError(
                 f"process {self.name!r} yielded a non-event: {result!r}"
@@ -124,10 +202,10 @@ class Process(Event):
                 result._defused = True
                 ev._ok, ev._value = False, result._value
                 ev._defused = True
-            ev.add_callback(self._resume)
+            ev.callbacks.append(self._resume_cb)
             env.schedule(ev, priority=EventPriority.URGENT)
         else:
-            result.add_callback(self._resume)
+            result.add_callback(self._resume_cb)
             self._target = result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

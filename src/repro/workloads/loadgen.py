@@ -125,13 +125,13 @@ class BackgroundLoad:
             if rate <= 0:
                 if next_change == float("inf"):
                     return  # schedule ended at rate 0: nothing left to do
-                yield env.timeout(next_change - env.now)
+                yield env.sleep(next_change - env.now)
                 continue
             gap = self.rng.exponential(1.0 / rate)
             if env.now + gap >= next_change:
-                yield env.timeout(next_change - env.now)
+                yield env.sleep(next_change - env.now)
                 continue
-            yield env.timeout(gap)
+            yield env.sleep(gap)
             self._submit_one()
 
     def _next_change_after(self, now: float) -> float:
@@ -153,11 +153,19 @@ class BackgroundLoad:
             respond=self._on_response,
             frame_id=self._counter,
         )
-        self.env.process(self._deliver(request))
+        if self.env.slowpath:
+            self.env.process(self._deliver(request))
+        else:
+            self.env.call_later(
+                self.NETWORK_DELAY, self._deliver_cb, value=request
+            )
 
     def _deliver(self, request: InferenceRequest):
         yield self.env.timeout(self.NETWORK_DELAY)
         self.server.submit(request)
+
+    def _deliver_cb(self, event) -> None:
+        self.server.submit(event.value)
 
     def _on_response(self, response: Response) -> None:
         if response.ok:

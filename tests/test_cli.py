@@ -105,6 +105,31 @@ def test_cli_sweep_requires_config():
         main(["sweep"])
 
 
+def test_parser_accepts_profile_scenario():
+    args = build_parser().parse_args(["profile", "chaos"])
+    assert args.command == "profile"
+    assert args.scenario == "chaos"
+
+
+def test_cli_profile_fig3_reports_kernel_stats(capsys):
+    assert main(["profile", "fig3", "--frames", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: fig3" in out
+    assert "kernel stats" in out
+    assert "cancelled" in out  # EnvStats summary lines
+    assert "cumulative" in out  # cProfile table
+
+
+def test_cli_profile_defaults_to_fig3(capsys):
+    assert main(["profile", "--frames", "300"]) == 0
+    assert "profile: fig3" in capsys.readouterr().out
+
+
+def test_cli_profile_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["profile", "bogus", "--frames", "300"])
+
+
 def test_parser_accepts_chaos():
     args = build_parser().parse_args(["chaos", "--controller", "aimd"])
     assert args.command == "chaos"

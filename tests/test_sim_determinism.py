@@ -1,0 +1,119 @@
+"""Fast path vs. REPRO_SIM_SLOWPATH: byte-identical runs.
+
+The PR-3 kernel optimizations (cancellable timers, allocation-free
+sleeps, call_later timers) must be pure speedups: a same-seed run on
+the fast path and on the ``REPRO_SIM_SLOWPATH=1`` escape hatch must
+produce *byte-identical* control transcripts and QoS dicts.  Pinned
+for the Fig. 3 scenario and a PR-1 chaos scenario, per ISSUE 3.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.control.framefeedback import FrameFeedbackController
+from repro.device.config import DeviceConfig
+from repro.experiments.chaos import ChaosScenario, RecordingController, run_chaos
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.faults import BandwidthCollapse, FaultTimeline, GpuContention, ServerCrash
+from repro.sim import Environment
+from repro.workloads.schedules import table_v_schedule
+
+
+def _fig3_snapshot(seed: int = 0, total_frames: int = 600) -> bytes:
+    """Control transcript + QoS of the Fig. 3 scenario, as bytes."""
+    device = DeviceConfig(total_frames=total_frames)
+    rec = {}
+
+    def factory(cfg):
+        rec["c"] = RecordingController(FrameFeedbackController(cfg.frame_rate))
+        return rec["c"]
+
+    result = run_scenario(
+        Scenario(
+            controller_factory=factory,
+            device=device,
+            network=table_v_schedule(),
+            duration=device.stream_duration + 1.0,
+            seed=seed,
+        )
+    )
+    return json.dumps(
+        {
+            "transcript": rec["c"].transcript(device.frame_rate),
+            "qos": dataclasses.asdict(result.qos),
+        },
+        sort_keys=True,
+    ).encode()
+
+
+def _chaos_snapshot(seed: int = 3, total_frames: int = 600) -> bytes:
+    """A PR-1 chaos scenario: crash + contention + bandwidth collapse."""
+    result = run_chaos(
+        ChaosScenario(
+            base=Scenario(
+                controller_factory=lambda cfg: FrameFeedbackController(
+                    cfg.frame_rate
+                ),
+                device=DeviceConfig(total_frames=total_frames),
+                seed=seed,
+            ),
+            injectors=[
+                ServerCrash(FaultTimeline.from_rows([(8.0, 6.0)])),
+                GpuContention(
+                    FaultTimeline.from_rows([(18.0, 4.0)]), mean_factor=3.0
+                ),
+                BandwidthCollapse(
+                    FaultTimeline.from_rows([(26.0, 5.0)]), factor=0.05
+                ),
+            ],
+        )
+    )
+    return json.dumps(
+        {
+            "transcript": result.transcript,
+            "qos": dataclasses.asdict(result.run.qos),
+        },
+        sort_keys=True,
+    ).encode()
+
+
+def test_slowpath_flag_reaches_new_environments(monkeypatch):
+    assert not Environment().slowpath
+    monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    assert Environment().slowpath
+
+
+def test_fig3_fast_vs_slowpath_bit_identical(monkeypatch):
+    fast = _fig3_snapshot()
+    monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    slow = _fig3_snapshot()
+    assert fast == slow
+
+
+def test_chaos_fast_vs_slowpath_bit_identical(monkeypatch):
+    fast = _chaos_snapshot()
+    monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    slow = _chaos_snapshot()
+    assert fast == slow
+
+
+def test_fig3_same_seed_repeatable():
+    assert _fig3_snapshot() == _fig3_snapshot()
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_fig3_qos_insensitive_to_stats_instrumentation(seed, monkeypatch):
+    """EnvStats must observe, never perturb."""
+    from repro.sim import core as sim_core
+
+    plain = _fig3_snapshot(seed=seed, total_frames=300)
+    sink: list = []
+    sim_core.capture_env_stats(sink)
+    try:
+        instrumented = _fig3_snapshot(seed=seed, total_frames=300)
+    finally:
+        sim_core.capture_env_stats(None)
+    assert plain == instrumented
+    assert sink and any(s.events_processed for s in sink)
