@@ -255,6 +255,7 @@ def _cmd_chaos(args: argparse.Namespace):
         ChaosScenario,
         default_chaos_injectors,
         run_chaos,
+        run_supervision_chaos,
     )
     from repro.experiments.report import ascii_table, series_panel
     from repro.experiments.scenario import Scenario
@@ -271,6 +272,45 @@ def _cmd_chaos(args: argparse.Namespace):
         raise SystemExit(
             f"unknown controller {args.controller!r}; choose from {sorted(factories)}"
         )
+    if args.supervision:
+        result = run_supervision_chaos(
+            seed=args.seed,
+            total_frames=args.frames,
+            controller_factory=factories[args.controller],
+            resilience=ResilienceConfig() if args.resilience else None,
+        )
+        code = 0 if result.all_invariants_hold else 1
+        if args.json:
+            return _json.dumps(result.to_dict(), indent=1, sort_keys=True), code
+        lines = [
+            f"Supervision chaos run ({args.controller}, seed={args.seed}, "
+            f"{args.frames} frames): kill/restart schedule, warm vs cold",
+        ]
+        for label, child in (("warm (checkpointed)", result.warm),
+                             ("cold (no checkpoint)", result.cold)):
+            sup = child.supervision or {}
+            lines += [
+                "",
+                f"{label}: crashes={sup.get('crashes')}  "
+                f"restarts={sup.get('restarts')}  "
+                f"missed_windows={sup.get('missed_windows')}  "
+                f"mttr={ {k: [round(s, 2) for s in v] for k, v in (sup.get('mttr') or {}).items()} }",
+                ascii_table(
+                    ["invariant", "window", "observed", "expected", "verdict"],
+                    [c.row() for c in child.invariants],
+                ),
+            ]
+        lines += [
+            "",
+            "Cross-run ordering (same crash schedule, warm vs cold):",
+            ascii_table(
+                ["invariant", "window", "warm", "cold", "verdict"],
+                [c.row() for c in result.cross_invariants],
+            ),
+            "",
+            f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}",
+        ]
+        return "\n".join(lines), code
     chaos = ChaosScenario(
         base=Scenario(
             controller_factory=factories[args.controller],
@@ -490,6 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the resilient offload path (retries + circuit "
         "breaker + server pushback) for the chaos run",
+    )
+    parser.add_argument(
+        "--supervision",
+        action="store_true",
+        help="run the kill/restart chaos schedule twice (checkpointed "
+        "warm restarts vs cold) and assert the restart-settle and "
+        "warm-beats-cold recovery invariants",
     )
     parser.add_argument(
         "--json",

@@ -24,6 +24,12 @@ from repro.control.oracle import OracleController
 from repro.control.pid import DiscretePid, PidGains
 from repro.control.quality import AdaptiveQualityController
 from repro.control.tuning import GainSweepResult, sweep_gains, tune_ziegler_nichols_like
+from repro.control.validity import (
+    GuardDecision,
+    MeasurementGuard,
+    MeasurementValidity,
+    sanitize_timeout_rate,
+)
 
 __all__ = [
     "AdaptiveQualityController",
@@ -36,12 +42,16 @@ __all__ = [
     "FrameFeedbackController",
     "FrameFeedbackSettings",
     "GainSweepResult",
+    "GuardDecision",
     "HeadroomController",
     "HeadroomSettings",
     "LocalOnlyController",
     "Measurement",
+    "MeasurementGuard",
+    "MeasurementValidity",
     "OracleController",
     "PidGains",
+    "sanitize_timeout_rate",
     "sweep_gains",
     "tune_ziegler_nichols_like",
 ]

@@ -83,3 +83,22 @@ class Controller(abc.ABC):
     def initial_target(self, frame_rate: float) -> float:
         """``P_o`` before the first measurement (default: 0)."""
         return 0.0
+
+    # ------------------------------------------------------------------
+    # checkpointing (supervision layer); default: not checkpointable
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Optional[dict]:
+        """JSON-able mutable state for warm restart, or None.
+
+        Controllers that return None are restarted *cold* by the
+        supervision layer (``reset()`` + ``initial_target``); those
+        that return a dict must accept it back via
+        :meth:`restore_state` on a freshly ``reset()`` instance.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate state captured by :meth:`snapshot_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support warm restart"
+        )

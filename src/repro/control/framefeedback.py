@@ -26,10 +26,12 @@ Design consequences the implementation preserves:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.control.base import Controller, Measurement
 from repro.control.pid import DiscretePid, PidGains
+from repro.control.validity import MeasurementValidity, sanitize_timeout_rate
 
 
 @dataclass(frozen=True)
@@ -87,6 +89,12 @@ class FrameFeedbackController(Controller):
         self.last_error = 0.0
         #: last applied update, exposed for traces/analysis
         self.last_update = 0.0
+        #: cumulative count of measurements whose ``timeout_rate`` had
+        #: to be repaired (NaN / negative / > F_s); survives reset()
+        #: deliberately — it is an observability counter, not state
+        self.degraded_inputs = 0
+        #: validity flag of the most recent update's input (None = clean)
+        self.last_input_validity: Optional[MeasurementValidity] = None
 
     # ------------------------------------------------------------------
     def initial_target(self, frame_rate: float) -> float:
@@ -119,9 +127,42 @@ class FrameFeedbackController(Controller):
         return self.settings.t_threshold_frac * fs - t_rate
 
     def update(self, measurement: Measurement) -> float:
+        # Harden the single input the law consumes: a NaN comparison is
+        # False on both branches of error(), which used to route NaN
+        # down the no-violation branch silently; a negative T inflated
+        # the violation error.  Repair to [0, F_s] and count it.
+        t_rate, flag = sanitize_timeout_rate(
+            measurement.timeout_rate, self.frame_rate
+        )
+        self.last_input_validity = flag
+        if flag is not None:
+            self.degraded_inputs += 1
+            measurement = replace(measurement, timeout_rate=t_rate)
         e = self.error(measurement)
         u = self._pid.step(e, self.settings.measure_period)
         self.last_error = e
         self.last_update = u
         self._target = min(max(self._target + u, 0.0), self.frame_rate)
         return self._target
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Checkpoint payload: ``P_o`` plus the PID's internal history.
+
+        Everything a warm restart needs to resume mid-convergence —
+        the integrator (zero under the paper's PD gains, kept for the
+        K_I ablations) and the previous error the derivative term
+        differences against.
+        """
+        return {
+            "target": self._target,
+            "pid": self._pid.snapshot(),
+            "last_error": self.last_error,
+            "last_update": self.last_update,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._target = min(max(float(state["target"]), 0.0), self.frame_rate)
+        self._pid.restore(state["pid"])
+        self.last_error = float(state["last_error"])
+        self.last_update = float(state["last_update"])

@@ -58,6 +58,22 @@ class DiscretePid:
         self._integral = 0.0
         self._prev_error = None
 
+    def snapshot(self) -> dict:
+        """JSON-able copy of the mutable state (see :meth:`restore`)."""
+        return {"integral": self._integral, "prev_error": self._prev_error}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate state captured by :meth:`snapshot`.
+
+        Gains and clamps are construction-time configuration and are
+        *not* part of the snapshot; the restored controller must be
+        built with the same settings (the supervision layer guarantees
+        this by checkpointing the same in-run controller instance).
+        """
+        self._integral = float(state["integral"])
+        prev = state["prev_error"]
+        self._prev_error = None if prev is None else float(prev)
+
     def step(self, error: float, dt: float) -> float:
         """One control step; returns the clamped output ``u``."""
         if dt <= 0:

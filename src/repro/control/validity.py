@@ -1,0 +1,160 @@
+"""Measurement validity taxonomy and controller input hardening.
+
+The paper assumes every 1 s :class:`~repro.control.base.Measurement`
+arrives on time, exactly once, in order, with a sane ``timeout_rate``.
+Deployed telemetry paths break all four assumptions: collectors restart
+and replay windows, clocks step backwards, and a division by a zero
+frame count upstream turns ``T`` into NaN.  This module names those
+failure modes (:class:`MeasurementValidity`) and provides the two
+enforcement pieces used by the device and the supervision layer:
+
+* :func:`sanitize_timeout_rate` — pure range/NaN repair for the single
+  field the control law consumes (``T`` must lie in ``[0, F_s]``);
+* :class:`MeasurementGuard` — stateful admission control for a stream
+  of measurements: duplicate and out-of-order windows are *rejected*
+  (the caller holds its last action), gaps beyond a staleness horizon
+  are *tagged* so the supervisor can apply its hold-then-decay policy.
+
+Rejection rather than repair for ordering violations is deliberate: a
+duplicated window would double-count the derivative term in the PD law
+(``de/dt`` over ``dt = 0``), and a late window would apply a stale
+error against a target that has since moved.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.control.base import Measurement
+
+
+class MeasurementValidity(enum.Enum):
+    """Why a measurement was (or was not) fit for the control law."""
+
+    VALID = "valid"
+    #: admitted, but it arrived after more than ``stale_after_periods``
+    #: measure periods of silence — the window it summarizes is old
+    STALE = "stale"
+    #: rejected: same window timestamp seen twice
+    DUPLICATE = "duplicate"
+    #: rejected: window timestamp earlier than one already admitted
+    OUT_OF_ORDER = "out_of_order"
+    #: ``timeout_rate`` was NaN; repaired to 0
+    NAN_TIMEOUT_RATE = "nan_timeout_rate"
+    #: ``timeout_rate`` was negative (or -inf); repaired to 0
+    NEGATIVE_TIMEOUT_RATE = "negative_timeout_rate"
+    #: ``timeout_rate`` exceeded ``F_s`` (or was +inf); clamped to F_s
+    EXCESSIVE_TIMEOUT_RATE = "excessive_timeout_rate"
+
+
+#: validity kinds that reject the measurement outright
+REJECTING = frozenset(
+    {MeasurementValidity.DUPLICATE, MeasurementValidity.OUT_OF_ORDER}
+)
+
+
+def sanitize_timeout_rate(
+    value: float, frame_rate: float
+) -> Tuple[float, Optional[MeasurementValidity]]:
+    """Clamp ``timeout_rate`` into ``[0, frame_rate]``.
+
+    Returns ``(repaired_value, flag)`` where ``flag`` is None when the
+    input was already in range.  NaN repairs to 0 — with no credible
+    timeout evidence the controller must not treat the window as a
+    violation, or a single NaN would slash ``P_o`` by up to ``0.5 F_s``.
+    """
+    if math.isnan(value):
+        return 0.0, MeasurementValidity.NAN_TIMEOUT_RATE
+    if value < 0.0:
+        return 0.0, MeasurementValidity.NEGATIVE_TIMEOUT_RATE
+    if value > frame_rate:
+        return frame_rate, MeasurementValidity.EXCESSIVE_TIMEOUT_RATE
+    return value, None
+
+
+@dataclass
+class GuardDecision:
+    """Outcome of one :meth:`MeasurementGuard.admit` call."""
+
+    #: the (possibly repaired) measurement, or None when rejected
+    measurement: Optional[Measurement]
+    #: every validity kind that applied (``(VALID,)`` for a clean pass)
+    flags: Tuple[MeasurementValidity, ...]
+
+    @property
+    def admitted(self) -> bool:
+        return self.measurement is not None
+
+
+@dataclass
+class MeasurementGuard:
+    """Stateful admission control for a controller's measurement stream.
+
+    One guard per controller input path.  ``admit`` is O(1) and keeps
+    per-kind counters (exported into QoS extras by the device) so
+    degraded telemetry is observable even when every repair succeeds.
+    """
+
+    frame_rate: float
+    measure_period: float = 1.0
+    #: silence longer than this many periods tags the next admit STALE
+    stale_after_periods: float = 3.0
+    counts: Dict[str, int] = field(default_factory=dict)
+    _last_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.frame_rate <= 0:
+            raise ValueError(f"frame rate must be positive, got {self.frame_rate}")
+        if self.measure_period <= 0:
+            raise ValueError("measure period must be positive")
+        if self.stale_after_periods <= 0:
+            raise ValueError("stale_after_periods must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def last_time(self) -> Optional[float]:
+        """Timestamp of the last *admitted* measurement."""
+        return self._last_time
+
+    def _count(self, kind: MeasurementValidity) -> None:
+        self.counts[kind.value] = self.counts.get(kind.value, 0) + 1
+
+    def admit(self, measurement: Measurement) -> GuardDecision:
+        """Classify, repair or reject one measurement."""
+        flags = []
+        last = self._last_time
+        if last is not None:
+            if measurement.time == last:
+                self._count(MeasurementValidity.DUPLICATE)
+                return GuardDecision(None, (MeasurementValidity.DUPLICATE,))
+            if measurement.time < last:
+                self._count(MeasurementValidity.OUT_OF_ORDER)
+                return GuardDecision(None, (MeasurementValidity.OUT_OF_ORDER,))
+            gap = measurement.time - last
+            if gap > self.stale_after_periods * self.measure_period:
+                flags.append(MeasurementValidity.STALE)
+
+        repaired, flag = sanitize_timeout_rate(
+            measurement.timeout_rate, self.frame_rate
+        )
+        if flag is not None:
+            flags.append(flag)
+            measurement = replace(measurement, timeout_rate=repaired)
+
+        self._last_time = measurement.time
+        if not flags:
+            flags = [MeasurementValidity.VALID]
+        for f in flags:
+            self._count(f)
+        return GuardDecision(measurement, tuple(flags))
+
+    def degraded_counts(self) -> Dict[str, int]:
+        """Per-kind counters excluding the VALID bucket."""
+        return {
+            kind: n
+            for kind, n in self.counts.items()
+            if kind != MeasurementValidity.VALID.value and n > 0
+        }

@@ -50,7 +50,41 @@ class FrameSource:
         self.frames_emitted = 0
         self.done = env.event()
         self._paused_until = 0.0
-        env.process(self._run(), name=name)
+        self._name = name
+        # Next frame id lives on the instance (not a loop local) so a
+        # crash/restart cycle continues the stream where it stopped
+        # instead of re-emitting ids the pipeline has already seen.
+        self._next_id = 0
+        self._proc = env.process(self._run(), name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the sensor process is running."""
+        return self._proc.is_alive
+
+    def crash(self) -> None:
+        """Kill the sensor process mid-stream (fault injection).
+
+        Unlike :meth:`pause`, nothing is scheduled to bring it back:
+        frames simply stop until :meth:`restart`.  Crashing a finished
+        stream is a no-op.
+        """
+        if self._proc.is_alive:
+            self._proc.kill()
+
+    def restart(self) -> None:
+        """Respawn the sensor, continuing from the next unemitted frame.
+
+        Frame ids stay continuous across the outage; on a bounded
+        stream the tail is pushed past the downtime (frames that fall
+        beyond the run horizon are then never captured).  Restarting a
+        stream that already finished is a no-op.
+        """
+        if self._proc.is_alive or self.done.triggered:
+            return
+        self._paused_until = 0.0
+        self._proc = self.env.process(self._run(), name=self._name)
 
     def pause(self, duration: float) -> None:
         """Freeze the sensor for ``duration`` seconds (fault injection).
@@ -70,13 +104,15 @@ class FrameSource:
     def _run(self):
         env = self.env
         period = 1.0 / self.frame_rate
-        frame_id = 0
-        while self.total_frames is None or frame_id < self.total_frames:
+        while self.total_frames is None or self._next_id < self.total_frames:
             yield env.sleep(period)
             while env.now < self._paused_until:
                 yield env.sleep(self._paused_until - env.now)
-            frame = Frame(frame_id=frame_id, captured_at=env.now, nbytes=self._size_of())
+            frame = Frame(
+                frame_id=self._next_id, captured_at=env.now, nbytes=self._size_of()
+            )
             self.frames_emitted += 1
             self.sink(frame)
-            frame_id += 1
-        self.done.succeed(self.frames_emitted)
+            self._next_id += 1
+        if not self.done.triggered:
+            self.done.succeed(self.frames_emitted)

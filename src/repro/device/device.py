@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.control.base import Controller, Measurement
+from repro.control.validity import MeasurementGuard
 from repro.device.camera import Frame, FrameSource
 from repro.device.config import DeviceConfig
 from repro.device.energy import CpuUtilizationModel
@@ -120,6 +121,15 @@ class EdgeDevice:
         self._probe_result: Optional[bool] = None
         self._probe_counter = 0
         self._prev_local_busy = 0.0
+        #: admission control on the controller's input stream
+        #: (duplicate/out-of-order rejection, NaN/range repair,
+        #: staleness tagging); counters surface in the QoS extras
+        self.input_guard = MeasurementGuard(
+            frame_rate=config.frame_rate, measure_period=config.measure_period
+        )
+        #: supervision hook: called with each *admitted* measurement
+        #: after the control step (heartbeat + checkpoint point)
+        self.on_measure_tick: Optional[Callable[[Measurement], None]] = None
 
         # cumulative QoS counters
         self.frames_seen = 0
@@ -143,7 +153,9 @@ class EdgeDevice:
             total_frames=config.total_frames or None,
             name=f"{config.name}:camera",
         )
-        env.process(self._measure_loop(), name=f"{config.name}:measure")
+        self._measure_proc = env.process(
+            self._measure_loop(), name=f"{config.name}:measure"
+        )
 
     # ------------------------------------------------------------------
     # data path callbacks
@@ -202,6 +214,49 @@ class EdgeDevice:
     # ------------------------------------------------------------------
     # measurement / control loop
     # ------------------------------------------------------------------
+    @property
+    def measure_alive(self) -> bool:
+        """True while the 1 Hz measurement/control loop is running."""
+        return self._measure_proc.is_alive
+
+    def crash_measure_loop(self) -> None:
+        """Kill the measurement/control loop (controller-process crash).
+
+        The data path keeps running — frames still route through the
+        splitter at its last target — but no buckets close, no
+        measurements reach the controller, and ``P_o`` stops adapting.
+        That frozen-actuator blackout is exactly what the supervision
+        layer's staleness policy exists to bound.
+        """
+        if self._measure_proc.is_alive:
+            self._measure_proc.kill()
+
+    def restart_measure_loop(self) -> None:
+        """Respawn a crashed measurement/control loop.
+
+        Measurement state is re-based first: the bucket that straddled
+        the outage would otherwise divide an entire downtime's counts
+        by one period, handing the controller a garbage first
+        measurement.  Controller state is *not* touched here — warm
+        vs cold restart policy belongs to the supervision layer.
+        """
+        if self._measure_proc.is_alive:
+            return
+        self._rebase_measurement_state()
+        self._measure_proc = self.env.process(
+            self._measure_loop(), name=f"{self.config.name}:measure"
+        )
+
+    def _rebase_measurement_state(self) -> None:
+        self._bucket_offload_attempts = 0
+        self._bucket_offload_success = 0
+        self._bucket_local_done = 0
+        self._bucket_timeouts = 0
+        self._bucket_rtts = []
+        self._t_window = WindowedRate(self.config.t_window_buckets)
+        self._probe_result = None
+        self._prev_local_busy = self.local.busy_seconds
+
     def _measure_loop(self):
         env = self.env
         cfg = self.config
@@ -210,7 +265,18 @@ class EdgeDevice:
             if self.controller.wants_probe and not self._breaker_engaged:
                 self._send_probe()
             yield env.sleep(period)
-            measurement = self._close_buckets(period)
+            raw = self._close_buckets(period)
+            decision = self.input_guard.admit(raw)
+            if not decision.admitted:
+                # Duplicate or out-of-order window: hold the last
+                # action rather than feed the PD law a bad dt.
+                self.traces.offload_target.append(env.now, self.splitter.target)
+                self.traces.capture_quality.append(env.now, self.capture_quality)
+                self.traces.error.append(
+                    env.now, getattr(self.controller, "last_error", 0.0)
+                )
+                continue
+            measurement = decision.measurement
             if self._breaker_engaged:
                 # Controller frozen (anti-windup): it would otherwise
                 # integrate an outage it cannot observe — every frame
@@ -229,6 +295,8 @@ class EdgeDevice:
             self.traces.capture_quality.append(env.now, self.capture_quality)
             err = getattr(self.controller, "last_error", 0.0)
             self.traces.error.append(env.now, err)
+            if self.on_measure_tick is not None:
+                self.on_measure_tick(measurement)
 
     @property
     def _breaker_engaged(self) -> bool:
@@ -384,6 +452,11 @@ class EdgeDevice:
             extras["retries_sent"] = float(self.offload.retries)
             for kind, count in self.resilience.taxonomy.as_dict().items():
                 extras[f"faults.{kind}"] = float(count)
+        for kind, count in self.input_guard.degraded_counts().items():
+            extras[f"telemetry.{kind}"] = float(count)
+        degraded = getattr(self.controller, "degraded_inputs", 0)
+        if degraded:
+            extras["telemetry.degraded_inputs"] = float(degraded)
         return QosReport(
             name=self.controller.name,
             total_frames=self.frames_seen,

@@ -115,6 +115,8 @@ class OffloadClient:
         self.overloads = 0
         #: retransmissions placed on the wire
         self.retries = 0
+        #: in-flight frames dropped on the floor by :meth:`abort_inflight`
+        self.aborted = 0
         #: end-to-end latency of the last successful offload (probe incl.)
         self.last_rtt: Optional[float] = None
 
@@ -122,6 +124,32 @@ class OffloadClient:
     @property
     def outstanding_count(self) -> int:
         return len(self._outstanding)
+
+    def abort_inflight(self) -> int:
+        """Forget every in-flight frame without counting an outcome.
+
+        Device-reboot semantics: the process that was waiting on these
+        responses no longer exists, so the frames count as neither
+        success nor timeout.  Each record's fast-path deadline watchdog
+        and hedge timer are ``cancel()``-ed (keeping EnvStats cancel
+        counts accurate); under ``REPRO_SIM_SLOWPATH=1`` the watchdog
+        processes observe ``settled`` and return quietly.  Responses
+        that arrive later hit the usual already-settled path and are
+        discarded.  Returns the number of frames dropped.
+        """
+        dropped = 0
+        for frame_id in list(self._outstanding):
+            record = self._outstanding.pop(frame_id)
+            record.settled = True
+            if record.watchdog is not None:
+                record.watchdog.cancel()
+                record.watchdog = None
+            if record.hedge is not None:
+                record.hedge.cancel()
+                record.hedge = None
+            self.aborted += 1
+            dropped += 1
+        return dropped
 
     def send(
         self,

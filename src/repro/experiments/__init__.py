@@ -9,8 +9,11 @@ them as the rows/series the paper prints.
 from repro.experiments.chaos import (
     ChaosResult,
     ChaosScenario,
+    SupervisionChaosResult,
     default_chaos_injectors,
     run_chaos,
+    run_supervision_chaos,
+    supervision_chaos_injectors,
 )
 from repro.experiments.fleet import FleetMember, FleetScenario, run_fleet
 from repro.experiments.parallel import run_many
@@ -35,6 +38,7 @@ __all__ = [
     "Scenario",
     "ScenarioContext",
     "ScenarioRuntime",
+    "SupervisionChaosResult",
     "build_runtime",
     "compare_across_seeds",
     "default_chaos_injectors",
@@ -44,7 +48,9 @@ __all__ = [
     "run_fleet",
     "run_many",
     "run_scenario",
+    "run_supervision_chaos",
     "standard_controllers",
+    "supervision_chaos_injectors",
     "validate_all",
     "win_rate",
 ]

@@ -35,12 +35,17 @@ from repro.faults.invariants import (
     breaker_reclose_invariant,
     breaker_trip_invariant,
     reconvergence_invariant,
+    restart_ordering_invariant,
+    restart_settle_invariant,
+    settle_periods_after_restart,
     standing_probe_invariant,
 )
 from repro.faults.link import BandwidthCollapse, BurstLoss
+from repro.faults.process import ControllerKill, DeviceReboot, ServerKill
 from repro.faults.server import ServerCrash, ServerSlowdown
 from repro.faults.windows import FaultTimeline, FaultWindow
 from repro.resilience.config import ResilienceConfig
+from repro.supervision.supervisor import SupervisionConfig, Supervisor
 
 
 class RecordingController:
@@ -58,13 +63,23 @@ class RecordingController:
         self.steps: List[dict] = []
 
     def update(self, measurement) -> float:
-        target = self.inner.update(measurement)
-        self.steps.append(
-            {
-                "measurement": dataclasses.asdict(measurement),
-                "target": float(target),
-            }
-        )
+        inner = self.inner
+        before = getattr(inner, "degraded_inputs", None)
+        target = inner.update(measurement)
+        step = {
+            "measurement": dataclasses.asdict(measurement),
+            "target": float(target),
+        }
+        if before is not None:
+            after = getattr(inner, "degraded_inputs", before)
+            if after > before:
+                # The input was repaired (NaN/negative/excessive T);
+                # stamp the step so transcript consumers can see which
+                # windows ran on degraded telemetry.  Clean runs emit
+                # no key, keeping golden transcripts byte-stable.
+                validity = getattr(inner, "last_input_validity", None)
+                step["degraded_input"] = getattr(validity, "value", True)
+        self.steps.append(step)
         return target
 
     def reset(self) -> None:
@@ -130,6 +145,17 @@ class ChaosScenario:
     #: control periods within which the breaker must trip after a
     #: total-failure onset (resilience runs only)
     breaker_trip_periods: float = 3.0
+    #: when set, a :class:`~repro.supervision.Supervisor` is attached
+    #: to the runtime: heartbeats, per-tick controller checkpoints, the
+    #: degraded-telemetry hold-then-decay policy, and MTTR/restart
+    #: counters exported into the QoS extras.  Process-kill injectors
+    #: route their restarts through it, and the restart-settle
+    #: invariant joins the checks on every controller-outage window.
+    supervision: Optional[SupervisionConfig] = None
+    #: measure windows a *warm* restart gets to re-settle within
+    #: ``settle_tolerance_fps`` of the pre-crash ``P_o`` (the tentpole
+    #: acceptance bound); cold restarts get ``reconverge_periods``
+    warm_restart_windows: float = 3.0
 
     def with_seed(self, seed: int) -> "ChaosScenario":
         return dataclasses.replace(
@@ -160,6 +186,9 @@ class ChaosResult:
     breaker_transitions: BreakerTransitions = field(default_factory=list)
     #: cumulative failure-taxonomy counts (wire names); empty likewise
     failure_taxonomy: Dict[str, int] = field(default_factory=dict)
+    #: supervision stats (``SupervisionStats.as_dict()``); None when
+    #: the run had no supervisor attached
+    supervision: Optional[Dict[str, object]] = None
 
     @property
     def all_invariants_hold(self) -> bool:
@@ -167,10 +196,6 @@ class ChaosResult:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready summary (``repro chaos --json``)."""
-
-        def finite(x: float) -> Optional[float]:
-            return float(x) if math.isfinite(x) else None
-
         qos = self.run.qos
         return {
             "controller": self.run.controller_name,
@@ -196,24 +221,30 @@ class ChaosResult:
                 }
                 for w in self.window_qos
             ],
-            "invariants": [
-                {
-                    "name": c.name,
-                    "window": [c.window.start, c.window.end] if c.window else None,
-                    "observed": finite(c.observed),
-                    "expected": finite(c.expected),
-                    "tolerance": c.tolerance,
-                    "passed": c.passed,
-                    "detail": c.detail,
-                }
-                for c in self.invariants
-            ],
+            "invariants": [_check_to_dict(c) for c in self.invariants],
             "breaker_transitions": [
                 [t, state.value] for t, state in self.breaker_transitions
             ],
             "failure_taxonomy": dict(self.failure_taxonomy),
+            "supervision": self.supervision,
             "verdict": "PASS" if self.all_invariants_hold else "FAIL",
         }
+
+
+def _finite(x: float) -> Optional[float]:
+    return float(x) if math.isfinite(x) else None
+
+
+def _check_to_dict(c: InvariantCheck) -> Dict[str, object]:
+    return {
+        "name": c.name,
+        "window": [c.window.start, c.window.end] if c.window else None,
+        "observed": _finite(c.observed),
+        "expected": _finite(c.expected),
+        "tolerance": c.tolerance,
+        "passed": c.passed,
+        "detail": c.detail,
+    }
 
 
 def _window_qos(result: RunResult, injector: FaultInjector) -> List[WindowQos]:
@@ -260,7 +291,41 @@ def _recovery_checks(
             + chaos.base.device.deadline
             + 2.0 * period
         )
+    supervision = chaos.supervision
     for injector in chaos.injectors:
+        # Controller-outage windows (ControllerKill / DeviceReboot) get
+        # the restart-settle invariant when a supervisor ran: warm
+        # restarts must re-settle within ``warm_restart_windows``
+        # measure windows, cold ones within the re-convergence bound.
+        if supervision is not None and getattr(injector, "controller_outage", False):
+            mode = getattr(injector, "restart", "supervised")
+            if mode != "none":
+                warm = (
+                    supervision.checkpoint_enabled
+                    if mode == "supervised"
+                    else mode == "warm"
+                )
+                name = "warm-restart-settle" if warm else "cold-restart-settle"
+                bound = (
+                    chaos.warm_restart_windows
+                    if warm
+                    else float(chaos.reconverge_periods)
+                )
+                for w in injector.timeline:
+                    if w.end + bound * period <= result.elapsed:
+                        checks.append(
+                            restart_settle_invariant(
+                                po,
+                                crash_time=w.start,
+                                restart_time=w.end,
+                                frame_rate=fs,
+                                tolerance_fps=supervision.settle_tolerance_fps,
+                                max_periods=bound,
+                                control_period=period,
+                                window=w,
+                                name=name,
+                            )
+                        )
         if not injector.total_failure:
             continue
         for w in injector.timeline:
@@ -311,6 +376,20 @@ def run_chaos(chaos: ChaosScenario) -> ChaosResult:
     validate_plan(list(chaos.injectors))
     runtime = build_runtime(chaos.effective_base())
 
+    # The supervisor checkpoints the *inner* controller: wrapping for
+    # transcripts must not change what a restore reloads (and a warm
+    # restart must never clear the recorded steps).
+    supervisor = None
+    if chaos.supervision is not None:
+        supervisor = Supervisor(
+            runtime.env,
+            runtime.device,
+            runtime.server,
+            chaos.supervision,
+            controller=runtime.controller,
+        )
+        runtime.supervisor = supervisor
+
     recorder = RecordingController(runtime.device.controller)
     runtime.device.controller = recorder
 
@@ -319,6 +398,8 @@ def run_chaos(chaos: ChaosScenario) -> ChaosResult:
         injector.install(runtime.env, targets)
 
     result = runtime.run()
+    if supervisor is not None:
+        result.qos.extras.update(supervisor.stats.as_extras())
 
     window_qos: List[WindowQos] = []
     for injector in chaos.injectors:
@@ -335,6 +416,7 @@ def run_chaos(chaos: ChaosScenario) -> ChaosResult:
         ),
         breaker_transitions=transitions,
         failure_taxonomy=resilience.taxonomy.as_dict() if resilience else {},
+        supervision=supervisor.stats.as_dict() if supervisor else None,
     )
 
 
@@ -355,3 +437,144 @@ def default_chaos_injectors() -> List[FaultInjector]:
         CameraStall(FaultTimeline.from_rows([(84.0, 3.0)])),
         BandwidthCollapse(FaultTimeline.from_rows([(89.0, 16.0)]), factor=0.01),
     ]
+
+
+# ----------------------------------------------------------------------
+# supervision chaos: crash/restart schedule run warm vs cold
+# ----------------------------------------------------------------------
+
+
+def supervision_chaos_injectors(
+    controller_kill: Optional[tuple] = (60.0, 5.0),
+    server_kill: Optional[tuple] = (90.0, 15.0),
+    reboot: Optional[tuple] = (108.0, 4.0),
+) -> List[FaultInjector]:
+    """The canned process-crash plan behind ``framefeedback chaos --supervision``.
+
+    Three kill windows, each ``(start, duration)`` and individually
+    omittable: the controller loop dies mid-steady-state, the server
+    loses its service loop (and queue), and finally the whole device
+    reboots.  Injectors are built fresh per call — they bind to one
+    environment and must not be shared across runs.
+    """
+    out: List[FaultInjector] = []
+    if controller_kill is not None:
+        out.append(ControllerKill(FaultTimeline.from_rows([controller_kill])))
+    if server_kill is not None:
+        out.append(ServerKill(FaultTimeline.from_rows([server_kill])))
+    if reboot is not None:
+        out.append(DeviceReboot(FaultTimeline.from_rows([reboot])))
+    return out
+
+
+@dataclass
+class SupervisionChaosResult:
+    """One crash schedule executed twice: checkpointing on, then off.
+
+    The pair is the tentpole's evidence: identical seeds and fault
+    plans, differing only in whether the supervisor restores from
+    checkpoints — so every gap between the two runs is attributable to
+    the checkpoint, and the warm-beats-cold ordering invariant can be
+    asserted per outage window.
+    """
+
+    warm: ChaosResult
+    cold: ChaosResult
+    #: cross-run checks (warm-beats-cold per controller-outage window)
+    cross_invariants: List[InvariantCheck] = field(default_factory=list)
+
+    @property
+    def all_invariants_hold(self) -> bool:
+        return (
+            self.warm.all_invariants_hold
+            and self.cold.all_invariants_hold
+            and all(c.passed for c in self.cross_invariants)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": "supervision",
+            "warm": self.warm.to_dict(),
+            "cold": self.cold.to_dict(),
+            "cross_invariants": [_check_to_dict(c) for c in self.cross_invariants],
+            "verdict": "PASS" if self.all_invariants_hold else "FAIL",
+        }
+
+
+def run_supervision_chaos(
+    seed: int = 0,
+    total_frames: int = 4000,
+    controller_factory=None,
+    controller_kill: Optional[tuple] = (60.0, 5.0),
+    server_kill: Optional[tuple] = (90.0, 15.0),
+    reboot: Optional[tuple] = (108.0, 4.0),
+    resilience: Optional[ResilienceConfig] = None,
+    settle_tolerance_fps: float = 1.0,
+    warm_restart_windows: float = 3.0,
+) -> SupervisionChaosResult:
+    """Run the crash schedule twice (warm, then cold) and compare.
+
+    Both runs share the seed, scenario and fault plan; only
+    ``SupervisionConfig.checkpoint_enabled`` differs.  Per-run
+    invariants assert the absolute bounds (warm re-settles within
+    ``warm_restart_windows`` measure windows of the restart, cold
+    within the re-convergence allowance); the cross-run ordering check
+    then asserts warm is *strictly* faster for every outage window.
+    """
+    from repro.device.config import DeviceConfig
+    from repro.experiments.standard import framefeedback_factory
+
+    factory = (
+        controller_factory if controller_factory is not None else framefeedback_factory()
+    )
+    base = Scenario(
+        controller_factory=factory,
+        device=DeviceConfig(total_frames=total_frames),
+        seed=seed,
+    )
+
+    def one(checkpoint_enabled: bool) -> ChaosResult:
+        return run_chaos(
+            ChaosScenario(
+                base=base,
+                injectors=supervision_chaos_injectors(
+                    controller_kill, server_kill, reboot
+                ),
+                resilience=resilience,
+                supervision=SupervisionConfig(
+                    checkpoint_enabled=checkpoint_enabled,
+                    settle_tolerance_fps=settle_tolerance_fps,
+                ),
+                warm_restart_windows=warm_restart_windows,
+            )
+        )
+
+    warm = one(True)
+    cold = one(False)
+
+    period = base.device.measure_period
+    cross: List[InvariantCheck] = []
+    for injector in supervision_chaos_injectors(controller_kill, server_kill, reboot):
+        if not getattr(injector, "controller_outage", False):
+            continue
+        for w in injector.timeline:
+            if w.end >= min(warm.run.elapsed, cold.run.elapsed):
+                continue
+            _, warm_periods = settle_periods_after_restart(
+                warm.run.traces.offload_target,
+                w.start,
+                w.end,
+                tolerance_fps=settle_tolerance_fps,
+                control_period=period,
+            )
+            _, cold_periods = settle_periods_after_restart(
+                cold.run.traces.offload_target,
+                w.start,
+                w.end,
+                tolerance_fps=settle_tolerance_fps,
+                control_period=period,
+            )
+            cross.append(
+                restart_ordering_invariant(warm_periods, cold_periods, window=w)
+            )
+    return SupervisionChaosResult(warm=warm, cold=cold, cross_invariants=cross)

@@ -145,6 +145,9 @@ class ScenarioRuntime:
     context: ScenarioContext
     controller: Controller
     device: EdgeDevice
+    #: attached supervision layer, if any (set by chaos runners after
+    #: build; rides along into :meth:`fault_targets`)
+    supervisor: Optional[object] = None
 
     def fault_targets(self):
         """Substrate handles for :meth:`repro.faults.FaultInjector.install`."""
@@ -155,6 +158,7 @@ class ScenarioRuntime:
             server=self.server,
             device=self.device,
             rng=self.rng.stream("faults"),
+            supervisor=self.supervisor,
         )
 
     def run(self, until: Optional[float] = None) -> RunResult:

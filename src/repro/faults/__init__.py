@@ -21,9 +21,13 @@ from repro.faults.invariants import (
     breaker_reclose_invariant,
     breaker_trip_invariant,
     reconvergence_invariant,
+    restart_ordering_invariant,
+    restart_settle_invariant,
+    settle_periods_after_restart,
     standing_probe_invariant,
 )
 from repro.faults.link import BandwidthCollapse, BurstLoss, LatencySpike, LinkFault
+from repro.faults.process import ControllerKill, DeviceReboot, ServerKill
 from repro.faults.server import (
     GpuContention,
     OutageSchedule,
@@ -37,7 +41,9 @@ __all__ = [
     "BandwidthCollapse",
     "BurstLoss",
     "CameraStall",
+    "ControllerKill",
     "CpuThrottle",
+    "DeviceReboot",
     "FaultInjector",
     "FaultOverlapError",
     "FaultTargets",
@@ -50,10 +56,14 @@ __all__ = [
     "OutageSchedule",
     "OutageWindow",
     "ServerCrash",
+    "ServerKill",
     "ServerSlowdown",
     "breaker_reclose_invariant",
     "breaker_trip_invariant",
     "reconvergence_invariant",
+    "restart_ordering_invariant",
+    "restart_settle_invariant",
+    "settle_periods_after_restart",
     "standing_probe_invariant",
     "validate_plan",
 ]

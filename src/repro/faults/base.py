@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.device.device import EdgeDevice
     from repro.netem.link import ConditionBox
     from repro.server.server import EdgeServer
+    from repro.supervision.supervisor import Supervisor
 
 
 @dataclass
@@ -38,6 +39,10 @@ class FaultTargets:
     server: "Optional[EdgeServer]" = None
     device: "Optional[EdgeDevice]" = None
     rng: Optional[np.random.Generator] = None
+    #: supervision layer, when attached — process-kill injectors route
+    #: their restarts through it so warm/cold policy and MTTR counters
+    #: live in one place
+    supervisor: "Optional[Supervisor]" = None
 
     def require(self, attr: str, who: str):
         value = getattr(self, attr)

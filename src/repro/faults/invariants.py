@@ -128,6 +128,119 @@ def reconvergence_invariant(
 
 
 # ----------------------------------------------------------------------
+# restart invariants (supervision runs)
+# ----------------------------------------------------------------------
+
+
+def settle_periods_after_restart(
+    offload_target: TimeSeries,
+    crash_time: float,
+    restart_time: float,
+    tolerance_fps: float = 1.0,
+    control_period: float = 1.0,
+) -> Tuple[float, float]:
+    """Measure how long a restarted controller takes to re-settle.
+
+    Returns ``(pre_crash_target, periods)`` where ``pre_crash_target``
+    is the last recorded ``P_o`` before ``crash_time`` and ``periods``
+    counts control periods from ``restart_time`` to the first sample
+    at or above ``pre - tolerance_fps`` (``inf`` when it never
+    re-settles inside the trace).  Recovery is one-sided on purpose: a
+    crash that lands mid-climb has a transient pre-crash target, and a
+    restarted controller that keeps climbing *past* it has recovered —
+    demanding a band crossing would fail exactly the healthy runs.
+    Samples recorded *during* the outage (e.g. the supervisor's decay
+    steps) are excluded from both measurements.
+    """
+    if restart_time < crash_time:
+        raise ValueError(
+            f"restart t={restart_time:g} precedes crash t={crash_time:g}"
+        )
+    pre: Optional[float] = None
+    for t, v in offload_target:
+        if t >= crash_time:
+            break
+        pre = v
+    if pre is None:
+        raise ValueError(f"no P_o samples before crash t={crash_time:g}")
+    periods = float("inf")
+    for t, v in offload_target:
+        if t >= restart_time and v >= pre - tolerance_fps:
+            periods = max(0.0, (t - restart_time) / control_period)
+            break
+    return pre, periods
+
+
+def restart_settle_invariant(
+    offload_target: TimeSeries,
+    crash_time: float,
+    restart_time: float,
+    frame_rate: float,
+    tolerance_fps: float = 1.0,
+    max_periods: float = 3.0,
+    control_period: float = 1.0,
+    window: Optional[FaultWindow] = None,
+    name: str = "warm-restart-settle",
+) -> InvariantCheck:
+    """A restarted controller re-settles near its pre-crash ``P_o``.
+
+    The tentpole acceptance check: a *warm* restart resumes from the
+    checkpoint, so its first post-restart target is already within
+    ``tolerance_fps`` of the pre-crash value and ``observed`` is the
+    single period the first measure tick takes; a *cold* restart ramps
+    from ``initial_target`` under the ``+0.1 F_s`` update clamp and
+    needs ~``(P_o / 0.1 F_s)`` periods.  ``observed`` is periods from
+    ``restart_time`` to the first in-tolerance sample.
+    """
+    if max_periods <= 0:
+        raise ValueError(f"max_periods must be positive, got {max_periods}")
+    pre, periods = settle_periods_after_restart(
+        offload_target,
+        crash_time,
+        restart_time,
+        tolerance_fps=tolerance_fps,
+        control_period=control_period,
+    )
+    passed = periods <= max_periods
+    return InvariantCheck(
+        name=name,
+        passed=passed,
+        observed=periods,
+        expected=float(max_periods),
+        tolerance=0.0,
+        window=window,
+        detail=(
+            f"periods after restart t={restart_time:g} until "
+            f"P_o >= {pre - tolerance_fps:.1f} (pre-crash {pre:.1f})"
+        ),
+    )
+
+
+def restart_ordering_invariant(
+    warm_periods: float,
+    cold_periods: float,
+    window: Optional[FaultWindow] = None,
+) -> InvariantCheck:
+    """Warm restart re-settles *strictly* faster than cold.
+
+    The whole point of checkpointing: if a cold restart is just as
+    fast, the checkpoint carries no information.  ``observed`` is the
+    warm settle count, ``expected`` the cold one; two unsettled runs
+    (both ``inf``) fail.
+    """
+    passed = warm_periods < cold_periods
+    return InvariantCheck(
+        name="warm-beats-cold",
+        passed=passed,
+        observed=warm_periods,
+        expected=cold_periods,
+        tolerance=0.0,
+        window=window,
+        detail="warm vs cold settle periods for the same crash schedule",
+    )
+
+
+# ----------------------------------------------------------------------
 # circuit-breaker invariants (resilience runs only)
 # ----------------------------------------------------------------------
 

@@ -114,6 +114,42 @@ class CircuitBreaker:
         self._transition(now, BreakerState.OPEN)
 
     # ------------------------------------------------------------------
+    # checkpointing (supervision layer)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able copy of the protection-relevant state.
+
+        The transitions/probe histories are run-scoped observability,
+        not protection state, and are deliberately excluded — a warm
+        restart must not resurrect another run's trace.
+        """
+        return {
+            "state": self.state.value,
+            "current_backoff": self.current_backoff,
+            "consecutive_failures": self._consecutive_failures,
+            "probe_successes": self._probe_successes,
+        }
+
+    def restore(self, state: dict, now: float) -> None:
+        """Reinstate a :meth:`snapshot` at time ``now``.
+
+        Restoring a non-CLOSED state is logged as a transition at
+        ``now`` (so traces stay consistent) and fires ``on_open`` so
+        the owner re-arms its half-open probe loop — the old probe
+        loop died with the crashed process.
+        """
+        target = BreakerState(state["state"])
+        self.current_backoff = min(
+            max(float(state["current_backoff"]), 0.0), self.config.backoff_max
+        )
+        self._consecutive_failures = int(state["consecutive_failures"])
+        self._probe_successes = int(state["probe_successes"])
+        if target is not self.state:
+            self._transition(now, target)
+        if target is not BreakerState.CLOSED and self.on_open is not None:
+            self.on_open()
+
+    # ------------------------------------------------------------------
     def _trip(self, now: float, retry_after: Optional[float]) -> None:
         self.opened_count += 1
         self._consecutive_failures = 0

@@ -34,6 +34,9 @@ class ServerStats:
     #: requests shed with explicit overload pushback (pushback servers
     #: only; plain rejections stay in ``rejected``)
     overloaded: int = 0
+    #: queued/in-flight requests lost to a :meth:`EdgeServer.crash`
+    #: (never answered — the devices' watchdogs observe silence)
+    dropped_on_crash: int = 0
     per_tenant_received: Dict[str, int] = field(default_factory=dict)
     per_tenant_completed: Dict[str, int] = field(default_factory=dict)
     per_tenant_rejected: Dict[str, int] = field(default_factory=dict)
@@ -89,13 +92,19 @@ class EdgeServer:
         self._models: Dict[str, ModelSpec] = {}
         self._wakeup: Optional[Event] = None
         self._paused_until = 0.0
-        env.process(self._service_loop(), name=f"{name}:service")
+        self._service_proc = env.process(self._service_loop(), name=f"{name}:service")
 
     # ------------------------------------------------------------------
     # ingress
     # ------------------------------------------------------------------
     def submit(self, request: InferenceRequest) -> None:
         """Accept a request (called at its network-arrival instant)."""
+        if not self._service_proc.is_alive:
+            # Crashed host: the packet lands on a dead box.  No answer
+            # of any kind — the device's deadline watchdog observes the
+            # same silence a real connection-refused-into-timeout does.
+            self.stats.dropped_on_crash += 1
+            return
         request.arrived_at = self.env.now
         self.stats.received += 1
         self.stats._bump(self.stats.per_tenant_received, request.tenant)
@@ -142,6 +151,37 @@ class EdgeServer:
     @property
     def paused(self) -> bool:
         return self.env.now < self._paused_until
+
+    @property
+    def service_alive(self) -> bool:
+        """True while the service loop process is running."""
+        return self._service_proc.is_alive
+
+    def crash(self) -> int:
+        """Kill the service loop and lose every queued request.
+
+        Harsher than :meth:`pause`: a paused server resumes with its
+        queue intact (and rejects the overflow), a crashed one loses
+        the queue outright and answers *nothing* until
+        :meth:`restart` — including the batch that was on the GPU.
+        Returns the number of requests dropped.
+        """
+        if self._service_proc.is_alive:
+            self._service_proc.kill()
+        self._wakeup = None
+        dropped = sum(b.pending for b in self._batchers.values())
+        self.stats.dropped_on_crash += dropped
+        self._batchers = {}
+        return dropped
+
+    def restart(self) -> None:
+        """Respawn the service loop on an empty queue (cold cache)."""
+        if self._service_proc.is_alive:
+            return
+        self._paused_until = 0.0
+        self._service_proc = self.env.process(
+            self._service_loop(), name=f"{self.name}:service"
+        )
 
     # ------------------------------------------------------------------
     # introspection

@@ -102,6 +102,39 @@ class Process(Event):
         interrupt_ev.callbacks.append(self._resume_cb)
         self.env.schedule(interrupt_ev, priority=EventPriority.URGENT)
 
+    def kill(self) -> None:
+        """Terminate the process *without* throwing into the generator.
+
+        Crash semantics for fault injection: the process simply stops
+        existing, as if its host died.  Unlike :meth:`interrupt`, the
+        generator gets no chance to run cleanup or handlers — it is
+        closed where it stands.  The event the process was waiting on
+        is detached first: a pending fast-path sleep timer is
+        ``cancel()``-ed (so :class:`~repro.sim.core.EnvStats` cancel
+        counts stay accurate and the tombstone can never resume a dead
+        process), any other target merely loses this process's resume
+        callback (it may be shared with other waiters).
+
+        The process event itself fires with value ``None`` so joiners
+        observe the death.  Killing a finished process or yourself is
+        an error, matching :meth:`interrupt`.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be killed")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot kill itself")
+        target = self._target
+        if target is not None:
+            if type(target) is _SleepEvent:
+                # Shared pre-wired callback list — never mutate it; the
+                # whole timer dies (lazy heap deletion, counted).
+                target.cancel()
+            else:
+                target.remove_callback(self._resume_cb)
+            self._target = None
+        self._generator.close()
+        self.succeed(None, priority=EventPriority.NORMAL)
+
     def sleep(self, delay: float) -> Event:
         """Suspend this process for ``delay`` seconds, allocation-free.
 
@@ -141,6 +174,14 @@ class Process(Event):
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        if self.triggered:
+            # The process died (kill()) between this event's scheduling
+            # and its firing — e.g. the URGENT kick-start of a process
+            # killed in its spawn instant.  Swallow the resume; a failed
+            # event is defused so the stray outcome cannot crash the run.
+            if not event._ok:
+                event._defused = True
+            return
         env = self.env
         env._active_process = self
 

@@ -1,0 +1,102 @@
+"""Controller checkpointing for warm restart.
+
+A checkpoint is taken on *every* measure tick (1 Hz at the paper's
+settings), so a controller crash loses at most one control period of
+state.  The payload is deliberately small and JSON-able — the format a
+real deployment would write to flash or a sidecar KV store:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "time": 61.0,
+      "target": 28.9,
+      "controller": {
+        "target": 28.9,
+        "pid": {"integral": 0.0, "prev_error": 1.1},
+        "last_error": 1.1,
+        "last_update": 0.22
+      },
+      "breaker": {
+        "state": "closed",
+        "current_backoff": 1.0,
+        "consecutive_failures": 0,
+        "probe_successes": 0
+      }
+    }
+
+``target`` (top level) is the splitter target actually *in force* —
+under a tripped breaker it differs from the controller's own notion —
+and ``breaker`` is absent when no resilience layer is configured.
+:class:`CheckpointStore` is the in-simulation stand-in for the durable
+side: latest-wins, no history, because a warm restart only ever wants
+the newest consistent snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: bump when the checkpoint payload shape changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ControllerCheckpoint:
+    """One consistent snapshot of the control loop's mutable state."""
+
+    #: simulation time the snapshot was taken (end of a measure tick)
+    time: float
+    #: splitter target in force (what actuation is actually doing)
+    target: float
+    #: :meth:`~repro.control.base.Controller.snapshot_state` payload
+    controller_state: dict
+    #: :meth:`~repro.resilience.breaker.CircuitBreaker.snapshot`
+    #: payload, or None when no resilience layer is configured
+    breaker_state: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "version": CHECKPOINT_VERSION,
+            "time": self.time,
+            "target": self.target,
+            "controller": self.controller_state,
+        }
+        if self.breaker_state is not None:
+            out["breaker"] = self.breaker_state
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControllerCheckpoint":
+        version = data.get("version", CHECKPOINT_VERSION)
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return cls(
+            time=float(data["time"]),
+            target=float(data["target"]),
+            controller_state=dict(data["controller"]),
+            breaker_state=(
+                dict(data["breaker"]) if data.get("breaker") is not None else None
+            ),
+        )
+
+
+class CheckpointStore:
+    """Latest-wins checkpoint storage (simulated durable medium)."""
+
+    def __init__(self) -> None:
+        self.latest: Optional[ControllerCheckpoint] = None
+        #: total snapshots ever saved (observability)
+        self.saved = 0
+
+    def save(self, checkpoint: ControllerCheckpoint) -> None:
+        self.latest = checkpoint
+        self.saved += 1
+
+    def clear(self) -> None:
+        """Drop the stored snapshot (models losing the durable medium)."""
+        self.latest = None

@@ -1,0 +1,52 @@
+"""Heartbeat bookkeeping for supervised components.
+
+A heartbeat is the cheapest liveness signal there is: "this component
+did its periodic thing at time t".  The supervisor's watchdog compares
+each component's last beat against its expected cadence — no beat for
+more than ``grace`` periods means the component is dead *or* its
+telemetry path is (the two are indistinguishable from the outside,
+which is exactly why the degraded-telemetry policy treats them the
+same way).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Heartbeat:
+    """Last-beat tracker for one component with a known cadence."""
+
+    def __init__(self, name: str, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {interval}")
+        self.name = name
+        #: expected seconds between beats
+        self.interval = interval
+        self.last_beat: Optional[float] = None
+        self.beats = 0
+
+    def beat(self, now: float) -> None:
+        self.last_beat = now
+        self.beats += 1
+
+    def age(self, now: float) -> float:
+        """Seconds since the last beat (since t=0 if none yet)."""
+        if self.last_beat is None:
+            return now
+        return now - self.last_beat
+
+    def is_stale(self, now: float, grace_periods: float) -> bool:
+        """True when the last beat is older than ``grace_periods``.
+
+        A component that has *never* beaten is judged from t=0 on the
+        same grace, so a process that dies before its first beat still
+        trips the watchdog.
+        """
+        return self.age(now) > grace_periods * self.interval
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Heartbeat({self.name!r}, interval={self.interval:g}, "
+            f"beats={self.beats}, last={self.last_beat})"
+        )

@@ -1,5 +1,7 @@
 """Unit + property tests for the FrameFeedback controller (Eqs. 3–5)."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -207,3 +209,62 @@ def test_integral_variant_still_bounded(ki):
         t = FS if step % 7 == 0 else 0.0
         target = c.update(measure(target, t, time=float(step)))
         assert 0.0 <= target <= FS
+
+
+# ----------------------------------------------------------------------
+# degraded-input hardening (supervision layer)
+# ----------------------------------------------------------------------
+def test_nan_timeout_rate_is_clamped_not_propagated():
+    """Regression: update() must never let NaN reach the PID.
+
+    Before the input guard, a NaN timeout_rate poisoned the error, the
+    PID history and the target — silently, forever.
+    """
+    c = controller()
+    c._target = 15.0
+    new = c.update(measure(15.0, float("nan"), time=1.0))
+    assert math.isfinite(new)
+    assert 0.0 <= new <= FS
+    assert math.isfinite(c.last_error) and math.isfinite(c.last_update)
+    assert c.degraded_inputs == 1
+    assert c.last_input_validity is not None
+
+
+def test_negative_timeout_rate_clamped_to_zero():
+    clean, dirty = controller(), controller()
+    clean._target = dirty._target = 15.0
+    expect = clean.update(measure(15.0, 0.0, time=1.0))
+    got = dirty.update(measure(15.0, -4.0, time=1.0))
+    assert got == pytest.approx(expect)  # treated exactly as T = 0
+    assert dirty.degraded_inputs == 1
+    assert clean.degraded_inputs == 0
+
+
+def test_excessive_timeout_rate_clamped_to_frame_rate():
+    clean, dirty = controller(), controller()
+    clean._target = dirty._target = 15.0
+    expect = clean.update(measure(15.0, FS, time=1.0))
+    got = dirty.update(measure(15.0, 1e6, time=1.0))
+    assert got == pytest.approx(expect)
+    assert dirty.degraded_inputs == 1
+
+
+def test_valid_input_leaves_degraded_counter_alone():
+    c = controller()
+    for i in range(5):
+        c.update(measure(c.target, 1.0, time=float(i)))
+    assert c.degraded_inputs == 0
+    assert c.last_input_validity is None
+
+
+def test_degraded_input_recorded_in_transcript():
+    from repro.experiments.chaos import RecordingController
+
+    rec = RecordingController(controller())
+    rec.update(measure(0.0, 0.0, time=1.0))
+    rec.update(measure(3.0, float("nan"), time=2.0))
+    rec.update(measure(6.0, 0.0, time=3.0))
+    steps = rec.transcript(FS)["steps"]
+    assert "degraded_input" not in steps[0]  # clean steps stay byte-stable
+    assert steps[1]["degraded_input"] == "nan_timeout_rate"
+    assert "degraded_input" not in steps[2]

@@ -49,6 +49,12 @@ def test_surveillance_camera():
     assert "FrameFeedback delivered" in out
 
 
+def test_chaos_supervision():
+    out = run_example("chaos_supervision.py")
+    assert "warm-beats-cold" in out
+    assert "verdict: PASS" in out
+
+
 @pytest.mark.slow
 def test_drone_fleet():
     out = run_example("drone_fleet_multitenancy.py")

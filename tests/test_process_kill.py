@@ -1,0 +1,165 @@
+"""``Process.kill`` semantics: crash a sim process without cleanup.
+
+The supervision layer's kernel primitive.  These pin the three things a
+kill must guarantee: the pending sleep timer is *cancelled* (not
+orphaned — EnvStats cancel counts stay exact and the tombstone can
+never resume a dead process), joiners observe the death as a ``None``
+result, and stray events addressed to the corpse are swallowed.  Both
+the fast path and ``REPRO_SIM_SLOWPATH=1`` are covered.
+"""
+
+import pytest
+
+from repro.sim import Environment
+
+
+def sleeper(env, log):
+    while True:
+        yield env.sleep(1.0)
+        log.append(env.now)
+
+
+# ----------------------------------------------------------------------
+# fast path: the reusable _SleepEvent is cancelled, counters exact
+# ----------------------------------------------------------------------
+def test_kill_cancels_pending_sleep_and_counts_it():
+    env = Environment(stats=True)
+    log = []
+    p = env.process(sleeper(env, log))
+    env.run(until=2.5)
+    before = env.stats.events_cancelled
+    p.kill()
+    assert env.stats.events_cancelled == before + 1
+    env.run(until=10.0)
+    assert log == [1.0, 2.0]  # no tick after the kill
+    assert p.triggered
+    assert not p.is_alive
+
+
+def test_killed_process_never_resumes_under_slowpath(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    env = Environment()
+    assert env.slowpath
+    log = []
+    p = env.process(sleeper(env, log))
+    env.run(until=2.5)
+    p.kill()
+    env.run(until=10.0)
+    assert log == [1.0, 2.0]
+    assert p.triggered
+    assert not p.is_alive
+
+
+def test_kill_mid_run_via_timer():
+    """Killing from a call_later timer (the injector idiom) works."""
+    env = Environment(stats=True)
+    log = []
+    p = env.process(sleeper(env, log))
+    env.call_later(3.5, lambda ev: p.kill())
+    env.run(until=10.0)
+    assert log == [1.0, 2.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# joiners and value
+# ----------------------------------------------------------------------
+def test_kill_wakes_joiners_with_none():
+    env = Environment()
+    victim = env.process(sleeper(env, []))
+    seen = []
+
+    def joiner():
+        seen.append((yield victim))
+
+    env.process(joiner())
+    env.call_later(1.5, lambda ev: victim.kill())
+    env.run(until=5.0)
+    assert seen == [None]
+
+
+def test_kill_closes_generator_without_cleanup_handlers():
+    """The generator is closed where it stands: GeneratorExit, no resume."""
+    env = Environment()
+    states = []
+
+    def fragile():
+        try:
+            yield env.sleep(10.0)
+            states.append("woke")
+        except GeneratorExit:
+            states.append("closed")
+            raise
+
+    p = env.process(fragile())
+    env.call_later(1.0, lambda ev: p.kill())
+    env.run(until=20.0)
+    assert states == ["closed"]
+
+
+# ----------------------------------------------------------------------
+# error cases + stray events
+# ----------------------------------------------------------------------
+def test_kill_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.sleep(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError, match="terminated"):
+        p.kill()
+
+
+def test_kill_self_is_error():
+    env = Environment()
+    holder = {}
+    failures = []
+
+    def suicidal():
+        yield env.sleep(1.0)
+        try:
+            holder["proc"].kill()
+        except RuntimeError:
+            failures.append("refused")
+        yield env.sleep(1.0)
+
+    holder["proc"] = env.process(suicidal())
+    env.run()
+    assert failures == ["refused"]
+
+
+def test_stray_failed_event_to_killed_process_is_defused():
+    """A failure dispatched to a corpse must not crash the kernel."""
+    env = Environment()
+    shared = env.event()
+
+    def waiter():
+        yield shared
+
+    p = env.process(waiter())
+    env.run(until=0.5)
+    p.kill()
+    boom = env.event()
+    boom.fail(RuntimeError("late failure"))
+    p._resume(boom)  # simulate an in-flight dispatch to the corpse
+    assert boom._defused
+    env.run(until=2.0)  # and the kernel keeps running
+
+
+def test_kill_detaches_from_shared_event_without_cancelling_it():
+    """Non-sleep targets may have other waiters: detach, don't cancel."""
+    env = Environment()
+    shared = env.timeout(2.0)
+    woke = []
+
+    def waiter(name):
+        yield shared
+        woke.append(name)
+
+    p1 = env.process(waiter("a"))
+    env.process(waiter("b"))
+    env.run(until=1.0)
+    p1.kill()
+    env.run(until=5.0)
+    assert woke == ["b"]  # survivor still woken by the shared event

@@ -1,0 +1,300 @@
+"""Unit tests for the supervision layer.
+
+Checkpoint format round-trip, the measurement validity taxonomy,
+heartbeats, process crash/restart on each component, and the
+supervisor's warm/cold restore paths — each exercised on the real
+wired testbed where it matters.
+"""
+
+import math
+
+import pytest
+
+from repro.control import (
+    MeasurementGuard,
+    MeasurementValidity,
+    sanitize_timeout_rate,
+)
+from repro.control.base import Measurement
+from repro.control.framefeedback import FrameFeedbackController
+from repro.device.config import DeviceConfig
+from repro.experiments.scenario import Scenario, build_runtime
+from repro.experiments.standard import framefeedback_factory
+from repro.resilience.breaker import CircuitBreaker
+from repro.supervision import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    ControllerCheckpoint,
+    Heartbeat,
+    SupervisionConfig,
+    Supervisor,
+)
+
+FS = 30.0
+
+
+def measurement(time=1.0, t_rate=0.0):
+    return Measurement(
+        time=time,
+        frame_rate=FS,
+        offload_target=12.0,
+        offload_rate=12.0,
+        offload_success_rate=max(0.0, 12.0 - t_rate),
+        timeout_rate=t_rate,
+        timeout_rate_last=t_rate,
+        local_rate=13.0,
+        throughput=13.0 + max(0.0, 12.0 - t_rate),
+    )
+
+
+def runtime(total_frames=600, supervision=None):
+    rt = build_runtime(
+        Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=total_frames),
+            seed=0,
+        )
+    )
+    supervisor = None
+    if supervision is not None:
+        supervisor = Supervisor(rt.env, rt.device, rt.server, supervision)
+        rt.supervisor = supervisor
+    return rt, supervisor
+
+
+# ----------------------------------------------------------------------
+# checkpoint format
+# ----------------------------------------------------------------------
+def test_checkpoint_round_trips_through_dict():
+    cp = ControllerCheckpoint(
+        time=61.0,
+        target=28.9,
+        controller_state={"target": 28.9, "pid": {"integral": 0.0}},
+        breaker_state={"state": "closed"},
+    )
+    back = ControllerCheckpoint.from_dict(cp.to_dict())
+    assert back == cp
+    assert cp.to_dict()["version"] == CHECKPOINT_VERSION
+
+
+def test_checkpoint_rejects_unknown_version():
+    bad = ControllerCheckpoint(1.0, 2.0, {}).to_dict()
+    bad["version"] = CHECKPOINT_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        ControllerCheckpoint.from_dict(bad)
+
+
+def test_checkpoint_store_is_latest_wins():
+    store = CheckpointStore()
+    assert store.latest is None
+    store.save(ControllerCheckpoint(1.0, 10.0, {}))
+    store.save(ControllerCheckpoint(2.0, 20.0, {}))
+    assert store.latest.target == 20.0
+    assert store.saved == 2
+    store.clear()
+    assert store.latest is None
+
+
+def test_framefeedback_snapshot_restore_resumes_identically():
+    a = FrameFeedbackController(FS)
+    for i in range(5):
+        a.update(measurement(time=float(i + 1)))
+    snap = a.snapshot_state()
+    b = FrameFeedbackController(FS)
+    b.restore_state(snap)
+    m = measurement(time=6.0, t_rate=4.0)
+    assert b.update(m) == pytest.approx(a.update(m))
+
+
+def test_breaker_snapshot_restore_round_trip():
+    br = CircuitBreaker()
+    br.record_failure(1.0)
+    snap = br.snapshot()
+    fresh = CircuitBreaker()
+    fresh.restore(snap, now=2.0)
+    assert fresh.snapshot() == snap
+
+
+# ----------------------------------------------------------------------
+# measurement validity taxonomy
+# ----------------------------------------------------------------------
+def test_sanitize_timeout_rate_taxonomy():
+    assert sanitize_timeout_rate(5.0, FS) == (5.0, None)
+    assert sanitize_timeout_rate(float("nan"), FS) == (
+        0.0,
+        MeasurementValidity.NAN_TIMEOUT_RATE,
+    )
+    assert sanitize_timeout_rate(-2.0, FS) == (
+        0.0,
+        MeasurementValidity.NEGATIVE_TIMEOUT_RATE,
+    )
+    assert sanitize_timeout_rate(99.0, FS) == (
+        FS,
+        MeasurementValidity.EXCESSIVE_TIMEOUT_RATE,
+    )
+
+
+def test_guard_rejects_duplicate_and_out_of_order_windows():
+    guard = MeasurementGuard(frame_rate=FS)
+    assert guard.admit(measurement(time=1.0)).admitted
+    dup = guard.admit(measurement(time=1.0))
+    assert not dup.admitted
+    assert MeasurementValidity.DUPLICATE in dup.flags
+    late = guard.admit(measurement(time=0.5))
+    assert not late.admitted
+    assert MeasurementValidity.OUT_OF_ORDER in late.flags
+    # ordering state is pinned to the last *admitted* window
+    assert guard.admit(measurement(time=2.0)).admitted
+
+
+def test_guard_tags_stale_but_still_admits():
+    guard = MeasurementGuard(frame_rate=FS, measure_period=1.0, stale_after_periods=3.0)
+    assert guard.admit(measurement(time=1.0)).flags == (MeasurementValidity.VALID,)
+    stale = guard.admit(measurement(time=9.0))
+    assert stale.admitted
+    assert MeasurementValidity.STALE in stale.flags
+
+
+def test_guard_repairs_nan_and_counts_degraded():
+    guard = MeasurementGuard(frame_rate=FS)
+    decision = guard.admit(measurement(time=1.0, t_rate=float("nan")))
+    assert decision.admitted
+    assert decision.measurement.timeout_rate == 0.0
+    assert guard.degraded_counts() == {"nan_timeout_rate": 1}
+
+
+# ----------------------------------------------------------------------
+# heartbeat
+# ----------------------------------------------------------------------
+def test_heartbeat_staleness_from_t0_and_after_beats():
+    hb = Heartbeat("controller", interval=1.0)
+    assert hb.is_stale(3.5, grace_periods=3.0)  # never beat: judged from t=0
+    hb.beat(4.0)
+    assert not hb.is_stale(6.0, grace_periods=3.0)
+    assert hb.is_stale(7.5, grace_periods=3.0)
+    assert hb.age(6.0) == 2.0
+
+
+# ----------------------------------------------------------------------
+# component crash/restart on the wired testbed
+# ----------------------------------------------------------------------
+def test_camera_crash_restart_keeps_frame_ids_continuous():
+    rt, _ = runtime()
+    rt.env.run(until=5.0)
+    source = rt.device.source
+    assert source.alive
+    source.crash()
+    assert not source.alive
+    emitted_at_crash = source._next_id
+    rt.env.run(until=8.0)
+    assert source._next_id == emitted_at_crash  # nothing emitted while dead
+    source.restart()
+    assert source.alive
+    result = rt.run(until=rt.scenario.run_duration + 4.0)  # 3 s downtime slack
+    # the stream's tail is deferred past the downtime, never dropped
+    assert result.qos.total_frames == rt.device.config.total_frames
+
+
+def test_server_crash_drops_queue_and_submissions_silently():
+    rt, _ = runtime()
+    rt.env.run(until=5.0)
+    server = rt.server
+    assert server.service_alive
+    server.crash()
+    assert not server.service_alive
+    before = server.stats.dropped_on_crash
+    rt.env.run(until=8.0)
+    assert server.stats.dropped_on_crash > before  # arrivals land on a dead host
+    server.restart()
+    assert server.service_alive
+    rt.run()
+
+
+def test_abort_inflight_cancels_pending_timers():
+    rt, _ = runtime()
+    env = rt.env
+    stats = env.enable_stats()
+    env.run(until=10.0)
+    offload = rt.device.offload
+    assert offload._outstanding  # frames genuinely in flight at 30 fps
+    before = stats.events_cancelled
+    dropped = offload.abort_inflight()
+    assert dropped > 0
+    assert offload.aborted == dropped
+    assert not offload._outstanding
+    assert stats.events_cancelled > before  # watchdog timers retired
+    rt.run()  # late responses to settled records must be harmless
+
+
+# ----------------------------------------------------------------------
+# supervisor: checkpoints, warm vs cold restore
+# ----------------------------------------------------------------------
+def test_supervisor_checkpoints_every_measure_tick():
+    rt, sup = runtime(supervision=SupervisionConfig())
+    rt.env.run(until=10.5)
+    assert sup.stats.checkpoints_saved >= 9
+    assert sup.store.latest is not None
+    assert sup.store.latest.target == pytest.approx(rt.device.splitter.target)
+
+
+def test_warm_restart_restores_checkpointed_target():
+    rt, sup = runtime(total_frames=1200, supervision=SupervisionConfig())
+    env = rt.env
+    env.run(until=20.0)
+    pre = rt.device.splitter.target
+    rt.device.crash_measure_loop()
+    assert not rt.device.measure_alive
+    env.run(until=24.0)
+    assert sup.restart_controller() is True
+    assert rt.device.measure_alive
+    assert rt.device.splitter.target == pytest.approx(sup.store.latest.target)
+    assert abs(rt.device.splitter.target - pre) <= 1.0
+    assert sup.stats.warm_restarts == 1
+    assert sup.restart_controller() is False  # already alive: no-op
+
+
+def test_cold_restart_falls_back_to_initial_target():
+    rt, sup = runtime(
+        total_frames=1200, supervision=SupervisionConfig(checkpoint_enabled=False)
+    )
+    env = rt.env
+    env.run(until=20.0)
+    assert rt.device.splitter.target > 10.0  # climbed well away from 0
+    rt.device.crash_measure_loop()
+    env.run(until=24.0)
+    assert sup.restart_controller() is True
+    assert rt.device.splitter.target == pytest.approx(
+        rt.controller.initial_target(FS)
+    )
+    assert sup.stats.cold_restarts == 1
+
+
+def test_watchdog_detects_crash_and_records_mttr_on_recovery():
+    rt, sup = runtime(total_frames=1200, supervision=SupervisionConfig())
+    env = rt.env
+    env.run(until=20.0)
+    rt.device.crash_measure_loop()
+    env.run(until=25.0)
+    assert sup.stats.crashes.get("controller") == 1
+    sup.restart_controller()
+    env.run(until=30.0)
+    assert sup.stats.mttr.get("controller")  # settled after the restart
+    assert sup.stats.missed_windows >= 1
+
+
+def test_degraded_telemetry_decays_toward_standing_probe():
+    cfg = SupervisionConfig(stale_after_periods=3.0, hold_periods=2.0)
+    rt, sup = runtime(total_frames=1800, supervision=cfg)
+    env = rt.env
+    env.run(until=20.0)
+    held = rt.device.splitter.target
+    rt.device.crash_measure_loop()
+    # silence > stale_after + hold: the decay policy must have acted
+    env.run(until=20.0 + 9.0)
+    probe = cfg.probe_frac * FS
+    assert sup.stats.stale_detections == 1
+    assert sup.stats.decay_steps >= 1
+    assert probe <= rt.device.splitter.target < held
+    # and with enough silence it parks exactly at the probe floor
+    env.run(until=60.0)
+    assert rt.device.splitter.target == pytest.approx(probe)
