@@ -83,43 +83,95 @@ def test_kernel_timer_cancellation(benchmark):
     assert benchmark(run) == 20_000
 
 
-def test_kernel_offload_round_trip(benchmark):
-    """2k frames device->link->server->link->device (§II-B hot path)."""
+def _offload_round_trip(traced: bool) -> int:
+    """2k frames device->link->server->link->device (§II-B hot path).
+
+    ``traced=True`` attaches a :class:`repro.trace.Tracer` and registers
+    every frame, so each hop pays the full span-recording cost;
+    ``traced=False`` is the production shape, where every hook is a
+    single ``env.tracer is None`` check.
+    """
     from repro.device.camera import Frame
     from repro.device.offload import OffloadClient
     from repro.server.server import EdgeServer
+    from repro.trace import Tracer
 
-    def run():
-        env = Environment()
-        box = ConditionBox(LinkConditions(bandwidth=10.0, loss=0.0))
-        uplink = Link(env, np.random.default_rng(1), box, queue_bytes_cap=1e9)
-        downlink = Link(env, np.random.default_rng(2), box, name="downlink",
-                        queue_bytes_cap=1e9)
-        server = EdgeServer(env, np.random.default_rng(3))
-        done = {"ok": 0, "bad": 0}
-        client = OffloadClient(
-            env,
-            uplink=uplink,
-            downlink=downlink,
-            server=server,
-            tenant="bench",
-            model_name="mobilenet_v3_small",
-            deadline=0.25,
-            response_bytes=256,
-            on_success=lambda frame, rtt: done.__setitem__("ok", done["ok"] + 1),
-            on_timeout=lambda frame, why: done.__setitem__("bad", done["bad"] + 1),
-        )
+    env = Environment()
+    tracer = None
+    if traced:
+        tracer = Tracer()
+        env.tracer = tracer
+    box = ConditionBox(LinkConditions(bandwidth=10.0, loss=0.0))
+    uplink = Link(env, np.random.default_rng(1), box, queue_bytes_cap=1e9)
+    downlink = Link(env, np.random.default_rng(2), box, name="downlink",
+                    queue_bytes_cap=1e9)
+    server = EdgeServer(env, np.random.default_rng(3))
+    done = {"ok": 0, "bad": 0}
+    client = OffloadClient(
+        env,
+        uplink=uplink,
+        downlink=downlink,
+        server=server,
+        tenant="bench",
+        model_name="mobilenet_v3_small",
+        deadline=0.25,
+        response_bytes=256,
+        on_success=lambda frame, rtt: done.__setitem__("ok", done["ok"] + 1),
+        on_timeout=lambda frame, why: done.__setitem__("bad", done["bad"] + 1),
+    )
 
-        def driver(env):
-            for i in range(2_000):
-                client.send(Frame(frame_id=i, captured_at=env.now, nbytes=11_700))
-                yield env.sleep(1.0 / 30.0)
+    def driver(env):
+        for i in range(2_000):
+            if tracer is not None:
+                tracer.begin_frame("bench", i, env.now, 11_700, "offload")
+            client.send(Frame(frame_id=i, captured_at=env.now, nbytes=11_700))
+            yield env.sleep(1.0 / 30.0)
 
-        env.process(driver(env))
-        env.run()
-        return done["ok"] + done["bad"]
+    env.process(driver(env))
+    env.run()
+    if tracer is not None:
+        assert len(tracer.frames) == 2_000
+    return done["ok"] + done["bad"]
 
-    assert benchmark(run) == 2_000
+
+def test_kernel_offload_round_trip(benchmark):
+    """The hot path with tracing disabled (the production default)."""
+    assert benchmark(_offload_round_trip, False) == 2_000
+
+
+def test_kernel_offload_round_trip_traced(benchmark):
+    """The same path with full span recording, for the overhead delta."""
+    assert benchmark(_offload_round_trip, True) == 2_000
+
+
+def test_tracer_disabled_overhead_within_baseline_gate():
+    """ISSUE-5 guard: a disabled tracer must cost <5% on the hot path.
+
+    Fresh tracer-disabled throughput is compared against the committed
+    ``BENCH_kernel.json`` "after" number, normalized by the same
+    pure-heapq calibration loop the perf-smoke gate uses — so the 5%
+    budget tracks the hooks added to the substrate, not machine speed.
+    """
+    import json
+    import pathlib
+
+    import kernel_baseline
+
+    baseline = json.loads(
+        (pathlib.Path(__file__).parent.parent / "BENCH_kernel.json").read_text()
+    )
+    scale = (
+        kernel_baseline.calibration_score()
+        / float(baseline["calibration_heapq_ops_per_sec"])
+    )
+    recorded = baseline["benches_events_per_sec"]["offload_round_trip"]
+    expected = float(recorded["after"] if isinstance(recorded, dict) else recorded)
+    fresh = kernel_baseline.bench_offload_round_trip()
+    floor = expected * scale * 0.95
+    assert fresh >= floor, (
+        f"tracer-disabled offload path regressed >5%: {fresh:,.0f} ev/s "
+        f"vs floor {floor:,.0f} (= {expected:,.0f} x {scale:.2f} x 0.95)"
+    )
 
 
 def test_link_frame_throughput(benchmark):

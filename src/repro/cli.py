@@ -442,6 +442,71 @@ def _cmd_profile(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args: argparse.Namespace):
+    """Run one canned scenario with per-frame tracing on.
+
+    ``--json`` emits the canonical golden serialization (byte-identical
+    across runs and across the ``REPRO_SIM_SLOWPATH`` kernels), which
+    is exactly what ``tests/goldens/trace_*.json`` hold::
+
+        framefeedback trace fig3 --json > tests/goldens/trace_fig3.json
+
+    Scenario stream lengths are fixed (see
+    ``repro.trace.scenarios.DEFAULT_FRAMES``) so golden files stay
+    reviewable; ``--frames`` is deliberately ignored here.
+    """
+    from repro.metrics import trace_latency_summary
+    from repro.trace import (
+        TRACE_SCENARIOS,
+        dumps_trace,
+        run_trace_scenario,
+        terminal_counts,
+    )
+
+    name = args.scenario or "fig3"
+    if name not in TRACE_SCENARIOS:
+        raise SystemExit(
+            f"unknown trace scenario {name!r}; choose from {sorted(TRACE_SCENARIOS)}"
+        )
+    doc = run_trace_scenario(name, seed=args.seed)
+    if args.json:
+        # main() prints with one trailing newline, matching dumps_trace
+        return dumps_trace(doc)[:-1]
+    counts = terminal_counts(doc)
+    lines = [
+        f"trace: {name} (seed={args.seed}, {len(doc['frames'])} frames, "
+        f"{len(doc['events'])} control-plane events)",
+        "terminal states:",
+    ]
+    lines += [f"  {status:18s} {n:5d}" for status, n in counts.items()]
+    summary = trace_latency_summary(doc)
+    lines.append("latency attribution (total / mean / p95 seconds per span):")
+    for span_name, s in summary["spans"].items():
+        lines.append(
+            f"  {span_name:18s} {s['total']:8.3f} / {s['mean']:.4f} / "
+            f"{s['p95']:.4f}  (n={s['count']})"
+        )
+    fs = summary["frame_seconds"]
+    lines.append(
+        f"completed frames: {fs['count']}  capture->settled "
+        f"mean {fs['mean']:.4f}s  p95 {fs['p95']:.4f}s"
+    )
+    lines.append("use --json for the canonical golden serialization")
+    return "\n".join(lines)
+
+
+def _cmd_trace_diff(args: argparse.Namespace):
+    """Structurally compare two trace files; non-zero exit on divergence."""
+    from repro.trace import diff_traces, load_trace
+
+    if not args.scenario or not args.scenario2:
+        raise SystemExit("trace-diff requires two trace files: trace-diff a.json b.json")
+    report = diff_traces(load_trace(args.scenario), load_trace(args.scenario2))
+    if report is None:
+        return f"traces identical: {args.scenario} == {args.scenario2}", 0
+    return report, 1
+
+
 def _cmd_combined(args: argparse.Namespace) -> str:
     from repro.experiments.combined import run_additivity_check, run_combined
 
@@ -473,6 +538,8 @@ _COMMANDS = {
     "breakdown": _cmd_breakdown,
     "fleet": _cmd_fleet,
     "profile": _cmd_profile,
+    "trace": _cmd_trace,
+    "trace-diff": _cmd_trace_diff,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "netem": _cmd_netem,
@@ -492,7 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario",
         nargs="?",
         default=None,
-        help="scenario to instrument (profile): fig3 | fig4 | chaos",
+        help="scenario to instrument (profile/trace): fig3 | fig4 | chaos "
+        "| supervision — or the first trace file (trace-diff)",
+    )
+    parser.add_argument(
+        "scenario2",
+        nargs="?",
+        default=None,
+        help="second trace file (trace-diff)",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
@@ -541,7 +615,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="emit a machine-readable JSON summary (chaos)",
+        help="emit a machine-readable JSON summary (chaos) or the "
+        "canonical golden trace (trace)",
     )
     return parser
 

@@ -174,27 +174,61 @@ class EdgeDevice:
 
     def _on_frame(self, frame: Frame) -> None:
         self.frames_seen += 1
+        tracer = self.env.tracer
+        tenant = self.config.name
         if self.resilience is not None and not self.resilience.breaker.is_closed:
             # Breaker tripped: the offload path is declared dead, so
             # *every* frame takes the local fallback — no 250 ms stalls
             # beyond the ones that tripped it.  Only the probe loop's
             # synthetic trials ride the wire while not closed.
             self.resilience.record(FailureKind.BREAKER_FALLBACK)
+            if tracer is not None:
+                tracer.begin_frame(
+                    tenant, frame.frame_id, self.env.now, frame.nbytes,
+                    "breaker-fallback",
+                )
             if not self.local.offer(frame):
                 self.local_skips += 1
                 self.resilience.record(FailureKind.BREAKER_FALLBACK_DROPPED)
+                if tracer is not None:
+                    tracer.finish_frame(
+                        tenant, frame.frame_id, self.env.now, "dropped-skip"
+                    )
+            elif tracer is not None:
+                tracer.begin_local(tenant, frame.frame_id, self.env.now)
             return
         if self.splitter.route():
+            if tracer is not None:
+                tracer.begin_frame(
+                    tenant, frame.frame_id, self.env.now, frame.nbytes, "offload"
+                )
             self._bucket_offload_attempts += 1
             self.offload.send(frame)
         else:
+            if tracer is not None:
+                tracer.begin_frame(
+                    tenant, frame.frame_id, self.env.now, frame.nbytes, "local"
+                )
             if not self.local.offer(frame):
                 self.local_skips += 1
+                if tracer is not None:
+                    tracer.finish_frame(
+                        tenant, frame.frame_id, self.env.now, "dropped-skip"
+                    )
+            elif tracer is not None:
+                tracer.begin_local(tenant, frame.frame_id, self.env.now)
 
     def _on_local_complete(self, frame: Frame, latency: float) -> None:
         self._bucket_local_done += 1
         self.local_successes += 1
         self.successes += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tenant = self.config.name
+            tracer.end_local(tenant, frame.frame_id, self.env.now, latency)
+            tracer.finish_frame(
+                tenant, frame.frame_id, self.env.now, "completed-local"
+            )
 
     def _on_offload_success(self, frame: Frame, rtt: float) -> None:
         self._bucket_offload_success += 1
@@ -270,6 +304,11 @@ class EdgeDevice:
             if not decision.admitted:
                 # Duplicate or out-of-order window: hold the last
                 # action rather than feed the PD law a bad dt.
+                if env.tracer is not None:
+                    env.tracer.event(
+                        env.now, "controller.held",
+                        target=float(self.splitter.target), reason="inadmissible",
+                    )
                 self.traces.offload_target.append(env.now, self.splitter.target)
                 self.traces.capture_quality.append(env.now, self.capture_quality)
                 self.traces.error.append(
@@ -277,6 +316,7 @@ class EdgeDevice:
                 )
                 continue
             measurement = decision.measurement
+            tracer = env.tracer
             if self._breaker_engaged:
                 # Controller frozen (anti-windup): it would otherwise
                 # integrate an outage it cannot observe — every frame
@@ -285,9 +325,28 @@ class EdgeDevice:
                 # paper's 0.1 F_s standing probe; on close the
                 # controller picks up exactly where it was frozen.
                 self.splitter.set_target(self.resilience.open_target)
+                if tracer is not None:
+                    tracer.event(
+                        env.now, "controller.held",
+                        target=float(self.splitter.target), reason="breaker-open",
+                    )
             else:
+                degraded_before = (
+                    getattr(self.controller, "degraded_inputs", 0)
+                    if tracer is not None
+                    else 0
+                )
                 new_target = self.controller.update(measurement)
                 self.splitter.set_target(new_target)
+                if tracer is not None:
+                    tracer.event(
+                        env.now, "controller.update", target=float(new_target)
+                    )
+                    degraded_after = getattr(
+                        self.controller, "degraded_inputs", degraded_before
+                    )
+                    if degraded_after > degraded_before:
+                        tracer.event(env.now, "controller.degraded-input")
                 quality = getattr(self.controller, "capture_quality", None)
                 if quality is not None:
                     self.capture_quality = float(quality)

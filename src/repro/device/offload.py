@@ -138,6 +138,7 @@ class OffloadClient:
         discarded.  Returns the number of frames dropped.
         """
         dropped = 0
+        tracer = self.env.tracer
         for frame_id in list(self._outstanding):
             record = self._outstanding.pop(frame_id)
             record.settled = True
@@ -149,6 +150,10 @@ class OffloadClient:
                 record.hedge = None
             self.aborted += 1
             dropped += 1
+            if tracer is not None and not record.is_probe:
+                now = self.env.now
+                tracer.end_offload(self.tenant, frame_id, now, "aborted")
+                tracer.finish_frame(self.tenant, frame_id, now, "aborted")
         return dropped
 
     def send(
@@ -169,6 +174,11 @@ class OffloadClient:
             self.probes_sent += 1
         else:
             self.sent += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            # Probe frames were never registered at capture, so every
+            # tracer hook key-misses into a no-op for them.
+            tracer.begin_offload(self.tenant, frame.frame_id, self.env.now)
         self._transmit(record)
         env = self.env
         r = self.resilience
@@ -201,6 +211,7 @@ class OffloadClient:
             payload_bytes=frame.nbytes,
             respond=self._on_server_response,
             frame_id=frame.frame_id,
+            attempt=record.retries,
             # deadline hint for DEADLINE_AWARE servers, anchored at the
             # *original* send; note this presumes synchronized clocks
             # (the very machinery ATOMS needs and the paper's design
@@ -295,6 +306,7 @@ class OffloadClient:
                 ),
                 at=self.env.now,
             )
+        tracer = self.env.tracer
         if response.ok and rtt <= self.deadline:
             self._settle(record, response.frame_id)
             self.last_rtt = rtt
@@ -303,6 +315,14 @@ class OffloadClient:
                 self._probe_done(record, True)
             else:
                 self.successes += 1
+                if tracer is not None:
+                    now = self.env.now
+                    tracer.end_offload(
+                        self.tenant, response.frame_id, now, "ok", rtt=rtt
+                    )
+                    tracer.finish_frame(
+                        self.tenant, response.frame_id, now, "completed-offload"
+                    )
                 self.on_success(record.frame, rtt)
         elif response.overloaded:
             # Explicit pushback: the server is saturated but alive.
@@ -327,6 +347,15 @@ class OffloadClient:
                 if self.breakdown is not None:
                     self.breakdown.record_rejection(self.env.now)
                 self.timeouts += 1
+                if tracer is not None:
+                    now = self.env.now
+                    tracer.end_offload(
+                        self.tenant, response.frame_id, now, "overloaded"
+                    )
+                    tracer.finish_frame(
+                        self.tenant, response.frame_id, now, "timeout",
+                        cause="overloaded",
+                    )
                 self.on_timeout(record.frame, "overloaded")
         elif not response.ok:
             # Rejection: a definitive failure, counted immediately.
@@ -341,6 +370,14 @@ class OffloadClient:
                 if self.breakdown is not None:
                     self.breakdown.record_rejection(self.env.now)
                 self.timeouts += 1
+                if tracer is not None:
+                    now = self.env.now
+                    tracer.end_offload(
+                        self.tenant, response.frame_id, now, "rejected"
+                    )
+                    tracer.finish_frame(
+                        self.tenant, response.frame_id, now, "rejected"
+                    )
                 self.on_timeout(record.frame, "rejected")
         # else: a successful response past the deadline — leave the
         # record for the watchdog (or it already fired).
@@ -365,6 +402,13 @@ class OffloadClient:
             self._probe_done(record, False)
             return
         self.timeouts += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            now = self.env.now
+            tracer.end_offload(self.tenant, frame_id, now, "timeout")
+            tracer.finish_frame(
+                self.tenant, frame_id, now, "timeout", cause="deadline"
+            )
         self.on_timeout(record.frame, "deadline")
         if self.breakdown is not None:
             # Attribution is deferred: a late response (if one ever

@@ -371,10 +371,18 @@ def _recovery_checks(
     return checks
 
 
-def run_chaos(chaos: ChaosScenario) -> ChaosResult:
-    """Execute one chaos scenario deterministically."""
+def run_chaos(chaos: ChaosScenario, tracer=None) -> ChaosResult:
+    """Execute one chaos scenario deterministically.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) is attached to the
+    runtime environment before anything runs, so per-frame spans cover
+    the whole stream and supervision/controller events land in the
+    same trace (see :mod:`repro.trace.scenarios`).
+    """
     validate_plan(list(chaos.injectors))
     runtime = build_runtime(chaos.effective_base())
+    if tracer is not None:
+        runtime.env.tracer = tracer
 
     # The supervisor checkpoints the *inner* controller: wrapping for
     # transcripts must not change what a restore reloads (and a warm

@@ -12,6 +12,7 @@ from repro.metrics.qos import PhaseSummary, QosReport, summarize_phases
 from repro.metrics.streaming import StreamingHistogram
 from repro.metrics.taxonomy import FailureKind, FailureTaxonomy
 from repro.metrics.timeseries import TimeSeries
+from repro.metrics.tracestats import span_duration_stats, trace_latency_summary
 
 __all__ = [
     "BreakdownCollector",
@@ -25,5 +26,7 @@ __all__ = [
     "TimeoutCause",
     "TimeSeries",
     "WindowedRate",
+    "span_duration_stats",
     "summarize_phases",
+    "trace_latency_summary",
 ]

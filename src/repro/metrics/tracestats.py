@@ -1,0 +1,78 @@
+"""Per-frame latency attribution computed from trace documents.
+
+The tracer (``repro.trace``) records *causality*; this module turns a
+canonical trace document back into the paper's quantity of interest —
+where each frame's end-to-end time went (§IV): local inference vs.
+uplink serialization vs. server batching/GPU vs. the response trip.
+Works on any document produced by ``trace_document``/``load_trace``,
+so it applies equally to a live run and to a committed golden.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["span_duration_stats", "trace_latency_summary"]
+
+
+def _collect(span: Dict[str, Any], out: Dict[str, list]) -> None:
+    for child in span.get("children", ()):
+        out.setdefault(child["name"], []).append(child["end"] - child["start"])
+        _collect(child, out)
+
+
+def span_duration_stats(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Duration statistics per span name, across every frame.
+
+    Returns ``{name: {count, total, mean, p95, max}}`` (seconds) for
+    each non-root span name appearing anywhere in the document, sorted
+    by total time spent — i.e. by how much of the run's latency that
+    stage accounts for.
+    """
+    durations: Dict[str, list] = {}
+    for frame in doc["frames"]:
+        _collect(frame["span"], durations)
+    stats = {}
+    for name, values in durations.items():
+        arr = np.asarray(values, dtype=float)
+        stats[name] = {
+            "count": int(arr.size),
+            "total": float(arr.sum()),
+            "mean": float(arr.mean()),
+            "p95": float(np.percentile(arr, 95.0)),
+            "max": float(arr.max()),
+        }
+    return dict(
+        sorted(stats.items(), key=lambda item: item[1]["total"], reverse=True)
+    )
+
+
+def trace_latency_summary(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Roll a trace document up into the per-frame latency picture.
+
+    ``frames``/``terminal`` mirror ``repro.trace.terminal_counts``;
+    ``spans`` is :func:`span_duration_stats`; ``frame_seconds`` are
+    root-span (capture -> settled) duration statistics for the frames
+    that completed, the quantity Fig. 4 plots distributions of.
+    """
+    from repro.trace import terminal_counts
+
+    completed = [
+        frame["span"]["end"] - frame["span"]["start"]
+        for frame in doc["frames"]
+        if frame["span"]["status"] in ("completed-local", "completed-offload")
+    ]
+    arr = np.asarray(completed, dtype=float)
+    return {
+        "frames": len(doc["frames"]),
+        "terminal": terminal_counts(doc),
+        "spans": span_duration_stats(doc),
+        "frame_seconds": {
+            "count": int(arr.size),
+            "mean": float(arr.mean()) if arr.size else 0.0,
+            "p95": float(np.percentile(arr, 95.0)) if arr.size else 0.0,
+            "max": float(arr.max()) if arr.size else 0.0,
+        },
+    }

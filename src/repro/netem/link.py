@@ -186,9 +186,18 @@ class Link:
         if nbytes < 0:
             raise ValueError(f"negative payload size {nbytes}")
         self.stats.frames_sent += 1
+        tracer = self.env.tracer
         if self._queued_bytes + nbytes > self.queue_bytes_cap and self._queue:
             self.stats.frames_dropped_overflow += 1
+            if tracer is not None:
+                tracer.link_overflow(self.name, payload, self.env.now, nbytes)
             return False
+        if tracer is not None:
+            # The wrapped callback closes the traversal span at the
+            # delivery instant; untraced payloads pass through as-is.
+            _span, deliver = tracer.link_send(
+                self.name, payload, self.env.now, nbytes, deliver, self.env
+            )
         self._queue.append((nbytes, payload, deliver))
         self._queued_bytes += nbytes
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -232,6 +241,8 @@ class Link:
 
             if abandoned:
                 self.stats.frames_dropped_loss += 1
+                if env.tracer is not None:
+                    env.tracer.link_drop(payload, env.now, "loss")
                 continue
 
             self.stats.frames_delivered += 1

@@ -40,6 +40,10 @@ class InferenceRequest:
     payload_bytes: int
     respond: Callable[["Response"], None]
     frame_id: int = -1
+    #: which transmission of the frame this is (0 = original send,
+    #: 1.. = hedged/deferred retries); lets per-frame traces tell a
+    #: retransmission's uplink trip from the original's
+    attempt: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
     arrived_at: Optional[float] = None
     #: optional absolute deadline hint (client clock).  The paper's

@@ -99,13 +99,18 @@ class EdgeServer:
     # ------------------------------------------------------------------
     def submit(self, request: InferenceRequest) -> None:
         """Accept a request (called at its network-arrival instant)."""
+        tracer = self.env.tracer
         if not self._service_proc.is_alive:
             # Crashed host: the packet lands on a dead box.  No answer
             # of any kind — the device's deadline watchdog observes the
             # same silence a real connection-refused-into-timeout does.
             self.stats.dropped_on_crash += 1
+            if tracer is not None:
+                tracer.server_dead(request, self.env.now)
             return
         request.arrived_at = self.env.now
+        if tracer is not None:
+            tracer.server_submit(request, self.env.now)
         self.stats.received += 1
         self.stats._bump(self.stats.per_tenant_received, request.tenant)
         batcher = self._batchers.get(request.model_name)
@@ -289,4 +294,9 @@ class EdgeServer:
             label=req.request_id % 1000,
             retry_after=retry_after,
         )
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.server_respond(
+                req, now, outcome.value, batch_size=batch_size
+            )
         req.respond(response)

@@ -136,6 +136,11 @@ class Environment:
             self._stats = None
         #: escape hatch: force the pre-optimization code paths
         self._slowpath = bool(os.environ.get("REPRO_SIM_SLOWPATH"))
+        #: opt-in per-frame span tracer (:class:`repro.trace.Tracer`).
+        #: None by default; every instrumentation point in the testbed
+        #: guards on it, so the untraced hot path pays one attribute
+        #: load and a None-check per hooked operation.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property

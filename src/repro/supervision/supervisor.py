@@ -287,6 +287,8 @@ class Supervisor:
         device.splitter.set_target(decayed)
         device.traces.offload_target.append(now, decayed)
         self.stats.decay_steps += 1
+        if self.env.tracer is not None:
+            self.env.tracer.event(now, "supervision.decay", target=float(decayed))
 
     # ------------------------------------------------------------------
     def _note_crash(self, component: str, now: float) -> None:
@@ -294,6 +296,8 @@ class Supervisor:
             return
         self._down_since[component] = now
         self.stats._bump(self.stats.crashes, component)
+        if self.env.tracer is not None:
+            self.env.tracer.event(now, "supervision.crash", component=component)
         if component == CONTROLLER:
             # what "recovered" must re-settle to (captured before any
             # decay steps move the splitter)
@@ -363,6 +367,10 @@ class Supervisor:
         self._episode_missed = 0
         self._episode_decays = 0
         self.stats._bump(self.stats.restarts, CONTROLLER)
+        if self.env.tracer is not None:
+            self.env.tracer.event(
+                now, "supervision.restart", component=CONTROLLER, warm=bool(warm)
+            )
         return True
 
     def restart_server(self) -> bool:
@@ -370,6 +378,10 @@ class Supervisor:
             return False
         self.server.restart()
         self.stats._bump(self.stats.restarts, SERVER)
+        if self.env.tracer is not None:
+            self.env.tracer.event(
+                self.env.now, "supervision.restart", component=SERVER
+            )
         return True
 
     def restart_camera(self) -> bool:
@@ -378,4 +390,8 @@ class Supervisor:
             return False
         source.restart()
         self.stats._bump(self.stats.restarts, CAMERA)
+        if self.env.tracer is not None:
+            self.env.tracer.event(
+                self.env.now, "supervision.restart", component=CAMERA
+            )
         return True

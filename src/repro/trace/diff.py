@@ -1,0 +1,100 @@
+"""Structural trace diff: report the *first diverging span*, not a blob.
+
+A golden-trace mismatch rendered as a unified diff of two 100 kB JSON
+files tells you nothing; the question is always "which frame, which
+hop, what changed".  :func:`first_divergence` walks two canonical
+documents (see :mod:`repro.trace.golden`) in deterministic order —
+version, meta, frames by ``(tenant, frame_id)``, each span tree
+depth-first, then the event stream — and stops at the first field that
+differs, returning its path (``frames[cam0/57].offload.uplink``), the
+field, and both values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two traces disagree."""
+
+    path: str
+    field: str
+    a: Any
+    b: Any
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.field} {self.a!r} != {self.b!r}"
+
+
+def _span_label(span: Dict[str, Any]) -> str:
+    return str(span.get("name", "?"))
+
+
+def _diff_span(a: Dict[str, Any], b: Dict[str, Any], path: str) -> Optional[Divergence]:
+    for field in ("name", "start", "end", "status"):
+        if a.get(field) != b.get(field):
+            return Divergence(path, field, a.get(field), b.get(field))
+    attrs_a, attrs_b = a.get("attrs", {}), b.get("attrs", {})
+    for key in sorted(set(attrs_a) | set(attrs_b)):
+        if attrs_a.get(key) != attrs_b.get(key):
+            return Divergence(
+                path, f"attrs[{key}]", attrs_a.get(key), attrs_b.get(key)
+            )
+    kids_a, kids_b = a.get("children", []), b.get("children", [])
+    for i, (ca, cb) in enumerate(zip(kids_a, kids_b)):
+        hit = _diff_span(ca, cb, f"{path}.{_span_label(ca)}[{i}]")
+        if hit is not None:
+            return hit
+    if len(kids_a) != len(kids_b):
+        return Divergence(path, "child-count", len(kids_a), len(kids_b))
+    return None
+
+
+def first_divergence(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Optional[Divergence]:
+    """The first structural difference between two trace documents."""
+    if a.get("version") != b.get("version"):
+        return Divergence("trace", "version", a.get("version"), b.get("version"))
+    meta_a, meta_b = a.get("meta", {}), b.get("meta", {})
+    for key in sorted(set(meta_a) | set(meta_b)):
+        if meta_a.get(key) != meta_b.get(key):
+            return Divergence("meta", key, meta_a.get(key), meta_b.get(key))
+    frames_a, frames_b = a.get("frames", []), b.get("frames", [])
+    for fa, fb in zip(frames_a, frames_b):
+        key_a = (fa.get("tenant"), fa.get("frame_id"))
+        key_b = (fb.get("tenant"), fb.get("frame_id"))
+        label = f"frames[{key_a[0]}/{key_a[1]}]"
+        if key_a != key_b:
+            return Divergence("frames", "frame-key", key_a, key_b)
+        hit = _diff_span(fa.get("span", {}), fb.get("span", {}), label)
+        if hit is not None:
+            return hit
+    if len(frames_a) != len(frames_b):
+        return Divergence("frames", "frame-count", len(frames_a), len(frames_b))
+    events_a, events_b = a.get("events", []), b.get("events", [])
+    for i, (ea, eb) in enumerate(zip(events_a, events_b)):
+        label = f"events[{i}]({ea.get('name')})"
+        for field in ("time", "name"):
+            if ea.get(field) != eb.get(field):
+                return Divergence(label, field, ea.get(field), eb.get(field))
+        attrs_a, attrs_b = ea.get("attrs", {}), eb.get("attrs", {})
+        for key in sorted(set(attrs_a) | set(attrs_b)):
+            if attrs_a.get(key) != attrs_b.get(key):
+                return Divergence(
+                    label, f"attrs[{key}]", attrs_a.get(key), attrs_b.get(key)
+                )
+    if len(events_a) != len(events_b):
+        return Divergence("events", "event-count", len(events_a), len(events_b))
+    return None
+
+
+def diff_traces(a: Dict[str, Any], b: Dict[str, Any]) -> Optional[str]:
+    """Human-readable first-divergence report, or None when identical."""
+    hit = first_divergence(a, b)
+    if hit is None:
+        return None
+    return f"traces diverge at {hit}"

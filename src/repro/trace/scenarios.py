@@ -1,0 +1,148 @@
+"""Canned traced scenarios behind ``framefeedback trace <name>``.
+
+Each scenario is a *short* run — golden traces are reviewed by humans
+and replayed in tests, so seconds of sim time, not the paper's full
+4,000-frame streams.  The three names mirror the regimes PRs 1-4
+built:
+
+* ``fig3`` — the Table V network regimes compressed to three seconds
+  each (full offload at bw=10, partial at bw=4, dead path at bw=1), on
+  the bare paper client.  Exercises completed-offload,
+  completed-local, dropped-skip and deadline timeouts.
+* ``chaos`` — burst loss, a server crash and a bandwidth collapse with
+  the full resilience stack on (hedged retries, circuit breaker,
+  server pushback).  Adds retry attempts, overload pushback,
+  breaker-fallback routing and breaker transition events.
+* ``supervision`` — a controller kill and a device reboot under a
+  supervisor.  Adds crash/restart/decay events and aborted frames.
+
+Every run attaches one fresh :class:`~repro.trace.Tracer` to the
+runtime environment before it starts and serializes via
+:func:`~repro.trace.golden.trace_document`, so two calls with equal
+arguments are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.trace.golden import trace_document
+from repro.trace.tracer import Tracer
+
+#: default stream length per scenario (frames at 30 fps); chosen so
+#: every fault window plus its recovery fits inside the run while the
+#: golden files stay reviewable
+DEFAULT_FRAMES = {"fig3": 270, "chaos": 240, "supervision": 240}
+
+
+def trace_fig3(seed: int = 0, frames: int = 270) -> Dict[str, Any]:
+    """Compressed Table V sweep (bw 10 -> 4 -> 1) on the bare client."""
+    from repro.device.config import DeviceConfig
+    from repro.experiments.scenario import Scenario, build_runtime
+    from repro.experiments.standard import framefeedback_factory
+    from repro.netem.schedule import NetworkSchedule
+
+    third = frames / 30.0 / 3.0
+    scenario = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=frames),
+        network=NetworkSchedule.from_rows(
+            [(0.0, 10.0, 0.0), (third, 4.0, 2.0), (2.0 * third, 1.0, 5.0)]
+        ),
+        seed=seed,
+    )
+    runtime = build_runtime(scenario)
+    tracer = Tracer()
+    runtime.env.tracer = tracer
+    runtime.run()
+    return trace_document(
+        tracer, meta={"scenario": "fig3", "seed": seed, "frames": frames}
+    )
+
+
+def trace_chaos(seed: int = 0, frames: int = 240) -> Dict[str, Any]:
+    """Compressed resilience-chaos plan with the full defense stack."""
+    from repro.device.config import DeviceConfig
+    from repro.experiments.chaos import ChaosScenario, run_chaos
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.standard import framefeedback_factory
+    from repro.faults.link import BandwidthCollapse, BurstLoss
+    from repro.faults.server import ServerCrash
+    from repro.faults.windows import FaultTimeline
+    from repro.resilience.config import ResilienceConfig
+
+    chaos = ChaosScenario(
+        base=Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=frames),
+            seed=seed,
+        ),
+        injectors=[
+            BurstLoss(FaultTimeline.from_rows([(1.5, 1.0)]), loss=0.3, burst=6.0),
+            ServerCrash(FaultTimeline.from_rows([(3.0, 2.0)])),
+            BandwidthCollapse(FaultTimeline.from_rows([(6.5, 1.5)]), factor=0.01),
+        ],
+        resilience=ResilienceConfig(),
+    )
+    tracer = Tracer()
+    result = run_chaos(chaos, tracer=tracer)
+    # Breaker transitions are recorded by the breaker itself; merge them
+    # into the event stream post-run instead of double-hooking on_open.
+    for t, state in result.breaker_transitions:
+        tracer.event(t, "breaker.transition", state=state.value)
+    return trace_document(
+        tracer, meta={"scenario": "chaos", "seed": seed, "frames": frames}
+    )
+
+
+def trace_supervision(seed: int = 0, frames: int = 240) -> Dict[str, Any]:
+    """Compressed kill/restart plan under a checkpointing supervisor."""
+    from repro.device.config import DeviceConfig
+    from repro.experiments.chaos import ChaosScenario, run_chaos
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.standard import framefeedback_factory
+    from repro.faults.process import ControllerKill, DeviceReboot
+    from repro.faults.windows import FaultTimeline
+    from repro.supervision.supervisor import SupervisionConfig
+
+    chaos = ChaosScenario(
+        base=Scenario(
+            controller_factory=framefeedback_factory(),
+            device=DeviceConfig(total_frames=frames),
+            seed=seed,
+        ),
+        injectors=[
+            ControllerKill(FaultTimeline.from_rows([(3.0, 2.0)])),
+            DeviceReboot(FaultTimeline.from_rows([(6.5, 1.0)])),
+        ],
+        supervision=SupervisionConfig(),
+    )
+    tracer = Tracer()
+    result = run_chaos(chaos, tracer=tracer)
+    for t, state in result.breaker_transitions:
+        tracer.event(t, "breaker.transition", state=state.value)
+    return trace_document(
+        tracer, meta={"scenario": "supervision", "seed": seed, "frames": frames}
+    )
+
+
+TRACE_SCENARIOS = {
+    "fig3": trace_fig3,
+    "chaos": trace_chaos,
+    "supervision": trace_supervision,
+}
+
+
+def run_trace_scenario(
+    name: str, seed: int = 0, frames: Optional[int] = None
+) -> Dict[str, Any]:
+    """Run one named scenario with tracing on; returns the document."""
+    try:
+        runner = TRACE_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace scenario {name!r}; choose from {sorted(TRACE_SCENARIOS)}"
+        ) from None
+    if frames is None:
+        frames = DEFAULT_FRAMES[name]
+    return runner(seed=seed, frames=frames)

@@ -1,0 +1,99 @@
+"""The span model: one interval of work, nested under a parent.
+
+A :class:`Span` is deliberately minimal — name, ``[start, end]`` in
+sim-seconds, an optional status string, a flat attribute dict and a
+list of children.  There are no span ids: the tree structure *is* the
+identity, which keeps serialized traces independent of runtime
+interleaving (two runs that do the same work produce the same tree no
+matter which callback fired first at an equal timestamp).
+
+Frame root spans carry a **terminal status**: exactly one of
+:data:`TERMINAL_STATUSES` describing how the frame's story ended.  The
+property tests in ``tests/test_trace_properties.py`` assert every
+captured frame reaches exactly one of them on a fully drained run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: every way a captured frame's story can end
+TERMINAL_STATUSES = frozenset(
+    {
+        #: local pipeline finished the inference
+        "completed-local",
+        #: offload response beat the deadline
+        "completed-offload",
+        #: deadline expired (silent network/server, or explicit
+        #: overload pushback with no retry budget left) — the frame
+        #: counted toward ``T``; ``attrs["cause"]`` says which
+        "timeout",
+        #: server rejection without overload semantics
+        "rejected",
+        #: skipped at the device: local engine (or its 1-deep slot) was
+        #: full, including breaker-fallback frames it could not absorb
+        "dropped-skip",
+        #: in-flight offload forgotten by a device reboot — neither
+        #: success nor timeout
+        "aborted",
+    }
+)
+
+#: status given to spans still open when the trace is serialized
+OPEN_STATUS = "unsettled"
+
+
+class Span:
+    """One node of a frame's causal tree."""
+
+    __slots__ = ("name", "start", "end", "status", "attrs", "children")
+
+    def __init__(
+        self, name: str, start: float, attrs: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self.name = name
+        self.start = float(start)
+        self.end: Optional[float] = None
+        self.status: Optional[str] = None
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------------
+    def child(
+        self, name: str, start: float, attrs: Optional[Dict[str, Any]] = None
+    ) -> "Span":
+        """Open a child span under this one."""
+        span = Span(name, start, attrs)
+        self.children.append(span)
+        return span
+
+    def finish(
+        self,
+        end: float,
+        status: Optional[str] = None,
+        **attrs: Any,
+    ) -> "Span":
+        """Close the span; the *first* status to land wins.
+
+        Later ``finish`` calls may still extend the interval (a parent
+        closed again when a late child lands) but must not rewrite an
+        already-recorded outcome — terminal classification is
+        exactly-once by construction.
+        """
+        self.end = float(end) if self.end is None else max(self.end, float(end))
+        if status is not None and self.status is None:
+            self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, [{self.start:g}, "
+            f"{'…' if self.end is None else format(self.end, 'g')}], "
+            f"status={self.status!r}, {len(self.children)} children)"
+        )

@@ -1,0 +1,209 @@
+"""The tracer: the hook surface the testbed components talk to.
+
+One :class:`Tracer` is attached to an :class:`~repro.sim.core.Environment`
+(``env.tracer = Tracer()``) and observes one run.  Components guard
+every hook with a single ``env.tracer is None`` check, so the
+uninstrumented hot path pays one attribute load per hooked operation
+and nothing else.
+
+Correlation model
+-----------------
+Frames are keyed by ``(tenant, frame_id)`` — the device registers each
+*captured* frame (probes, with their negative ids, are never
+registered), and every downstream hook (offload client, links, server)
+resolves its payload's key against the registry; unknown keys
+(background load, probes) no-op.  Server requests and in-flight link
+payloads are additionally keyed by object identity, because one frame
+can legally have two requests alive at once (a hedge retransmission
+racing the original).
+
+Control-plane happenings that belong to no single frame — controller
+updates, degraded-input repairs, breaker transitions, supervision
+restarts — land in a flat, timestamped :attr:`events` stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.trace.spans import Span
+
+#: (tenant, frame_id)
+FrameKey = Tuple[str, int]
+
+
+class Tracer:
+    """Collects one run's span trees and control-plane events."""
+
+    def __init__(self) -> None:
+        #: frame key -> root span, in registration order
+        self.frames: Dict[FrameKey, Span] = {}
+        #: flat control-plane stream: (time, name, attrs)
+        self.events: List[Tuple[float, str, Dict[str, Any]]] = []
+        #: frame key -> that frame's offload span (kept after close so
+        #: late responses still attach to the right parent)
+        self._offload: Dict[FrameKey, Span] = {}
+        #: frame key -> open local-pipeline span
+        self._local: Dict[FrameKey, Span] = {}
+        #: id(request) -> open server span
+        self._server: Dict[int, Span] = {}
+        #: id(payload) -> open link span
+        self._links: Dict[int, Span] = {}
+
+    # ------------------------------------------------------------------
+    # control-plane events
+    # ------------------------------------------------------------------
+    def event(self, time: float, name: str, **attrs: Any) -> None:
+        """Record one timestamped control-plane event."""
+        self.events.append((float(time), name, attrs))
+
+    # ------------------------------------------------------------------
+    # frame lifecycle (device)
+    # ------------------------------------------------------------------
+    def begin_frame(
+        self, tenant: str, frame_id: int, time: float, nbytes: int, route: str
+    ) -> Span:
+        """Register one captured frame and its routing decision."""
+        root = Span("frame", time, {"frame_id": frame_id, "route": route})
+        if nbytes:
+            root.attrs["nbytes"] = nbytes
+        self.frames[(tenant, frame_id)] = root
+        return root
+
+    def finish_frame(
+        self, tenant: str, frame_id: int, time: float, status: str, **attrs: Any
+    ) -> None:
+        """Terminal classification; first status wins (exactly-once)."""
+        root = self.frames.get((tenant, frame_id))
+        if root is not None:
+            root.finish(time, status, **attrs)
+
+    def frame_root(self, tenant: str, frame_id: int) -> Optional[Span]:
+        return self.frames.get((tenant, frame_id))
+
+    # ------------------------------------------------------------------
+    # local pipeline
+    # ------------------------------------------------------------------
+    def begin_local(self, tenant: str, frame_id: int, time: float) -> None:
+        root = self.frames.get((tenant, frame_id))
+        if root is not None:
+            self._local[(tenant, frame_id)] = root.child("local", time)
+
+    def end_local(
+        self, tenant: str, frame_id: int, time: float, latency: float
+    ) -> None:
+        span = self._local.pop((tenant, frame_id), None)
+        if span is not None:
+            span.finish(time, "ok", infer_seconds=latency)
+
+    # ------------------------------------------------------------------
+    # offload client
+    # ------------------------------------------------------------------
+    def begin_offload(self, tenant: str, frame_id: int, time: float) -> None:
+        root = self.frames.get((tenant, frame_id))
+        if root is not None:
+            self._offload[(tenant, frame_id)] = root.child("offload", time)
+
+    def end_offload(
+        self, tenant: str, frame_id: int, time: float, status: str, **attrs: Any
+    ) -> None:
+        span = self._offload.get((tenant, frame_id))
+        if span is not None:
+            span.finish(time, status, **attrs)
+
+    def offload_span(self, tenant: str, frame_id: int) -> Optional[Span]:
+        return self._offload.get((tenant, frame_id))
+
+    # ------------------------------------------------------------------
+    # link traversals
+    # ------------------------------------------------------------------
+    def link_send(
+        self,
+        link_name: str,
+        payload: Any,
+        time: float,
+        nbytes: int,
+        deliver: Callable[[Any], None],
+        env: Any,
+    ) -> Tuple[Optional[Span], Callable[[Any], None]]:
+        """Open a traversal span; returns (span, wrapped-deliver).
+
+        Untraced payloads (no registered frame) come back unchanged.
+        The wrapped callback closes the span at the delivery instant
+        before handing the payload to the real receiver.
+        """
+        key = self._payload_key(payload)
+        if key is None:
+            return None, deliver
+        parent = self._offload.get(key) or self.frames.get(key)
+        if parent is None:
+            return None, deliver
+        attrs: Dict[str, Any] = {"nbytes": nbytes}
+        attempt = getattr(payload, "attempt", None)
+        if attempt:
+            attrs["attempt"] = attempt
+        span = parent.child(link_name, time, attrs)
+        self._links[id(payload)] = span
+
+        def traced_deliver(delivered: Any, _span=span, _inner=deliver) -> None:
+            self._links.pop(id(delivered), None)
+            _span.finish(env.now, "delivered")
+            _inner(delivered)
+
+        return span, traced_deliver
+
+    def link_drop(self, payload: Any, time: float, reason: str) -> None:
+        """Close a traversal span for a payload the link gave up on."""
+        span = self._links.pop(id(payload), None)
+        if span is not None:
+            span.finish(time, f"dropped-{reason}")
+
+    def link_overflow(
+        self, link_name: str, payload: Any, time: float, nbytes: int
+    ) -> None:
+        """Tail drop at enqueue: a zero-length traversal that never ran."""
+        key = self._payload_key(payload)
+        if key is None:
+            return
+        parent = self._offload.get(key) or self.frames.get(key)
+        if parent is not None:
+            parent.child(link_name, time, {"nbytes": nbytes}).finish(
+                time, "dropped-overflow"
+            )
+
+    # ------------------------------------------------------------------
+    # server
+    # ------------------------------------------------------------------
+    def server_submit(self, request: Any, time: float) -> None:
+        key = self._payload_key(request)
+        if key is None:
+            return
+        parent = self._offload.get(key) or self.frames.get(key)
+        if parent is None:
+            return
+        self._server[id(request)] = parent.child("server", time)
+
+    def server_respond(
+        self, request: Any, time: float, outcome: str, **attrs: Any
+    ) -> None:
+        span = self._server.pop(id(request), None)
+        if span is not None:
+            span.finish(time, outcome, **attrs)
+
+    def server_dead(self, request: Any, time: float) -> None:
+        """A request landed on a crashed host: answered by silence."""
+        key = self._payload_key(request)
+        if key is None:
+            return
+        parent = self._offload.get(key) or self.frames.get(key)
+        if parent is not None:
+            parent.child("server", time).finish(time, "dropped-crash")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_key(payload: Any) -> Optional[FrameKey]:
+        tenant = getattr(payload, "tenant", None)
+        frame_id = getattr(payload, "frame_id", None)
+        if tenant is None or frame_id is None:
+            return None
+        return (tenant, frame_id)

@@ -206,3 +206,62 @@ def test_cli_chaos_invariant_failure_exits_nonzero(monkeypatch, capsys):
     monkeypatch.setattr(chaos_mod, "run_chaos", sabotaged)
     assert main(["chaos", "--frames", "1200"]) == 1
     assert "verdict: FAIL" in capsys.readouterr().out
+
+
+def test_parser_accepts_trace_and_trace_diff():
+    args = build_parser().parse_args(["trace", "supervision", "--json"])
+    assert args.command == "trace" and args.scenario == "supervision" and args.json
+    args = build_parser().parse_args(["trace-diff", "a.json", "b.json"])
+    assert args.command == "trace-diff"
+    assert (args.scenario, args.scenario2) == ("a.json", "b.json")
+
+
+def test_cli_trace_json_is_deterministic(capsys):
+    assert main(["trace", "fig3", "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["trace", "fig3", "--json"]) == 0
+    assert capsys.readouterr().out == first
+
+    import json
+
+    doc = json.loads(first)
+    assert doc["meta"]["scenario"] == "fig3"
+    assert doc["frames"]
+
+
+def test_cli_trace_human_summary(capsys):
+    assert main(["trace", "chaos"]) == 0
+    out = capsys.readouterr().out
+    assert "trace: chaos" in out
+    assert "completed-local" in out and "events" in out
+
+
+def test_cli_trace_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["trace", "bogus"])
+
+
+def test_cli_trace_diff_identical_and_perturbed(tmp_path, capsys):
+    import json
+
+    from repro.trace import dumps_trace, run_trace_scenario
+
+    doc = run_trace_scenario("fig3")
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(dumps_trace(doc))
+    b.write_text(dumps_trace(doc))
+    assert main(["trace-diff", str(a), str(b)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    perturbed = json.loads(a.read_text())
+    perturbed["frames"][3]["span"]["status"] = "__tampered__"
+    b.write_text(dumps_trace(perturbed))
+    assert main(["trace-diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "diverge" in out and "frames[" in out and "status" in out
+
+
+def test_cli_trace_diff_requires_two_files():
+    with pytest.raises(SystemExit):
+        main(["trace-diff", "only-one.json"])

@@ -85,6 +85,51 @@ def test_heap_compaction_drops_dead_entries():
     assert env.now == pytest.approx(1.0)
 
 
+def test_no_compaction_at_exactly_threshold_tombstones():
+    """The trigger is strictly ``dead > _COMPACT_DEAD_MIN``: exactly 512
+    tombstones must NOT compact; the 513th cancel must."""
+    env = Environment(stats=True)
+    timers = [env.timeout(10.0) for _ in range(_COMPACT_DEAD_MIN + 1)]
+    env.timeout(1.0)  # one live event
+    for t in timers[:_COMPACT_DEAD_MIN]:
+        t.cancel()
+    assert env._dead == _COMPACT_DEAD_MIN
+    assert env.stats.heap_compactions == 0
+    assert len(env._queue) == _COMPACT_DEAD_MIN + 2  # tombstones linger
+
+    timers[_COMPACT_DEAD_MIN].cancel()  # 513th: crosses the strict bound
+    assert env.stats.heap_compactions == 1
+    assert env._dead == 0
+    assert len(env._queue) == 1  # only the live event survived
+
+
+def test_no_compaction_while_live_events_dominate_half_heap():
+    """Second guard: dead entries must also outnumber the live half
+    (``dead * 2 > len(queue)``), so a mostly-live heap is never
+    re-heapified early.  600 live + 601 cancellable sits exactly on the
+    edge: 600 cancels give ``1200 > 1201`` (False), the 601st gives
+    ``1202 > 1201`` (True) and compacts exactly once."""
+    live_n = 600
+    env = Environment(stats=True)
+    doomed = [env.timeout(10.0) for _ in range(live_n + 1)]
+    for i in range(live_n):
+        env.timeout(1.0 + i * 1e-6)
+    for t in doomed[:live_n]:
+        t.cancel()
+    # 600 dead > 512, yet 600*2 == 1200 is not > 1201 entries: no compact
+    assert env._dead == live_n
+    assert env.stats.heap_compactions == 0
+    assert len(env._queue) == 2 * live_n + 1
+
+    doomed[live_n].cancel()
+    assert env.stats.heap_compactions == 1
+    assert env._dead == 0
+    assert len(env._queue) == live_n
+    assert env.queue_size() == live_n
+    env.run()
+    assert env.stats.events_processed == live_n
+
+
 def test_events_interleave_correctly_around_cancellations():
     env = Environment()
     order = []

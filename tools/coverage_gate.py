@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Coverage ratchet: compare a pytest-cov JSON report to the floor.
+
+CI runs the tier-1 suite with ``--cov=repro --cov-report=json`` and then::
+
+    python tools/coverage_gate.py coverage.json COVERAGE_baseline.json
+
+The gate fails (exit 1) when measured line coverage drops more than
+``slack`` (default 1.0 point) below the committed floor, and prints a
+nudge when coverage has risen enough that the floor should be
+ratcheted up.  To ratchet::
+
+    python tools/coverage_gate.py coverage.json COVERAGE_baseline.json --update
+
+which rewrites the baseline at the measured percentage (then commit it).
+
+Only stdlib is needed here — pytest-cov produces the input, this script
+just arbitrates, so it also runs in the offline container against a
+report generated elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="coverage.json produced by pytest-cov")
+    parser.add_argument("baseline", help="committed COVERAGE_baseline.json")
+    parser.add_argument("--slack", type=float, default=1.0,
+                        help="allowed drop below the floor, in points (default 1.0)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline at the measured percentage")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        measured = float(json.load(fh)["totals"]["percent_covered"])
+
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump(
+                {
+                    "line_coverage_percent": round(measured, 1),
+                    "note": "tier-1 line coverage floor; CI fails when "
+                            "measured coverage drops more than --slack "
+                            "(default 1.0) points below this. Ratchet with "
+                            "tools/coverage_gate.py --update.",
+                },
+                fh,
+                indent=1,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"baseline ratcheted to {measured:.1f}%")
+        return 0
+
+    with open(args.baseline) as fh:
+        floor = float(json.load(fh)["line_coverage_percent"])
+
+    verdict = "ok" if measured >= floor - args.slack else "REGRESSED"
+    print(f"line coverage: {measured:.2f}% (floor {floor:.1f}%, "
+          f"slack {args.slack:.1f}pt) {verdict}")
+    if measured > floor + 2.0:
+        print(f"coverage rose well above the floor — consider ratcheting: "
+              f"python tools/coverage_gate.py {args.report} {args.baseline} --update")
+    return 0 if verdict == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
