@@ -524,6 +524,124 @@ def _cmd_combined(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_compile(args: argparse.Namespace):
+    """Validate a scenario spec and emit its compiled base-format JSON.
+
+    ``repro compile spec.json`` lowers every schedule generator to flat
+    phase rows (what ``repro run --config`` and the sweep pool accept);
+    ``--expand`` emits one config per population member instead.  A
+    spec error exits non-zero with the offending field named.
+    """
+    import json as _json
+
+    from repro.search import compile_flat, expand_population, load_spec
+    from repro.search.language import SpecError
+
+    if not args.scenario:
+        raise SystemExit("compile requires a spec file: repro compile spec.json")
+    try:
+        spec = load_spec(args.scenario)
+        if args.expand:
+            doc = expand_population(spec)
+        else:
+            doc = compile_flat(spec)
+    except SpecError as exc:
+        return f"spec error: {exc}", 1
+    return _json.dumps(doc, indent=1, sort_keys=True)
+
+
+def _cmd_search(args: argparse.Namespace):
+    """Adversarial scenario search: find, minimize, emit chaos goldens.
+
+    Deterministic in ``--seed``/``--budget``: the same invocation twice
+    prints byte-identical output.  ``--out DIR`` writes each minimized
+    distinct failure as a golden scenario file (the workflow that
+    produced ``tests/goldens/scenarios/``); ``--json`` emits the
+    machine-readable search summary.  Exits non-zero when the budget
+    produced no oracle-feasible failure.
+    """
+    import json as _json
+
+    from repro.experiments.report import ascii_table
+    from repro.search import (
+        SearchConfig,
+        minimize,
+        run_search,
+        spec_signature,
+        write_goldens,
+    )
+
+    # search wants many short runs; only honor --frames when the user
+    # moved it off the global 4000-frame default
+    frames = args.frames if args.frames != 4000 else SearchConfig.frames
+    config = SearchConfig(
+        seed=args.seed, budget=args.budget, frames=frames, workers=args.workers
+    )
+    result = run_search(config)
+    # minimization often collapses near-clone lineages onto the same
+    # mechanism, so dedupe by structural signature AFTER minimizing
+    minimized = []
+    seen_sigs = set()
+    for finding in result.distinct_failures(limit=max(2 * args.goldens, 8)):
+        if len(minimized) >= args.goldens:
+            break
+        mr = minimize(finding, config.params)
+        sig = spec_signature(mr.minimized.spec)
+        if sig in seen_sigs:
+            continue
+        seen_sigs.add(sig)
+        minimized.append(mr.minimized)
+    code = 0 if minimized else 1
+
+    written = []
+    if args.out:
+        written = write_goldens(args.out, minimized, config.params)
+
+    if args.json:
+        doc = result.to_dict()
+        doc["minimized"] = [m.as_dict() for m in minimized]
+        return _json.dumps(doc, indent=1, sort_keys=True), code
+
+    lines = [
+        f"adversarial search: seed={config.seed} budget={config.budget} "
+        f"frames={config.frames} controller={config.controller}",
+        f"evaluated {len(result.evaluations)} candidates, "
+        f"{sum(1 for e in result.evaluations if e.feasible)} oracle-feasible, "
+        f"{len(result.failures)} failing (threshold "
+        f"{config.params.fail_threshold}/s)",
+    ]
+    if result.best:
+        rows = [
+            [
+                f"{e.score:7.3f}",
+                "yes" if e.feasible else "no",
+                ",".join(sorted({f['kind'] for f in e.spec.faults})) or "-",
+                _schedule_kind(e.spec.data.get("network")),
+                _schedule_kind(e.spec.data.get("load")),
+            ]
+            for e in result.best[:8]
+        ]
+        lines += [
+            "",
+            "best feasible candidates (violations/s):",
+            ascii_table(["score", "feasible", "faults", "network", "load"], rows),
+        ]
+    for m in minimized:
+        lines += ["", f"minimized finding (score {m.score}/s):", m.spec.to_json().rstrip()]
+    if written:
+        lines += ["", "goldens written:"] + [f"  {p}" for p in written]
+    lines += ["", f"verdict: {'FINDINGS' if minimized else 'NO FINDINGS'}"]
+    return "\n".join(lines), code
+
+
+def _schedule_kind(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, dict):
+        return value["kind"]
+    return "phases"
+
+
 _COMMANDS = {
     "fig2": _cmd_fig2,
     "fig3": _cmd_fig3,
@@ -541,6 +659,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "trace-diff": _cmd_trace_diff,
     "run": _cmd_run,
+    "compile": _cmd_compile,
+    "search": _cmd_search,
     "sweep": _cmd_sweep,
     "netem": _cmd_netem,
     "validate": _cmd_validate,
@@ -560,7 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="scenario to instrument (profile/trace): fig3 | fig4 | chaos "
-        "| supervision — or the first trace file (trace-diff)",
+        "| supervision — or the first trace file (trace-diff), or the "
+        "scenario spec file (compile)",
     )
     parser.add_argument(
         "scenario2",
@@ -585,7 +706,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, default=8, help="number of seeds (sweep)"
     )
     parser.add_argument(
-        "--workers", type=int, default=None, help="process-pool size (sweep)"
+        "--workers", type=int, default=None, help="process-pool size (sweep/search)"
+    )
+    parser.add_argument(
+        "--budget", type=int, default=24, help="candidate evaluations (search)"
+    )
+    parser.add_argument(
+        "--goldens", type=int, default=4,
+        help="max distinct failures to minimize (search)"
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="directory for minimized golden scenario files (search)"
+    )
+    parser.add_argument(
+        "--expand", action="store_true",
+        help="emit one config per population member (compile)"
     )
     parser.add_argument(
         "--schedule", type=str, default="tablev", help="schedule name (netem)"

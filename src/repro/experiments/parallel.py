@@ -86,6 +86,40 @@ def execute_config(config: dict, trace_names: Sequence[str] = ()) -> RunSummary:
     )
 
 
+def map_jobs(fn, jobs: Sequence, workers: Optional[int] = None) -> List:
+    """Ordered process-pool map with the sandboxed-environment fallback.
+
+    ``fn`` must be a picklable module-level function of one picklable
+    argument.  Results come back in the order of ``jobs`` regardless of
+    completion order, so parallel sweeps stay deterministic; in
+    fork-restricted environments (or for ``workers=1``) execution is
+    transparently in-process.  Shared by the experiment sweeps here and
+    the adversarial scenario search (:mod:`repro.search.runner`).
+    """
+    if not jobs:
+        return []
+    if workers is None:
+        workers = min(len(jobs), os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    if workers == 1 or len(jobs) == 1:
+        return [fn(job) for job in jobs]
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, job) for job in jobs]
+            return [f.result() for f in futures]
+    except (OSError, PermissionError):  # sandboxed / fork-restricted envs
+        return [fn(job) for job in jobs]
+
+
+def _execute_job(job: tuple) -> RunSummary:
+    """Pool entry point for :func:`run_many` (picklable wrapper)."""
+    config, trace_names = job
+    return execute_config(config, trace_names)
+
+
 def run_many(
     configs: Sequence[dict],
     workers: Optional[int] = None,
@@ -96,22 +130,9 @@ def run_many(
     Results are returned in the order of ``configs`` regardless of
     completion order (determinism of the *sweep*, not just each run).
     """
-    if not configs:
-        return []
-    if workers is None:
-        workers = min(len(configs), os.cpu_count() or 1)
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-
-    if workers == 1 or len(configs) == 1:
-        return [execute_config(c, trace_names) for c in configs]
-
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(execute_config, c, tuple(trace_names)) for c in configs]
-            return [f.result() for f in futures]
-    except (OSError, PermissionError):  # sandboxed / fork-restricted envs
-        return [execute_config(c, trace_names) for c in configs]
+    return map_jobs(
+        _execute_job, [(c, tuple(trace_names)) for c in configs], workers=workers
+    )
 
 
 def seed_sweep_configs(base: dict, seeds: Iterable[int]) -> List[dict]:

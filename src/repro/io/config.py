@@ -31,6 +31,62 @@ from repro.netem.schedule import NetworkSchedule
 from repro.server.batching import BatchPolicy
 from repro.workloads.loadgen import LoadSchedule
 
+#: every key :func:`scenario_from_dict` understands — anything else is
+#: an error, never a silent no-op (extended fields like ``faults`` /
+#: ``population`` belong to the :mod:`repro.search` scenario language)
+KNOWN_KEYS = (
+    "controller",
+    "seed",
+    "duration",
+    "device",
+    "gpu",
+    "network",
+    "load",
+    "batch_policy",
+    "uplink_queue_bytes",
+)
+
+DEVICE_KEYS = (
+    "name",
+    "profile",
+    "model",
+    "frame_rate",
+    "deadline",
+    "measure_period",
+    "t_window_buckets",
+    "total_frames",
+    "resolution",
+    "jpeg_quality",
+)
+
+GPU_KEYS = ("base_latency", "per_item", "jitter_sigma")
+
+
+def _reject_unknown(data: dict, allowed, where: str) -> None:
+    """Unknown keys are config bugs; name them instead of dropping them."""
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown {where} field(s) {unknown}; "
+            f"valid fields: {sorted(allowed)}"
+        )
+
+
+def _schedule_rows(data: dict, key: str) -> list:
+    """The phase rows of ``data[key]``, lowering a generator dict if needed."""
+    value = data[key]
+    if not isinstance(value, dict):
+        return [tuple(row) for row in value]
+    # a generator dict ({"kind": "diurnal", ...}) — lower it through the
+    # scenario compiler, which also validates the generator's fields
+    from repro.search.compiler import load_rows, network_rows
+    from repro.search.language import ScenarioSpec
+
+    sub = {k: data[k] for k in ("device", "duration", key) if k in data}
+    spec = ScenarioSpec.from_dict(sub)
+    rows = network_rows(spec) if key == "network" else load_rows(spec)
+    return [tuple(row) for row in rows]
+
 
 def scenario_to_dict(scenario: Scenario, controller_name: str) -> dict:
     """Serialize the declarative parts of a scenario.
@@ -80,7 +136,16 @@ def scenario_to_dict(scenario: Scenario, controller_name: str) -> dict:
 
 
 def scenario_from_dict(data: dict) -> Scenario:
-    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    Every key is checked against :data:`KNOWN_KEYS` (and the nested
+    ``device`` / ``gpu`` blocks against theirs): a typoed field raises a
+    ``ValueError`` naming it and listing the valid fields, rather than
+    silently falling back to a default.  ``network`` / ``load`` accept
+    either flat phase rows or a generator dict from the extended
+    scenario language (lowered via :mod:`repro.search.compiler`).
+    """
+    _reject_unknown(data, KNOWN_KEYS, "scenario config")
     controllers = extended_controllers()
     name = data.get("controller", "FrameFeedback")
     if name not in controllers:
@@ -89,6 +154,7 @@ def scenario_from_dict(data: dict) -> Scenario:
         )
 
     dev = data.get("device", {})
+    _reject_unknown(dev, DEVICE_KEYS, "device")
     profile = DEVICE_PROFILES[dev.get("profile", "pi4b_r1_2")]
     model = MODEL_ZOO[dev.get("model", "mobilenet_v3_small")]
     device = DeviceConfig(
@@ -107,6 +173,7 @@ def scenario_from_dict(data: dict) -> Scenario:
     )
 
     gpu_cfg = data.get("gpu", {})
+    _reject_unknown(gpu_cfg, GPU_KEYS, "gpu")
     gpu = GpuBatchModel(
         base_latency=float(gpu_cfg.get("base_latency", GpuBatchModel.base_latency)),
         per_item=float(gpu_cfg.get("per_item", GpuBatchModel.per_item)),
@@ -114,13 +181,11 @@ def scenario_from_dict(data: dict) -> Scenario:
     )
 
     network: Optional[NetworkSchedule] = None
-    if "network" in data:
-        network = NetworkSchedule.from_rows(
-            [tuple(row) for row in data["network"]]
-        )
+    if data.get("network") is not None:
+        network = NetworkSchedule.from_rows(_schedule_rows(data, "network"))
     load: Optional[LoadSchedule] = None
-    if "load" in data:
-        load = LoadSchedule.from_rows([tuple(row) for row in data["load"]])
+    if data.get("load") is not None:
+        load = LoadSchedule.from_rows(_schedule_rows(data, "load"))
 
     return Scenario(
         controller_factory=controllers[name],

@@ -1,0 +1,138 @@
+"""Delta-debugging minimizer: shrink a finding to its essence.
+
+A raw search finding carries everything the sampler happened to throw
+at the run; most of it is incidental.  Before a failing scenario is
+committed as a chaos regression golden it is shrunk to a (locally)
+minimal spec that *still fails the same way*: each simplification step
+is kept only if the re-evaluated candidate remains oracle-feasible
+**and** keeps scoring at or above the failure threshold.
+
+Steps are tried in a fixed order (whole faults, then extra windows,
+then schedule phases, then stream length, then parameter rounding), so
+minimization is deterministic: the same finding always shrinks to the
+same golden.  Like classic ddmin the result is a local minimum — no
+single remaining simplification can be removed — not a global one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.search.language import ScenarioSpec
+from repro.search.runner import EvalParams, EvalResult, evaluate_spec
+
+#: never shrink a stream below this many frames (QoS means get noisy)
+MIN_FRAMES = 300
+
+
+@dataclass
+class MinimizeResult:
+    """The shrunk finding plus the audit trail of accepted steps."""
+
+    original: EvalResult
+    minimized: EvalResult
+    #: accepted simplifications, in application order
+    steps: List[str] = field(default_factory=list)
+    #: candidate evaluations spent
+    evaluations: int = 0
+
+
+def _without_index(items: List, index: int) -> List:
+    return [x for i, x in enumerate(items) if i != index]
+
+
+def _candidates(data: Dict[str, Any]) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(description, simplified-spec-dict)`` attempts, in order.
+
+    Each attempt is one simplification applied to ``data``; the caller
+    re-evaluates and either accepts (restarting from the smaller spec)
+    or moves on.
+    """
+    faults = data.get("faults", [])
+    # 1. drop a whole fault
+    for i, entry in enumerate(faults):
+        smaller = {**data}
+        remaining = _without_index(faults, i)
+        if remaining:
+            smaller["faults"] = remaining
+        else:
+            smaller.pop("faults", None)
+        yield f"drop fault {entry['kind']}[{i}]", smaller
+    # 2. drop one window of a multi-window fault
+    for i, entry in enumerate(faults):
+        if len(entry["windows"]) < 2:
+            continue
+        for j in range(len(entry["windows"])):
+            smaller = {**data, "faults": [dict(f) for f in faults]}
+            smaller["faults"][i]["windows"] = _without_index(entry["windows"], j)
+            yield f"drop window {j} of fault {entry['kind']}[{i}]", smaller
+    # 3. drop the load / network field entirely
+    if "load" in data:
+        yield "drop load schedule", {k: v for k, v in data.items() if k != "load"}
+    if "network" in data:
+        yield "drop network schedule", {k: v for k, v in data.items() if k != "network"}
+    # 4. drop individual explicit phases (keep the t=0 row)
+    for key in ("network", "load"):
+        rows = data.get(key)
+        if isinstance(rows, list) and len(rows) > 1:
+            for i in range(1, len(rows)):
+                smaller = {**data, key: _without_index(rows, i)}
+                yield f"drop {key} phase {i}", smaller
+    # 5. shorten the stream
+    dev = data.get("device", {})
+    frames = int(dev.get("total_frames", 4000))
+    for frac in (0.5, 0.75):
+        shorter = max(MIN_FRAMES, int(frames * frac))
+        if shorter < frames:
+            smaller = {**data, "device": {**dev, "total_frames": shorter}}
+            yield f"shorten stream to {shorter} frames", smaller
+    # 6. round numeric fault parameters (reviewable goldens)
+    for i, entry in enumerate(faults):
+        rounded = {
+            k: (round(v, 2) if isinstance(v, float) and k != "windows" else v)
+            for k, v in entry.items()
+        }
+        rounded["windows"] = [[round(s, 1), round(d, 1)] for s, d in entry["windows"]]
+        if rounded != entry:
+            smaller = {**data, "faults": [dict(f) for f in faults]}
+            smaller["faults"][i] = rounded
+            yield f"round parameters of fault {entry['kind']}[{i}]", smaller
+
+
+def minimize(
+    finding: EvalResult,
+    params: EvalParams = EvalParams(),
+    max_evaluations: int = 64,
+) -> MinimizeResult:
+    """Shrink ``finding`` while it keeps failing and stays feasible."""
+    if not finding.failing(params):
+        raise ValueError(
+            "minimize() wants a failing finding "
+            f"(feasible={finding.feasible}, score={finding.score})"
+        )
+    current = finding
+    steps: List[str] = []
+    spent = 0
+    progress = True
+    while progress and spent < max_evaluations:
+        progress = False
+        for description, attempt_data in _candidates(current.spec.to_dict()):
+            if spent >= max_evaluations:
+                break
+            try:
+                attempt_spec = ScenarioSpec.from_dict(attempt_data)
+            except ValueError:
+                continue
+            if attempt_spec == current.spec:
+                continue
+            attempt = evaluate_spec(attempt_spec, params)
+            spent += 1
+            if attempt.failing(params):
+                current = attempt
+                steps.append(description)
+                progress = True
+                break  # restart the sweep from the smaller spec
+    return MinimizeResult(
+        original=finding, minimized=current, steps=steps, evaluations=spent
+    )

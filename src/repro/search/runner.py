@@ -1,0 +1,197 @@
+"""Spec evaluation: one scenario scored for the adversarial search.
+
+Every candidate is judged by *two* deterministic runs of the compiled
+chaos scenario at the spec's own seed:
+
+1. the controller under test — its mean deadline-violation rate is the
+   candidate's **score** (what the search maximizes);
+2. the clairvoyant oracle — run only when the analytic model
+   (:mod:`repro.search.feasibility`) already calls the spec winnable,
+   as the operational half of the feasibility constraint: the oracle
+   must actually achieve low violations and a minimum success fraction
+   at the same seed, otherwise the candidate is discarded as
+   infeasible no matter how badly the controller did.
+
+Evaluations travel through :func:`repro.experiments.parallel.map_jobs`
+as plain dicts (specs and results both), so the fan-out works across
+process pools and falls back in-process transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.search.feasibility import (
+    DEFAULT_BLACKOUT_LIMIT,
+    DEFAULT_FEASIBLE_FRAC,
+    analyze_feasibility,
+)
+from repro.search.language import ScenarioSpec
+
+#: QoS floats are rounded to this many decimals everywhere a result is
+#: serialized, matching the trace-golden convention (washes out float
+#: noise far below any simulated quantity while keeping replays exact)
+QOS_DECIMALS = 9
+
+
+@dataclass(frozen=True)
+class EvalParams:
+    """Thresholds that decide feasibility and failure."""
+
+    #: analytic: serviceable fraction of demand required
+    feasible_frac: float = DEFAULT_FEASIBLE_FRAC
+    #: analytic: blackout-time fraction allowed
+    blackout_limit: float = DEFAULT_BLACKOUT_LIMIT
+    #: operational: max mean violation rate the oracle run may show
+    oracle_violation_limit: float = 1.0
+    #: operational: min success fraction the oracle run must reach
+    oracle_success_floor: float = 0.40
+    #: a feasible spec scoring at least this is a *finding*
+    fail_threshold: float = 2.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "feasible_frac": self.feasible_frac,
+            "blackout_limit": self.blackout_limit,
+            "oracle_violation_limit": self.oracle_violation_limit,
+            "oracle_success_floor": self.oracle_success_floor,
+            "fail_threshold": self.fail_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "EvalParams":
+        return cls(**data)
+
+
+@dataclass
+class EvalResult:
+    """One scored candidate (picklable, JSON-ready)."""
+
+    spec: ScenarioSpec
+    score: float
+    feasible: bool
+    analytic: Dict[str, Any]
+    controller_qos: Dict[str, Any]
+    oracle_qos: Optional[Dict[str, Any]] = None
+    detail: str = ""
+
+    def failing(self, params: EvalParams) -> bool:
+        return self.feasible and self.score >= params.fail_threshold
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.data,
+            "score": self.score,
+            "feasible": self.feasible,
+            "analytic": self.analytic,
+            "controller_qos": self.controller_qos,
+            "oracle_qos": self.oracle_qos,
+            "detail": self.detail,
+        }
+
+
+def qos_summary(qos) -> Dict[str, Any]:
+    """The deterministic QoS scalars a golden records."""
+    return {
+        "total_frames": qos.total_frames,
+        "successful": qos.successful,
+        "timeouts": qos.timeouts,
+        "rejected": qos.rejected,
+        "mean_throughput": round(float(qos.mean_throughput), QOS_DECIMALS),
+        "mean_violation_rate": round(float(qos.mean_violation_rate), QOS_DECIMALS),
+        "success_fraction": round(float(qos.success_fraction), QOS_DECIMALS),
+    }
+
+
+def run_spec(spec: ScenarioSpec, controller: Optional[str] = None):
+    """One deterministic chaos run of the spec (controller overridable)."""
+    from repro.experiments.chaos import run_chaos
+    from repro.search.compiler import compile_chaos
+
+    if controller is not None:
+        spec = spec.replace(controller=controller)
+    return run_chaos(compile_chaos(spec))
+
+
+def evaluate_spec(spec: ScenarioSpec, params: EvalParams = EvalParams()) -> EvalResult:
+    """Score one candidate: controller run + feasibility verdict."""
+    analytic = analyze_feasibility(
+        spec,
+        feasible_frac=params.feasible_frac,
+        blackout_limit=params.blackout_limit,
+    )
+    controller_result = run_spec(spec)
+    controller_qos = qos_summary(controller_result.run.qos)
+    score = controller_qos["mean_violation_rate"]
+
+    oracle_qos = None
+    feasible = analytic.feasible
+    detail = analytic.detail
+    if analytic.feasible:
+        oracle_result = run_spec(spec, controller="Oracle")
+        oracle_qos = qos_summary(oracle_result.run.qos)
+        if oracle_qos["mean_violation_rate"] > params.oracle_violation_limit:
+            feasible = False
+            detail = (
+                f"oracle run refutes feasibility: violation rate "
+                f"{oracle_qos['mean_violation_rate']:.2f}/s > "
+                f"{params.oracle_violation_limit}"
+            )
+        elif oracle_qos["success_fraction"] < params.oracle_success_floor:
+            feasible = False
+            detail = (
+                f"oracle run refutes feasibility: success "
+                f"{oracle_qos['success_fraction']:.2f} < "
+                f"{params.oracle_success_floor}"
+            )
+    return EvalResult(
+        spec=spec,
+        score=score,
+        feasible=feasible,
+        analytic=analytic.as_dict(),
+        controller_qos=controller_qos,
+        oracle_qos=oracle_qos,
+        detail=detail,
+    )
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing
+# ----------------------------------------------------------------------
+def _evaluate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: dicts in, dicts out (picklable both ways)."""
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    result = evaluate_spec(spec, EvalParams.from_dict(payload["params"]))
+    return result.as_dict()
+
+
+def evaluate_many(
+    specs: Sequence[ScenarioSpec],
+    params: EvalParams = EvalParams(),
+    workers: Optional[int] = None,
+) -> List[EvalResult]:
+    """Evaluate a batch, fanned out over the experiment process pool.
+
+    Results come back in the order of ``specs`` (the pool preserves
+    submission order), so search rounds are deterministic regardless
+    of worker count.
+    """
+    from repro.experiments.parallel import map_jobs
+
+    payloads = [
+        {"spec": s.data, "params": params.as_dict()} for s in specs
+    ]
+    raw = map_jobs(_evaluate_payload, payloads, workers=workers)
+    return [
+        EvalResult(
+            spec=ScenarioSpec.from_dict(r["scenario"]),
+            score=r["score"],
+            feasible=r["feasible"],
+            analytic=r["analytic"],
+            controller_qos=r["controller_qos"],
+            oracle_qos=r["oracle_qos"],
+            detail=r["detail"],
+        )
+        for r in raw
+    ]

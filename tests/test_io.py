@@ -155,3 +155,73 @@ def test_minimal_config_uses_defaults():
     assert scenario.device.frame_rate == 30.0
     assert scenario.device.total_frames == 4000
     assert scenario.network is None
+
+
+# ----------------------------------------------------------------------
+# unknown keys are errors, never silent no-ops (ISSUE 6 satellite)
+# ----------------------------------------------------------------------
+def test_unknown_top_level_key_raises_and_names_valid_fields():
+    with pytest.raises(ValueError) as err:
+        scenario_from_dict({"controler": "FrameFeedback", "seed": 3})
+    msg = str(err.value)
+    assert "controler" in msg
+    assert "valid fields" in msg
+    assert "controller" in msg  # the fix the author needs is in the message
+
+
+def test_unknown_device_key_raises():
+    with pytest.raises(ValueError, match=r"device field\(s\) \['frame_rat'\]"):
+        scenario_from_dict({"device": {"frame_rat": 15.0}})
+
+
+def test_unknown_gpu_key_raises():
+    with pytest.raises(ValueError, match=r"gpu field\(s\) \['base_latencyy'\]"):
+        scenario_from_dict({"gpu": {"base_latencyy": 0.01}})
+
+
+def test_extended_language_keys_are_rejected_by_the_base_format():
+    """`faults` belongs to the repro.search language, not the base
+    format — passing it here must fail loudly, not silently drop the
+    fault plan."""
+    with pytest.raises(ValueError, match="faults"):
+        scenario_from_dict(
+            {"faults": [{"kind": "server_crash", "windows": [[1.0, 1.0]]}]}
+        )
+
+
+def test_typo_no_longer_silently_falls_back_to_default():
+    """The regression this satellite fixes: a typoed total_frames used
+    to be dropped, silently running the 4000-frame default."""
+    with pytest.raises(ValueError):
+        scenario_from_dict({"device": {"total_frame": 100}})
+
+
+# ----------------------------------------------------------------------
+# generator dicts lower through the scenario compiler
+# ----------------------------------------------------------------------
+def test_network_generator_dict_is_lowered():
+    scenario = scenario_from_dict(
+        {"duration": 20.0,
+         "network": {"kind": "diurnal", "period": 20.0, "base_bandwidth": 10.0,
+                     "dip": 6.0, "step": 5.0}}
+    )
+    assert scenario.network is not None
+    assert len(scenario.network.phases) == 4
+    assert scenario.network.phases[0].conditions.bandwidth == 10.0
+
+
+def test_load_generator_dict_is_lowered():
+    scenario = scenario_from_dict(
+        {"duration": 30.0,
+         "load": {"kind": "flash_crowd", "peak_rate": 90.0, "at": 5.0}}
+    )
+    assert scenario.load is not None
+    assert scenario.load.rate_at(0.0) == 0.0
+    assert max(p.rate for p in scenario.load.phases) == 90.0
+
+
+def test_bad_generator_field_raises():
+    with pytest.raises(ValueError, match="unknown generator kind"):
+        scenario_from_dict({"network": {"kind": "diurnals"}})
+    with pytest.raises(ValueError, match="network"):
+        scenario_from_dict({"network": {"kind": "diurnal", "perod": 10.0}})

@@ -6,6 +6,7 @@ import pytest
 from repro.experiments.parallel import (
     controller_sweep_configs,
     execute_config,
+    map_jobs,
     run_many,
     seed_sweep_configs,
 )
@@ -62,6 +63,19 @@ def test_run_many_serial_equals_parallel():
         p.mean_throughput for p in parallel
     ]
     assert [s.seed for s in parallel] == [0, 1, 2, 3]  # input order kept
+
+
+def test_map_jobs_preserves_submission_order():
+    jobs = list(range(7))
+    assert map_jobs(_double, jobs, workers=3) == [0, 2, 4, 6, 8, 10, 12]
+    assert map_jobs(_double, jobs, workers=1) == [0, 2, 4, 6, 8, 10, 12]
+    assert map_jobs(_double, []) == []
+    with pytest.raises(ValueError):
+        map_jobs(_double, jobs, workers=0)
+
+
+def _double(x: int) -> int:
+    return 2 * x
 
 
 def test_run_many_matches_direct_execution():

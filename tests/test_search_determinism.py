@@ -1,0 +1,66 @@
+"""Search determinism (ISSUE 6 satellite).
+
+``repro search --seed N --budget K`` is a pure function of its
+arguments: running it twice must yield byte-identical best-scenario
+JSON and identical violation scores — regardless of worker count,
+because the process pool returns results in submission order and all
+randomness flows from one seeded generator.
+"""
+
+import json
+
+from repro import cli
+from repro.search import SearchConfig, run_search
+
+SMALL = dict(seed=5, budget=6, round_size=3, workers=1)
+
+
+def test_run_search_twice_is_identical():
+    first = run_search(SearchConfig(**SMALL))
+    second = run_search(SearchConfig(**SMALL))
+    assert [e.spec.to_json() for e in first.evaluations] == [
+        e.spec.to_json() for e in second.evaluations
+    ]
+    assert [e.score for e in first.evaluations] == [
+        e.score for e in second.evaluations
+    ]
+    assert [e.feasible for e in first.evaluations] == [
+        e.feasible for e in second.evaluations
+    ]
+    assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+        second.to_dict(), sort_keys=True
+    )
+
+
+def test_worker_count_does_not_change_the_result():
+    serial = run_search(SearchConfig(**{**SMALL, "workers": 1}))
+    pooled = run_search(SearchConfig(**{**SMALL, "workers": 3}))
+    assert [e.spec.to_json() for e in serial.evaluations] == [
+        e.spec.to_json() for e in pooled.evaluations
+    ]
+    assert [e.score for e in serial.evaluations] == [
+        e.score for e in pooled.evaluations
+    ]
+
+
+def test_cli_search_output_is_byte_identical(capsys):
+    argv = ["search", "--seed", "5", "--budget", "4", "--goldens", "1",
+            "--workers", "1", "--json"]
+    cli.main(argv)
+    first = capsys.readouterr().out
+    cli.main(argv)
+    second = capsys.readouterr().out
+    assert first == second
+    doc = json.loads(first)
+    assert doc["seed"] == 5 and doc["budget"] == 4
+    assert doc["evaluated"] <= 4
+
+
+def test_best_ordering_is_stable():
+    result = run_search(SearchConfig(**SMALL))
+    scores = [e.score for e in result.best]
+    assert scores == sorted(scores, reverse=True)
+    # failures are exactly the feasible evaluations over the threshold
+    for e in result.failures:
+        assert e.feasible
+        assert e.score >= result.config.params.fail_threshold

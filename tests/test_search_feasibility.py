@@ -1,0 +1,121 @@
+"""Oracle feasibility consistency (ISSUE 6 satellite).
+
+The search's contract: a scenario is only ever reported as a *finding*
+if it is winnable — the analytic model calls it serviceable AND the
+clairvoyant oracle, run operationally at the same seed, actually
+achieves low violations and a minimum success fraction.  These tests
+pin the two halves to each other: the analytic verdict must never be
+contradicted later by the oracle run for specs the pipeline certifies,
+and specs the analytic model refuses (process kills, blackouts) must
+never spend an oracle run at all.
+"""
+
+import pytest
+
+from repro.search import (
+    EvalParams,
+    ScenarioSpec,
+    SearchConfig,
+    analyze_feasibility,
+    evaluate_spec,
+    run_search,
+)
+from repro.search.feasibility import UNANALYZED_KINDS
+
+PARAMS = EvalParams()
+
+#: fault-bearing specs spanning every analyzed fault category
+FAULT_SPECS = [
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "bandwidth_collapse", "factor": 0.4,
+                 "windows": [[4.0, 3.0]]}]},
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "burst_loss", "loss": 0.2, "burst": 4.0,
+                 "windows": [[4.0, 2.0]]}]},
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "server_slowdown", "factor": 2.0,
+                 "windows": [[4.0, 3.0]]}]},
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "gpu_contention", "mean_factor": 2.0, "sigma": 0.1,
+                 "windows": [[4.0, 3.0]]}]},
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "cpu_throttle", "factor": 2.0,
+                 "windows": [[4.0, 3.0]]}]},
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "camera_stall", "windows": [[4.0, 3.0]]}]},
+    {"device": {"total_frames": 450},
+     "faults": [{"kind": "server_crash", "windows": [[4.0, 1.0]]}]},
+]
+
+
+@pytest.mark.parametrize("data", FAULT_SPECS,
+                         ids=[d["faults"][0]["kind"] for d in FAULT_SPECS])
+def test_certified_feasibility_is_operationally_consistent(data):
+    """If the pipeline reports feasible, the oracle witnessed it."""
+    spec = ScenarioSpec.from_dict(data)
+    result = evaluate_spec(spec, PARAMS)
+    analytic = analyze_feasibility(spec, feasible_frac=PARAMS.feasible_frac,
+                                   blackout_limit=PARAMS.blackout_limit)
+    if result.feasible:
+        # feasible verdicts always carry the operational oracle witness
+        assert result.oracle_qos is not None
+        assert result.oracle_qos["mean_violation_rate"] <= PARAMS.oracle_violation_limit
+        assert result.oracle_qos["success_fraction"] >= PARAMS.oracle_success_floor
+    if not analytic.feasible:
+        # analytically-refused specs never spend an oracle run, and can
+        # never surface as feasible
+        assert result.oracle_qos is None
+        assert not result.feasible
+
+
+@pytest.mark.parametrize("kind", sorted(UNANALYZED_KINDS))
+def test_process_kills_are_never_certified(kind):
+    spec = ScenarioSpec.from_dict(
+        {"device": {"total_frames": 300},
+         "faults": [{"kind": kind, "windows": [[3.0, 1.0]]}]}
+    )
+    report = analyze_feasibility(spec)
+    assert not report.feasible
+    assert kind in report.detail
+
+
+def test_whole_run_blackout_is_analytically_refused():
+    spec = ScenarioSpec.from_dict(
+        {"device": {"total_frames": 450},
+         "faults": [{"kind": "bandwidth_collapse", "factor": 0.01,
+                     "windows": [[0.0, 15.0]]}]}
+    )
+    report = analyze_feasibility(spec)
+    assert not report.feasible
+    assert report.serviceable_frac < PARAMS.feasible_frac
+
+
+def test_benign_default_scenario_is_feasible_and_witnessed():
+    spec = ScenarioSpec.from_dict({"device": {"total_frames": 450}})
+    report = analyze_feasibility(spec)
+    assert report.feasible
+    assert report.blackout_frac == 0.0
+    result = evaluate_spec(spec, PARAMS)
+    assert result.feasible
+    assert result.oracle_qos["mean_violation_rate"] <= PARAMS.oracle_violation_limit
+
+
+def test_search_never_reports_an_unwitnessed_feasible_candidate():
+    """End-to-end: every feasible evaluation in a search run carries a
+    consistent oracle witness at the candidate's own seed."""
+    result = run_search(SearchConfig(seed=1, budget=8, round_size=4, workers=1))
+    assert result.evaluations, "search evaluated nothing"
+    for e in result.evaluations:
+        if e.feasible:
+            assert e.oracle_qos is not None
+            assert e.oracle_qos["mean_violation_rate"] <= PARAMS.oracle_violation_limit
+            assert e.oracle_qos["success_fraction"] >= PARAMS.oracle_success_floor
+        if e.failing(result.config.params):
+            assert e.feasible
+
+
+def test_feasibility_report_serializes_rounded():
+    spec = ScenarioSpec.from_dict({"device": {"total_frames": 300}})
+    d = analyze_feasibility(spec).as_dict()
+    assert set(d) >= {"feasible", "serviceable_frac", "blackout_frac"}
+    assert d["serviceable_frac"] == round(d["serviceable_frac"], 9)

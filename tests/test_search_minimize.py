@@ -1,0 +1,65 @@
+"""Delta-debugging minimizer tests (ISSUE 6 tentpole)."""
+
+import pytest
+
+from repro.search import EvalParams, ScenarioSpec, evaluate_spec, minimize
+
+PARAMS = EvalParams()
+
+#: a known controller-breaking flash crowd (from the committed goldens)
+#: padded with incidental junk the minimizer should strip
+PADDED = {
+    "controller": "FrameFeedback",
+    "seed": 52330,
+    "device": {"total_frames": 675},
+    "load": {"kind": "flash_crowd", "at": 17.399, "base_rate": 23.108,
+             "decay": 6.209, "hold": 7.5, "peak_rate": 170.0, "ramp": 1.361},
+    # incidental: a tiny camera stall long before the crowd arrives
+    "faults": [{"kind": "camera_stall", "windows": [[1.0, 0.5]]}],
+}
+
+
+@pytest.fixture(scope="module")
+def padded_finding():
+    result = evaluate_spec(ScenarioSpec.from_dict(PADDED), PARAMS)
+    assert result.failing(PARAMS), "fixture scenario must be a failing finding"
+    return result
+
+
+def test_minimize_strips_incidental_faults(padded_finding):
+    mr = minimize(padded_finding, PARAMS)
+    assert mr.minimized.failing(PARAMS)
+    assert mr.minimized.spec.faults == [], (
+        f"incidental fault survived minimization: {mr.steps}"
+    )
+    assert any("drop fault" in s for s in mr.steps)
+    assert mr.evaluations > 0
+
+
+def test_minimize_is_deterministic(padded_finding):
+    first = minimize(padded_finding, PARAMS)
+    second = minimize(padded_finding, PARAMS)
+    assert first.minimized.spec.to_json() == second.minimized.spec.to_json()
+    assert first.steps == second.steps
+    assert first.evaluations == second.evaluations
+
+
+def test_minimized_result_is_no_larger(padded_finding):
+    mr = minimize(padded_finding, PARAMS)
+    assert len(mr.minimized.spec.to_json()) <= len(padded_finding.spec.to_json())
+    assert mr.original is padded_finding
+
+
+def test_minimize_rejects_non_failing_input():
+    benign = evaluate_spec(
+        ScenarioSpec.from_dict({"device": {"total_frames": 300}}), PARAMS
+    )
+    assert not benign.failing(PARAMS)
+    with pytest.raises(ValueError, match="failing"):
+        minimize(benign, PARAMS)
+
+
+def test_minimize_respects_evaluation_budget(padded_finding):
+    mr = minimize(padded_finding, PARAMS, max_evaluations=2)
+    assert mr.evaluations <= 2
+    assert mr.minimized.failing(PARAMS)
