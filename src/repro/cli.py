@@ -272,6 +272,61 @@ def _cmd_chaos(args: argparse.Namespace):
         raise SystemExit(
             f"unknown controller {args.controller!r}; choose from {sorted(factories)}"
         )
+    if args.fleet:
+        from repro.fleet.chaos import DEFAULT_KILL, DEFAULT_SERVERS, run_fleet_chaos
+        from repro.metrics.qos import fleet_extras
+
+        # fleet chaos wants a short stream; only honor --frames when the
+        # user moved it off the global 4000-frame default
+        frames = args.frames if args.frames != 4000 else 900
+        result = run_fleet_chaos(seed=args.seed, total_frames=frames)
+        code = 0 if result.all_invariants_hold else 1
+        if args.json:
+            return _json.dumps(result.to_dict(), indent=1, sort_keys=True), code
+        name, start, duration = DEFAULT_KILL
+        lines = [
+            f"Fleet chaos run (seed={args.seed}, {frames} frames, "
+            f"servers={','.join(DEFAULT_SERVERS)}): ServerKill {name} "
+            f"@{start}s for {duration}s, failover on vs off",
+        ]
+        for label, child in (("failover", result.failover),
+                             ("no-failover", result.no_failover)):
+            qos = child.run.qos
+            fleet = fleet_extras(qos.extras)
+            lines += [
+                "",
+                f"{label}: ok={qos.successful}/{qos.total_frames}  "
+                f"timeouts={qos.timeouts}  dropped_local={qos.dropped_local}  "
+                f"failovers={fleet.get('fleet.failovers', 0.0):.0f}  "
+                f"crash_drops={fleet.get('fleet.crash_drops', 0.0):.0f}  "
+                f"mttr={fleet.get('fleet.mttr_mean', 0.0):.2f}s",
+                ascii_table(
+                    ["server", "routed", "ok", "fail", "fo_out", "fo_in", "eject"],
+                    [
+                        [
+                            srv,
+                            f"{fleet.get(f'fleet.{srv}.routed', 0.0):.0f}",
+                            f"{fleet.get(f'fleet.{srv}.successes', 0.0):.0f}",
+                            f"{fleet.get(f'fleet.{srv}.failures', 0.0):.0f}",
+                            f"{fleet.get(f'fleet.{srv}.failed_over_out', 0.0):.0f}",
+                            f"{fleet.get(f'fleet.{srv}.failed_over_in', 0.0):.0f}",
+                            f"{fleet.get(f'fleet.{srv}.ejections', 0.0):.0f}",
+                        ]
+                        for srv in DEFAULT_SERVERS
+                    ],
+                ),
+            ]
+        lines += [
+            "",
+            "Fleet invariants (kill catches in-flight work; failover must pay off):",
+            ascii_table(
+                ["invariant", "window", "observed", "expected", "verdict"],
+                [c.row() for c in result.fleet_invariants],
+            ),
+            "",
+            f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}",
+        ]
+        return "\n".join(lines), code
     if args.supervision:
         result = run_supervision_chaos(
             seed=args.seed,
@@ -740,6 +795,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the resilient offload path (retries + circuit "
         "breaker + server pushback) for the chaos run",
+    )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the multi-server kill/failover chaos scenario twice "
+        "(failover on vs off) and assert the fleet accounting, "
+        "failover-exercised, readmission, and failover-beats-none "
+        "invariants",
     )
     parser.add_argument(
         "--supervision",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.netem.link import Link
 from repro.resilience.layer import ResilienceLayer
 from repro.server.server import EdgeServer
 from repro.sim.core import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.router import Router
 
 
 @dataclass
@@ -64,11 +67,15 @@ class EdgeDevice:
         downlink: Link,
         server: EdgeServer,
         rng: np.random.Generator,
+        router: Optional["Router"] = None,
     ) -> None:
         self.env = env
         self.config = config
         self.controller = controller
         self.rng = rng
+        #: optional fleet routing seam shared with the offload client;
+        #: None keeps the paper's fixed single-server path bit-identical
+        self.router = router
         self.traces = DeviceTraces()
         self.energy_model = CpuUtilizationModel(config.profile)
 
@@ -109,7 +116,12 @@ class EdgeDevice:
             on_probe_result=self._on_probe_result,
             breakdown=self.breakdown,
             resilience=self.resilience,
+            router=router,
         )
+        if router is not None:
+            # the instant the pool ejects a server, sweep our in-flight
+            # frames off it (failover or crash-drop, never silence)
+            router.pool.subscribe_down(self._on_server_down)
 
         # --- measurement state ----------------------------------------------
         self._bucket_offload_attempts = 0
@@ -197,6 +209,28 @@ class EdgeDevice:
             elif tracer is not None:
                 tracer.begin_local(tenant, frame.frame_id, self.env.now)
             return
+        if self.router is not None and not self.router.available():
+            # Fleet brownout: every server is ejected, so the offload
+            # path is gone fleet-wide.  Degrade to the local pipeline
+            # exactly like a breaker trip rather than erroring.
+            if self.resilience is not None:
+                self.resilience.record(FailureKind.BREAKER_FALLBACK)
+            if tracer is not None:
+                tracer.begin_frame(
+                    tenant, frame.frame_id, self.env.now, frame.nbytes,
+                    "brownout-fallback",
+                )
+            if not self.local.offer(frame):
+                self.local_skips += 1
+                if self.resilience is not None:
+                    self.resilience.record(FailureKind.BREAKER_FALLBACK_DROPPED)
+                if tracer is not None:
+                    tracer.finish_frame(
+                        tenant, frame.frame_id, self.env.now, "dropped-skip"
+                    )
+            elif tracer is not None:
+                tracer.begin_local(tenant, frame.frame_id, self.env.now)
+            return
         if self.splitter.route():
             if tracer is not None:
                 tracer.begin_frame(
@@ -244,6 +278,10 @@ class EdgeDevice:
 
     def _on_probe_result(self, ok: bool) -> None:
         self._probe_result = ok
+
+    def _on_server_down(self, name: str) -> None:
+        """Pool ejection hook: fail over / settle our in-flight frames."""
+        self.offload.failover_from(name)
 
     # ------------------------------------------------------------------
     # measurement / control loop
@@ -296,7 +334,7 @@ class EdgeDevice:
         cfg = self.config
         period = cfg.measure_period
         while True:
-            if self.controller.wants_probe and not self._breaker_engaged:
+            if self.controller.wants_probe and not self._offload_path_down:
                 self._send_probe()
             yield env.sleep(period)
             raw = self._close_buckets(period)
@@ -317,18 +355,23 @@ class EdgeDevice:
                 continue
             measurement = decision.measurement
             tracer = env.tracer
-            if self._breaker_engaged:
+            if self._offload_path_down:
                 # Controller frozen (anti-windup): it would otherwise
                 # integrate an outage it cannot observe — every frame
                 # is being saved locally, so T reads zero — and resume
                 # from a nonsense state.  The splitter is parked at the
-                # paper's 0.1 F_s standing probe; on close the
-                # controller picks up exactly where it was frozen.
-                self.splitter.set_target(self.resilience.open_target)
+                # paper's 0.1 F_s standing probe; on close (breaker) or
+                # first re-admission (fleet brownout) the controller
+                # picks up exactly where it was frozen.
+                self.splitter.set_target(self._park_target)
                 if tracer is not None:
+                    reason = (
+                        "breaker-open" if self._breaker_engaged
+                        else "fleet-brownout"
+                    )
                     tracer.event(
                         env.now, "controller.held",
-                        target=float(self.splitter.target), reason="breaker-open",
+                        target=float(self.splitter.target), reason=reason,
                     )
             else:
                 degraded_before = (
@@ -360,6 +403,20 @@ class EdgeDevice:
     @property
     def _breaker_engaged(self) -> bool:
         return self.resilience is not None and not self.resilience.breaker.is_closed
+
+    @property
+    def _offload_path_down(self) -> bool:
+        """Breaker tripped, or the whole fleet is ejected (brownout)."""
+        return self._breaker_engaged or (
+            self.router is not None and not self.router.available()
+        )
+
+    @property
+    def _park_target(self) -> float:
+        """Standing-probe target while the offload path is down."""
+        if self.resilience is not None:
+            return self.resilience.open_target
+        return 0.1 * self.config.frame_rate
 
     # ------------------------------------------------------------------
     # circuit-breaker probe loop
@@ -511,6 +568,12 @@ class EdgeDevice:
             extras["retries_sent"] = float(self.offload.retries)
             for kind, count in self.resilience.taxonomy.as_dict().items():
                 extras[f"faults.{kind}"] = float(count)
+        if self.router is not None:
+            extras["fleet.failovers"] = float(self.offload.failovers)
+            extras["fleet.crash_drops"] = float(self.offload.crash_drops)
+            extras["fleet.no_routes"] = float(self.offload.no_routes)
+            extras["fleet.outstanding"] = float(self.offload.outstanding_count)
+            extras.update(self.router.pool.extras())
         for kind, count in self.input_guard.degraded_counts().items():
             extras[f"telemetry.{kind}"] = float(count)
         degraded = getattr(self.controller, "degraded_inputs", 0)

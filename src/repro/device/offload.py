@@ -35,7 +35,7 @@ additionally
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.device.camera import Frame
 from repro.metrics.breakdown import BreakdownCollector, LatencySample
@@ -47,6 +47,14 @@ from repro.server.server import EdgeServer
 from repro.sim.core import Environment
 from repro.sim.events import Event
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.router import Router
+
+#: remaining-deadline fraction below which a failover re-send is
+#: pointless; matches ``ResilienceConfig.min_reply_frac`` so the fleet
+#: tier makes the same budget call without requiring a resilience layer
+FAILOVER_MIN_REPLY_FRAC = 0.3
+
 
 @dataclass
 class _Outstanding:
@@ -56,6 +64,10 @@ class _Outstanding:
     is_probe: bool = False
     #: retransmissions already spent on this frame
     retries: int = 0
+    #: fleet failovers already spent on this frame (at most one)
+    failovers: int = 0
+    #: server the most recent copy was routed to (fleet mode only)
+    server_name: Optional[str] = None
     #: per-send result hook (half-open trial probes); when set, the
     #: outcome goes here instead of the shared ``on_probe_result`` so
     #: breaker trials never pollute the controller's heartbeat signal
@@ -84,6 +96,7 @@ class OffloadClient:
         on_probe_result: Optional[Callable[[bool], None]] = None,
         breakdown: Optional[BreakdownCollector] = None,
         resilience: Optional[ResilienceLayer] = None,
+        router: Optional["Router"] = None,
     ) -> None:
         self.env = env
         self.uplink = uplink
@@ -101,6 +114,10 @@ class OffloadClient:
         self.breakdown = breakdown
         #: optional resilient-path state (None = the paper's bare client)
         self.resilience = resilience
+        #: optional fleet routing seam; when set, every attempt asks the
+        #: router for a server and outcomes feed the pool's per-server
+        #: health ledger instead of the device-wide breaker
+        self.router = router
         self._outstanding: Dict[int, _Outstanding] = {}
         #: frames already counted as violations whose attribution waits
         #: for a (late) response: frame_id -> (record, violation time,
@@ -117,6 +134,12 @@ class OffloadClient:
         self.retries = 0
         #: in-flight frames dropped on the floor by :meth:`abort_inflight`
         self.aborted = 0
+        #: in-flight frames re-routed to a healthy server on ejection
+        self.failovers = 0
+        #: in-flight frames settled at ejection with no failover left
+        self.crash_drops = 0
+        #: attempts with no routable server (brownout/admission denial)
+        self.no_routes = 0
         #: end-to-end latency of the last successful offload (probe incl.)
         self.last_rtt: Optional[float] = None
 
@@ -179,7 +202,7 @@ class OffloadClient:
             # Probe frames were never registered at capture, so every
             # tracer hook key-misses into a no-op for them.
             tracer.begin_offload(self.tenant, frame.frame_id, self.env.now)
-        self._transmit(record)
+        self._transmit(record, initial=True)
         env = self.env
         r = self.resilience
         hedged = r is not None and not is_probe and r.config.max_retries > 0
@@ -201,8 +224,32 @@ class OffloadClient:
                     value=frame.frame_id,
                 )
 
-    def _transmit(self, record: _Outstanding) -> None:
-        """Put one copy of the frame on the uplink (send or re-send)."""
+    def _transmit(
+        self,
+        record: _Outstanding,
+        server: Optional[EdgeServer] = None,
+        initial: bool = False,
+    ) -> None:
+        """Put one copy of the frame on the uplink (send or re-send).
+
+        ``server`` pins the target (failover path); otherwise the
+        router picks one, or the fixed single server is used.  When the
+        router has nothing routable, the *initial* send settles as a
+        no-route failure immediately; a blocked re-send just stays
+        outstanding — an earlier copy may still answer, and the
+        watchdog guards the deadline either way.
+        """
+        target = server
+        if target is None:
+            if self.router is not None:
+                target = self.router.route(self.model_name)
+                if target is None:
+                    self._no_route(record, settle=initial)
+                    return
+            else:
+                target = self.server
+        if self.router is not None:
+            record.server_name = target.name
         frame = record.frame
         request = InferenceRequest(
             tenant=self.tenant,
@@ -211,7 +258,7 @@ class OffloadClient:
             payload_bytes=frame.nbytes,
             respond=self._on_server_response,
             frame_id=frame.frame_id,
-            attempt=record.retries,
+            attempt=record.retries + record.failovers,
             # deadline hint for DEADLINE_AWARE servers, anchored at the
             # *original* send; note this presumes synchronized clocks
             # (the very machinery ATOMS needs and the paper's design
@@ -221,7 +268,102 @@ class OffloadClient:
         # A dropped uplink send needs no special handling: the watchdog
         # will fire at the deadline, which is exactly what the real
         # system observes (silence).
-        self.uplink.send(frame.nbytes, request, self.server.submit)
+        self.uplink.send(frame.nbytes, request, target.submit)
+
+    # ------------------------------------------------------------------
+    # fleet failover
+    # ------------------------------------------------------------------
+    def failover_from(self, dead: str) -> int:
+        """Sweep in-flight frames off an ejected server.
+
+        Called by the device when the pool ejects ``dead``.  Every
+        outstanding record whose latest copy targeted that server
+        either fails over *exactly once* to a healthy server — only
+        when the remaining deadline budget still admits a useful reply
+        (the watchdog stays anchored at the original send: no deadline
+        extension) — or settles as crash-dropped right now instead of
+        burning the rest of its deadline in silence.  Returns the
+        number of frames re-routed.
+        """
+        router = self.router
+        if router is None:
+            return 0
+        min_frac = (
+            self.resilience.config.min_reply_frac
+            if self.resilience is not None
+            else FAILOVER_MIN_REPLY_FRAC
+        )
+        now = self.env.now
+        moved = 0
+        for frame_id in list(self._outstanding):
+            record = self._outstanding.get(frame_id)
+            if record is None or record.settled or record.server_name != dead:
+                continue
+            remaining = record.sent_at + self.deadline - now
+            target = None
+            if (
+                router.failover_enabled
+                and record.failovers == 0
+                and remaining >= min_frac * self.deadline
+            ):
+                target = router.route(self.model_name, exclude=dead)
+            if target is None:
+                self._crash_drop(record)
+                continue
+            record.failovers += 1
+            self.failovers += 1
+            moved += 1
+            if self.resilience is not None:
+                self.resilience.record(FailureKind.FAILED_OVER)
+            router.record_failover(dead, target.name)
+            tracer = self.env.tracer
+            if tracer is not None and not record.is_probe:
+                tracer.event(
+                    now, "fleet.failover",
+                    frame=frame_id, src=dead, dst=target.name,
+                )
+            self._transmit(record, server=target)
+        return moved
+
+    def _crash_drop(self, record: _Outstanding) -> None:
+        """Settle an in-flight frame lost to its server's crash."""
+        frame_id = record.frame.frame_id
+        self._settle(record, frame_id)
+        self.crash_drops += 1
+        if self.resilience is not None:
+            self.resilience.record(FailureKind.CRASH_DROPPED)
+        if record.is_probe:
+            self._probe_done(record, False)
+            return
+        self.timeouts += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            now = self.env.now
+            tracer.end_offload(self.tenant, frame_id, now, "crash")
+            tracer.finish_frame(self.tenant, frame_id, now, "crash-dropped")
+        self.on_timeout(record.frame, "crash")
+
+    def _no_route(self, record: _Outstanding, settle: bool) -> None:
+        """No healthy server admitted the attempt."""
+        self.no_routes += 1
+        if self.resilience is not None:
+            self.resilience.record(FailureKind.NO_ROUTE)
+        if not settle or record.settled:
+            return
+        frame_id = record.frame.frame_id
+        self._settle(record, frame_id)
+        if record.is_probe:
+            self._probe_done(record, False)
+            return
+        self.timeouts += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            now = self.env.now
+            tracer.end_offload(self.tenant, frame_id, now, "no-route")
+            tracer.finish_frame(
+                self.tenant, frame_id, now, "timeout", cause="no-route"
+            )
+        self.on_timeout(record.frame, "no-route")
 
     # ------------------------------------------------------------------
     # deadline-budgeted retransmission
@@ -473,7 +615,20 @@ class OffloadClient:
         Half-open trial probes (``on_result`` set) are excluded: their
         verdicts flow through :meth:`CircuitBreaker.record_probe` via
         the device's probe loop, not the data-path counters.
+
+        In fleet mode the per-server health ledger replaces the
+        device-wide breaker: outcomes feed the pool (which ejects a
+        server after ``fail_threshold`` consecutive failures — its own
+        breaker, with probation as the half-open state) and the breaker
+        never engages.
         """
+        if self.router is not None:
+            if record.server_name is not None:
+                self.router.record_result(
+                    record.server_name, ok,
+                    rtt=self.last_rtt if ok else None,
+                )
+            return
         r = self.resilience
         if r is None or record.on_result is not None:
             return

@@ -18,6 +18,7 @@ import numpy as np
 from repro.control.base import Controller
 from repro.device.config import DeviceConfig
 from repro.device.device import EdgeDevice
+from repro.fleet.config import FleetConfig
 from repro.metrics.qos import QosReport
 from repro.models.latency import GpuBatchModel
 from repro.netem.link import ConditionBox, Link, LinkConditions
@@ -52,6 +53,13 @@ class FleetScenario:
     seed: int = 0
     gpu_model: GpuBatchModel = field(default_factory=GpuBatchModel)
     batch_policy: BatchPolicy = BatchPolicy.FIFO
+    #: server names — empty keeps the classic single shared server;
+    #: two or more spin up a :class:`~repro.fleet.pool.ServerPool`
+    #: with per-device routers (each device load-balances across the
+    #: pool and fails over around ejected members)
+    servers: Sequence[str] = ()
+    #: routing/health policy for the pool (None -> FleetConfig defaults)
+    fleet_config: Optional[FleetConfig] = None
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -59,6 +67,9 @@ class FleetScenario:
         names = [m.config.name for m in self.members]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate device names: {names}")
+        server_names = list(self.servers)
+        if len(set(server_names)) != len(server_names):
+            raise ValueError(f"duplicate server names: {server_names}")
 
     @property
     def run_duration(self) -> float:
@@ -78,6 +89,10 @@ class FleetResult:
     #: GPU frames per batch — small values are the §II-A.1 hardware
     #: fragmentation a single tenant causes
     mean_batch_size: float = 0.0
+    #: per-server stats for multi-server runs (empty otherwise)
+    per_server_stats: Dict[str, ServerStats] = field(default_factory=dict)
+    #: pool routing/health counters (``fleet.*``) for multi-server runs
+    fleet_extras: Dict[str, float] = field(default_factory=dict)
 
     def throughputs(self) -> Dict[str, float]:
         return {name: qos.mean_throughput for name, qos in self.devices.items()}
@@ -99,12 +114,31 @@ def run_fleet(scenario: FleetScenario) -> FleetResult:
     """Execute a fleet scenario deterministically."""
     env = Environment()
     rng = RngRegistry(scenario.seed)
-    server = EdgeServer(
-        env,
-        rng.stream("server"),
-        cost_model=scenario.gpu_model,
-        batch_policy=scenario.batch_policy,
-    )
+    pool = None
+    if scenario.servers:
+        from repro.fleet.pool import ServerPool
+        from repro.fleet.router import Router
+
+        edge_servers = [
+            EdgeServer(
+                env,
+                rng.stream(f"server:{sname}"),
+                cost_model=scenario.gpu_model,
+                batch_policy=scenario.batch_policy,
+                name=sname,
+                trace_identity=True,
+            )
+            for sname in scenario.servers
+        ]
+        pool = ServerPool(env, edge_servers, scenario.fleet_config)
+        server = edge_servers[0]
+    else:
+        server = EdgeServer(
+            env,
+            rng.stream("server"),
+            cost_model=scenario.gpu_model,
+            batch_policy=scenario.batch_policy,
+        )
     if scenario.load is not None:
         BackgroundLoad(env, server, scenario.load, rng.stream("background"))
 
@@ -121,6 +155,9 @@ def run_fleet(scenario: FleetScenario) -> FleetResult:
         if member.network is not None:
             member.network.install(env, box)
         controller = scenario.controller_factory(member.config)
+        # each device gets its own Router so round-robin rotation is
+        # per-device state, not cross-device coupling
+        router = Router(pool) if pool is not None else None
         devices.append(
             EdgeDevice(
                 env,
@@ -130,17 +167,34 @@ def run_fleet(scenario: FleetScenario) -> FleetResult:
                 downlink=downlink,
                 server=server,
                 rng=rng.stream(f"device:{name}"),
+                router=router,
             )
         )
 
     duration = scenario.run_duration
     env.run(until=duration)
+    if pool is not None:
+        frames_run = sum(s.gpu.frames_run for s in pool.servers)
+        batches_run = sum(s.gpu.batches_run for s in pool.servers)
+        utilization = sum(
+            s.gpu.utilization(duration) for s in pool.servers
+        ) / len(pool.servers)
+        per_server = {s.name: s.stats for s in pool.servers}
+        extras = pool.extras()
+    else:
+        frames_run = server.gpu.frames_run
+        batches_run = server.gpu.batches_run
+        utilization = server.gpu.utilization(duration)
+        per_server = {}
+        extras = {}
     return FleetResult(
         devices={d.config.name: d.qos_report(duration) for d in devices},
         server_stats=server.stats,
-        gpu_utilization=server.gpu.utilization(duration),
+        gpu_utilization=utilization,
         elapsed=duration,
-        mean_batch_size=server.gpu.frames_run / max(server.gpu.batches_run, 1),
+        mean_batch_size=frames_run / max(batches_run, 1),
+        per_server_stats=per_server,
+        fleet_extras=extras,
     )
 
 

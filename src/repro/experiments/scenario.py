@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional
 from repro.control.base import Controller
 from repro.device.config import DeviceConfig
 from repro.device.device import DeviceTraces, EdgeDevice
+from repro.fleet.config import FleetTopology
 from repro.metrics.qos import QosReport
 from repro.models.latency import GpuBatchModel
 from repro.netem.link import ConditionBox, Link, LinkConditions
@@ -89,6 +90,9 @@ class Scenario:
     #: server answers overflow with OVERLOADED + retry-after instead of
     #: bare rejections (pairs with ``device.resilience``)
     server_pushback: bool = False
+    #: multi-server fleet topology; ``None`` keeps the classic
+    #: single-server testbed (bit-identical to pre-fleet runs)
+    topology: Optional[FleetTopology] = None
 
     def with_seed(self, seed: int) -> "Scenario":
         return replace(self, seed=seed)
@@ -148,6 +152,9 @@ class ScenarioRuntime:
     #: attached supervision layer, if any (set by chaos runners after
     #: build; rides along into :meth:`fault_targets`)
     supervisor: Optional[object] = None
+    #: fleet tier (multi-server scenarios only)
+    pool: Optional[object] = None
+    router: Optional[object] = None
 
     def fault_targets(self):
         """Substrate handles for :meth:`repro.faults.FaultInjector.install`."""
@@ -159,6 +166,7 @@ class ScenarioRuntime:
             device=self.device,
             rng=self.rng.stream("faults"),
             supervisor=self.supervisor,
+            pool=self.pool,
         )
 
     def run(self, until: Optional[float] = None) -> RunResult:
@@ -212,13 +220,40 @@ def build_runtime(scenario: Scenario) -> ScenarioRuntime:
     if scenario.network is not None:
         scenario.network.install(env, box)
 
-    server = EdgeServer(
-        env,
-        rng.stream("server"),
-        cost_model=scenario.gpu_model,
-        batch_policy=scenario.batch_policy,
-        pushback=scenario.server_pushback,
-    )
+    pool = None
+    router = None
+    if scenario.topology is not None:
+        # Fleet: one EdgeServer per topology name, each on its own rng
+        # stream, plus the pool/health/router tier.  Imported lazily so
+        # single-server runs never touch the fleet package.
+        from repro.fleet.pool import ServerPool
+        from repro.fleet.router import Router
+
+        members = [
+            EdgeServer(
+                env,
+                rng.stream(f"server:{name}"),
+                cost_model=scenario.gpu_model,
+                batch_policy=scenario.batch_policy,
+                name=name,
+                pushback=scenario.server_pushback,
+                trace_identity=True,
+            )
+            for name in scenario.topology.servers
+        ]
+        pool = ServerPool(env, members, scenario.topology.config)
+        router = Router(pool)
+        # members[0] stays the "primary" handle: background load,
+        # legacy stats collection and ScenarioContext keep working.
+        server = members[0]
+    else:
+        server = EdgeServer(
+            env,
+            rng.stream("server"),
+            cost_model=scenario.gpu_model,
+            batch_policy=scenario.batch_policy,
+            pushback=scenario.server_pushback,
+        )
 
     background: Optional[BackgroundLoad] = None
     if scenario.load is not None:
@@ -247,6 +282,7 @@ def build_runtime(scenario: Scenario) -> ScenarioRuntime:
         downlink=downlink,
         server=server,
         rng=rng.stream("device"),
+        router=router,
     )
 
     return ScenarioRuntime(
@@ -261,6 +297,8 @@ def build_runtime(scenario: Scenario) -> ScenarioRuntime:
         context=context,
         controller=controller,
         device=device,
+        pool=pool,
+        router=router,
     )
 
 

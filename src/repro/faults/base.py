@@ -26,6 +26,7 @@ from repro.sim.core import Environment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.device.device import EdgeDevice
+    from repro.fleet.pool import ServerPool
     from repro.netem.link import ConditionBox
     from repro.server.server import EdgeServer
     from repro.supervision.supervisor import Supervisor
@@ -43,12 +44,38 @@ class FaultTargets:
     #: their restarts through it so warm/cold policy and MTTR counters
     #: live in one place
     supervisor: "Optional[Supervisor]" = None
+    #: fleet tier, when the scenario has a multi-server topology —
+    #: server-layer injectors resolve named targets through it and
+    #: route kill/restart through its ejection lifecycle
+    pool: "Optional[ServerPool]" = None
 
     def require(self, attr: str, who: str):
         value = getattr(self, attr)
         if value is None:
             raise ValueError(f"{who} needs a {attr!r} target, none was provided")
         return value
+
+
+def resolve_server(targets: FaultTargets, server_name: Optional[str], who: str):
+    """Look up an injector's server target, by name when given.
+
+    A named target requires a fleet pool and must be a member of it;
+    the error lists the valid names (mirroring the config layer's
+    unknown-key style).  Unnamed targets fall back to the pool's first
+    member, then to the classic single ``targets.server`` handle.
+    """
+    if server_name is None:
+        if targets.pool is not None:
+            return targets.pool.servers[0]
+        return targets.require("server", who)
+    pool = targets.require("pool", who)
+    server = pool.by_name.get(server_name)
+    if server is None:
+        raise ValueError(
+            f"{who}: unknown server {server_name!r}; "
+            f"valid servers: {sorted(pool.by_name)}"
+        )
+    return server
 
 
 class FaultInjector(abc.ABC):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.base import FaultInjector, FaultTargets
+from repro.faults.base import FaultInjector, FaultTargets, resolve_server
 from repro.faults.windows import FaultTimeline
 from repro.sim.core import Environment
 
@@ -91,19 +91,48 @@ class ServerKill(FaultInjector):
     silence — every offload burns its full deadline — so the standing
     probe and re-convergence invariants apply to these windows.
     Shares ``server.loop`` with ``ServerCrash``: the two cannot overlap.
+
+    With ``server=<name>`` the kill targets one member of a fleet pool:
+    the resource becomes ``server.loop:<name>`` (kills of *different*
+    members may overlap), ``total_failure`` drops to False (the fleet
+    still serves — the blackout invariants don't apply), and the
+    kill/restart route through the pool so the member is ejected (which
+    triggers the in-flight failover sweep) and re-admitted after
+    probation.  An unnamed kill on a fleet scenario hits the pool's
+    first member.
     """
 
     layer = "server"
     resource = "server.loop"
     total_failure = True
 
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        server: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(timeline, name)
+        self.server = server
+        if server is not None:
+            self.resource = f"server.loop:{server}"
+            self.total_failure = False
+
     def bind(self, env: Environment, targets: FaultTargets) -> None:
-        targets.require("server", self.name)
+        resolve_server(targets, self.server, self.name)
 
     def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
-        targets.require("server", self.name).crash()
+        pool = targets.pool
+        if pool is not None:
+            pool.kill(self.server or pool.servers[0].name)
+        else:
+            targets.require("server", self.name).crash()
 
     def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
+        pool = targets.pool
+        if pool is not None:
+            pool.restart(self.server or pool.servers[0].name)
+            return
         supervisor = targets.supervisor
         if supervisor is not None:
             supervisor.restart_server()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.faults.base import FaultInjector, FaultTargets
+from repro.faults.base import FaultInjector, FaultTargets, resolve_server
 from repro.faults.windows import FaultTimeline, FaultWindow
 from repro.server.server import EdgeServer
 from repro.sim.core import Environment
@@ -27,17 +27,35 @@ OutageWindow = FaultWindow
 
 
 class ServerCrash(FaultInjector):
-    """Stall the server's service loop for each window (blackout)."""
+    """Stall the server's service loop for each window (blackout).
+
+    With ``server=<name>`` the stall targets one member of a fleet
+    pool (resource ``server.loop:<name>``; no longer a total failure —
+    the rest of the fleet keeps serving).  The pool's prober notices
+    the stalled heartbeat and ejects the member.
+    """
 
     layer = "server"
     resource = "server.loop"
     total_failure = True
 
+    def __init__(
+        self,
+        timeline: FaultTimeline,
+        server: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(timeline, name)
+        self.server = server
+        if server is not None:
+            self.resource = f"server.loop:{server}"
+            self.total_failure = False
+
     def bind(self, env: Environment, targets: FaultTargets) -> None:
-        targets.require("server", self.name)
+        resolve_server(targets, self.server, self.name)
 
     def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
-        server = targets.require("server", self.name)
+        server = resolve_server(targets, self.server, self.name)
         server.pause(window.end - env.now)
 
     def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
@@ -59,22 +77,26 @@ class ServerSlowdown(FaultInjector):
         self,
         timeline: FaultTimeline,
         factor: float = 4.0,
+        server: Optional[str] = None,
         name: Optional[str] = None,
     ) -> None:
         if factor <= 1.0:
             raise ValueError(f"slowdown factor must be > 1, got {factor}")
         super().__init__(timeline, name)
         self.factor = factor
+        self.server = server
+        if server is not None:
+            self.resource = f"server.gpu:{server}"
 
     def bind(self, env: Environment, targets: FaultTargets) -> None:
-        targets.require("server", self.name)
+        resolve_server(targets, self.server, self.name)
 
     def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
-        server: EdgeServer = targets.require("server", self.name)
+        server: EdgeServer = resolve_server(targets, self.server, self.name)
         server.gpu.set_slowdown(self.factor)
 
     def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
-        server: EdgeServer = targets.require("server", self.name)
+        server: EdgeServer = resolve_server(targets, self.server, self.name)
         server.gpu.set_slowdown(1.0)
 
 
@@ -94,6 +116,7 @@ class GpuContention(FaultInjector):
         timeline: FaultTimeline,
         mean_factor: float = 3.0,
         sigma: float = 0.25,
+        server: Optional[str] = None,
         name: Optional[str] = None,
     ) -> None:
         if mean_factor <= 1.0:
@@ -103,9 +126,12 @@ class GpuContention(FaultInjector):
         super().__init__(timeline, name)
         self.mean_factor = mean_factor
         self.sigma = sigma
+        self.server = server
+        if server is not None:
+            self.resource = f"server.gpu:{server}"
 
     def bind(self, env: Environment, targets: FaultTargets) -> None:
-        targets.require("server", self.name)
+        resolve_server(targets, self.server, self.name)
         targets.require("rng", self.name)
 
     def _draw_factor(self, targets: FaultTargets) -> float:
@@ -118,11 +144,11 @@ class GpuContention(FaultInjector):
         return max(1.0 + 1e-9, self.mean_factor * jitter)
 
     def on_enter(self, env: Environment, targets: FaultTargets, window) -> None:
-        server: EdgeServer = targets.require("server", self.name)
+        server: EdgeServer = resolve_server(targets, self.server, self.name)
         server.gpu.set_slowdown(self._draw_factor(targets))
 
     def on_exit(self, env: Environment, targets: FaultTargets, window) -> None:
-        server: EdgeServer = targets.require("server", self.name)
+        server: EdgeServer = resolve_server(targets, self.server, self.name)
         server.gpu.set_slowdown(1.0)
 
 

@@ -1,0 +1,28 @@
+"""Fleet tier: N edge servers, health-aware routing, in-flight failover.
+
+The pieces (see docs/fleet.md):
+
+* :class:`FleetTopology` / :class:`FleetConfig` — pure-data topology
+  and knobs, shared by the scenario language and the IO config layer;
+* :class:`ServerPool` — hosts the servers in one environment, runs the
+  heartbeat prober, owns the eject/probation lifecycle;
+* :class:`Router` — per-device policy seam (round-robin, least-loaded,
+  latency-aware) with per-server token-bucket admission;
+* :mod:`repro.fleet.chaos` — the ``repro chaos --fleet`` twin runner
+  (imported explicitly, not re-exported here, to keep this package
+  importable from the experiment wiring without a cycle).
+"""
+
+from .config import ROUTER_POLICIES, FleetConfig, FleetTopology
+from .health import ServerHealth
+from .pool import ServerPool
+from .router import Router
+
+__all__ = [
+    "ROUTER_POLICIES",
+    "FleetConfig",
+    "FleetTopology",
+    "ServerHealth",
+    "ServerPool",
+    "Router",
+]

@@ -1,0 +1,229 @@
+"""Fleet chaos: a mid-run `ServerKill` with and without the recovery tier.
+
+``repro chaos --fleet`` runs the same kill schedule twice — identical
+seed, topology and fault plan, differing only in
+:attr:`~repro.fleet.config.FleetConfig.failover` — and asserts the
+fleet invariants:
+
+* **accounting-closed** (both runs): every captured frame settles in
+  exactly one terminal state (success, timeout, or local drop); a
+  crash loses zero frames to accounting.
+* **no-orphaned-inflight** (both runs): no offload record survives the
+  run — the kill-time failover sweep settles every in-flight frame as
+  failed-over, crash-dropped, or (failover off) a watchdog timeout.
+* **failover-exercised**: the kill must catch at least one in-flight
+  frame and re-route it to a healthy server.
+* **server-readmitted**: the killed server is ejected and re-admitted
+  after probation, yielding a fleet MTTR sample.
+* **failover-beats-none**: the deadline-violation rate with the
+  recovery tier on is *strictly* lower than the ablation's.
+
+Mirrors the warm-vs-cold twin pattern of
+:func:`~repro.experiments.chaos.run_supervision_chaos`: one toggle,
+everything else identical, so the gap is attributable to failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.device.config import DeviceConfig
+from repro.experiments.chaos import ChaosResult, ChaosScenario, _check_to_dict, run_chaos
+from repro.experiments.scenario import Scenario
+from repro.experiments.standard import framefeedback_factory
+from repro.faults.invariants import InvariantCheck
+from repro.faults.process import ServerKill
+from repro.faults.windows import FaultTimeline
+
+from .config import FleetConfig, FleetTopology
+
+#: default three-server topology for the smoke scenario
+DEFAULT_SERVERS: Tuple[str, ...] = ("edge0", "edge1", "edge2")
+#: ``(server, start, duration)`` — the kill lands while a frame is in
+#: flight to edge0 (so the failover sweep has work to do), and heals
+#: mid-run so probation re-admission (and its MTTR sample) happens
+#: on-screen
+DEFAULT_KILL: Tuple[str, float, float] = ("edge0", 8.34, 10.0)
+
+
+def fleet_chaos_scenario(
+    seed: int = 0,
+    total_frames: int = 900,
+    servers: Sequence[str] = DEFAULT_SERVERS,
+    kill: Tuple[str, float, float] = DEFAULT_KILL,
+    failover: bool = True,
+    policy: str = "round_robin",
+) -> ChaosScenario:
+    """One fleet scenario with a named mid-run server kill."""
+    name, start, duration = kill
+    base = Scenario(
+        controller_factory=framefeedback_factory(),
+        device=DeviceConfig(total_frames=total_frames),
+        seed=seed,
+        topology=FleetTopology(
+            servers=tuple(servers),
+            config=FleetConfig(policy=policy, failover=failover),
+        ),
+    )
+    return ChaosScenario(
+        base=base,
+        injectors=[
+            ServerKill(FaultTimeline.from_rows([(start, duration)]), server=name)
+        ],
+    )
+
+
+def fleet_invariants(
+    with_failover: ChaosResult, without_failover: ChaosResult
+) -> List[InvariantCheck]:
+    """The fleet acceptance invariants over the twin runs."""
+    checks: List[InvariantCheck] = []
+    for label, result in (
+        ("failover", with_failover),
+        ("no-failover", without_failover),
+    ):
+        qos = result.run.qos
+        settled = qos.successful + qos.timeouts + qos.dropped_local
+        checks.append(
+            InvariantCheck(
+                name=f"accounting-closed[{label}]",
+                passed=settled == qos.total_frames,
+                observed=float(settled),
+                expected=float(qos.total_frames),
+                tolerance=0.0,
+                detail=(
+                    "every captured frame settles in exactly one terminal "
+                    "state (success, timeout, or local drop)"
+                ),
+            )
+        )
+        outstanding = qos.extras.get("fleet.outstanding", 0.0)
+        checks.append(
+            InvariantCheck(
+                name=f"no-orphaned-inflight[{label}]",
+                passed=outstanding == 0.0,
+                observed=outstanding,
+                expected=0.0,
+                tolerance=0.0,
+                detail="no offload record may survive to the end of the run",
+            )
+        )
+    failovers = with_failover.run.qos.extras.get("fleet.failovers", 0.0)
+    checks.append(
+        InvariantCheck(
+            name="failover-exercised",
+            passed=failovers >= 1.0,
+            observed=failovers,
+            expected=1.0,
+            tolerance=0.0,
+            detail=(
+                "the ServerKill must catch at least one in-flight frame "
+                "and re-route it to a healthy server"
+            ),
+        )
+    )
+    mttr_count = with_failover.run.qos.extras.get("fleet.mttr_count", 0.0)
+    checks.append(
+        InvariantCheck(
+            name="server-readmitted",
+            passed=mttr_count >= 1.0,
+            observed=mttr_count,
+            expected=1.0,
+            tolerance=0.0,
+            detail=(
+                "the killed server must be ejected and re-admitted after "
+                "probation, recording a fleet MTTR sample"
+            ),
+        )
+    )
+    v_on = with_failover.run.qos.mean_violation_rate
+    v_off = without_failover.run.qos.mean_violation_rate
+    checks.append(
+        InvariantCheck(
+            name="failover-beats-none",
+            passed=v_on < v_off,
+            observed=v_on,
+            expected=v_off,
+            tolerance=0.0,
+            detail=(
+                "deadline-violation rate with the recovery tier must be "
+                "strictly lower than the same scenario with failover off"
+            ),
+        )
+    )
+    return checks
+
+
+@dataclass
+class FleetChaosResult:
+    """One kill schedule executed twice: recovery tier on, then off."""
+
+    failover: ChaosResult
+    no_failover: ChaosResult
+    fleet_invariants: List[InvariantCheck] = field(default_factory=list)
+
+    @property
+    def all_invariants_hold(self) -> bool:
+        return (
+            self.failover.all_invariants_hold
+            and self.no_failover.all_invariants_hold
+            and all(c.passed for c in self.fleet_invariants)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": "fleet",
+            "failover": _run_dict(self.failover),
+            "no_failover": _run_dict(self.no_failover),
+            "fleet_invariants": [_check_to_dict(c) for c in self.fleet_invariants],
+            "verdict": "PASS" if self.all_invariants_hold else "FAIL",
+        }
+
+
+def _run_dict(result: ChaosResult) -> Dict[str, object]:
+    """ChaosResult.to_dict plus the fleet counters it doesn't carry."""
+    doc = result.to_dict()
+    qos = result.run.qos
+    doc["qos"]["dropped_local"] = qos.dropped_local
+    doc["fleet"] = {
+        key: value
+        for key, value in sorted(qos.extras.items())
+        if key.startswith("fleet.")
+    }
+    return doc
+
+
+def run_fleet_chaos(
+    seed: int = 0,
+    total_frames: int = 900,
+    servers: Sequence[str] = DEFAULT_SERVERS,
+    kill: Tuple[str, float, float] = DEFAULT_KILL,
+    policy: str = "round_robin",
+) -> FleetChaosResult:
+    """Run the kill schedule twice (failover on, then off) and compare."""
+    with_failover = run_chaos(
+        fleet_chaos_scenario(
+            seed=seed,
+            total_frames=total_frames,
+            servers=servers,
+            kill=kill,
+            failover=True,
+            policy=policy,
+        )
+    )
+    without_failover = run_chaos(
+        fleet_chaos_scenario(
+            seed=seed,
+            total_frames=total_frames,
+            servers=servers,
+            kill=kill,
+            failover=False,
+            policy=policy,
+        )
+    )
+    return FleetChaosResult(
+        failover=with_failover,
+        no_failover=without_failover,
+        fleet_invariants=fleet_invariants(with_failover, without_failover),
+    )

@@ -1,0 +1,92 @@
+"""Fleet tier configuration: topology + routing/health knobs.
+
+Pure data, importable from anywhere (this module depends on nothing
+else in :mod:`repro`, so the scenario language, the IO config layer
+and the testbed wiring can all share it without import cycles).
+
+Defaults follow the same budget arguments as the resilience layer:
+
+* **Admission.**  Each server meters ingress through its own token
+  bucket (Chakrabarti et al., arXiv:2010.13737): ``admission_rate``
+  sustains four 30 fps devices per server, with ``admission_burst``
+  absorbing a half-second of synchronized captures.  A denied bucket
+  means "this server is full right now" — the router just moves on to
+  the next candidate, which is the rate-limited re-routing decision of
+  Qiu et al. (arXiv:2208.00485) in its simplest form.
+* **Health checking.**  The pool's prober beats each server's
+  heartbeat every ``probe_period``; a server that misses
+  ``stale_grace_periods`` worth of beats (stalled service loop) or
+  racks up ``fail_threshold`` consecutive data-path failures is
+  *ejected* — removed from the routing set — and re-admitted only
+  after it has looked healthy for a full ``probation`` window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: routing policies the :class:`~repro.fleet.router.Router` implements
+ROUTER_POLICIES = ("round_robin", "least_loaded", "latency_aware")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Every knob of the fleet routing/health tier, validated."""
+
+    #: candidate ordering policy (see :data:`ROUTER_POLICIES`)
+    policy: str = "round_robin"
+    #: per-server admission token bucket: sustained requests/s
+    admission_rate: float = 120.0
+    #: per-server admission token bucket: burst capacity (tokens)
+    admission_burst: float = 60.0
+    #: seconds between health-check probes of each server
+    probe_period: float = 0.5
+    #: missed-beat allowance before a server is declared unhealthy
+    #: (in units of ``probe_period``)
+    stale_grace_periods: float = 2.5
+    #: consecutive data-path failures that eject a server
+    fail_threshold: int = 3
+    #: seconds a recovered server must look healthy before re-admission
+    probation: float = 2.0
+    #: master switch for the recovery tier: with failover off, servers
+    #: are never ejected and in-flight frames are never re-routed — the
+    #: ablation baseline the failover-beats-none invariant compares
+    #: against (one toggle, everything else identical)
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in ROUTER_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ROUTER_POLICIES}, got {self.policy!r}"
+            )
+        if self.admission_rate <= 0 or self.admission_burst <= 0:
+            raise ValueError("admission rate and burst must be positive")
+        if self.probe_period <= 0:
+            raise ValueError(f"probe_period must be positive, got {self.probe_period}")
+        if self.stale_grace_periods <= 0:
+            raise ValueError(
+                f"stale_grace_periods must be positive, got {self.stale_grace_periods}"
+            )
+        if self.fail_threshold < 1:
+            raise ValueError(
+                f"fail_threshold must be >= 1, got {self.fail_threshold}"
+            )
+        if self.probation < 0:
+            raise ValueError(f"probation must be >= 0, got {self.probation}")
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """N named servers plus the fleet config they run under."""
+
+    servers: Tuple[str, ...]
+    config: FleetConfig = field(default_factory=FleetConfig)
+
+    def __post_init__(self) -> None:
+        names = tuple(str(n) for n in self.servers)
+        if not names:
+            raise ValueError("topology needs at least one server")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate server names: {list(names)}")
+        object.__setattr__(self, "servers", names)

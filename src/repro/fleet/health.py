@@ -1,0 +1,75 @@
+"""Per-server health state tracked by the :class:`~repro.fleet.pool.ServerPool`.
+
+One :class:`ServerHealth` per fleet member bundles the three signals the
+routing tier consumes:
+
+* a :class:`~repro.supervision.heartbeat.Heartbeat` beaten by the pool's
+  prober whenever the server's service loop answers (liveness),
+* a :class:`~repro.resilience.budget.RetryBudget` reused as the
+  per-server admission token bucket (capacity), and
+* an EWMA of observed round-trip times (the latency-aware policy's key).
+
+The ejection lifecycle lives in the pool; this object is the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.resilience.budget import RetryBudget
+from repro.supervision.heartbeat import Heartbeat
+
+from .config import FleetConfig
+
+#: EWMA smoothing for observed per-server RTTs
+RTT_ALPHA = 0.2
+
+
+class ServerHealth:
+    """Routing-relevant state and counters for one fleet member."""
+
+    def __init__(self, name: str, index: int, config: FleetConfig) -> None:
+        self.name = name
+        #: topology position; the deterministic tie-break for every policy
+        self.index = index
+        self.heartbeat = Heartbeat(f"server:{name}", config.probe_period)
+        self.admission = RetryBudget(
+            rate=config.admission_rate, burst=config.admission_burst
+        )
+        #: True while the server is out of the routing set
+        self.ejected = False
+        #: sim time of the most recent ejection (MTTR anchor)
+        self.ejected_at: Optional[float] = None
+        #: sim time the server first looked healthy again post-ejection
+        self.healthy_since: Optional[float] = None
+        #: data-path failures since the last success
+        self.consecutive_failures = 0
+        #: smoothed observed RTT; None until the first success
+        self.ewma_rtt: Optional[float] = None
+        # counters surfaced through QoS extras
+        self.routed = 0
+        self.successes = 0
+        self.failures = 0
+        self.failed_over_in = 0
+        self.failed_over_out = 0
+        self.ejections = 0
+        self.readmissions = 0
+
+    def observe_rtt(self, rtt: float) -> None:
+        if self.ewma_rtt is None:
+            self.ewma_rtt = rtt
+        else:
+            self.ewma_rtt += RTT_ALPHA * (rtt - self.ewma_rtt)
+
+    def extras(self) -> dict:
+        """Flat ``fleet.<name>.*`` counters for QoS extras."""
+        prefix = f"fleet.{self.name}"
+        return {
+            f"{prefix}.routed": float(self.routed),
+            f"{prefix}.successes": float(self.successes),
+            f"{prefix}.failures": float(self.failures),
+            f"{prefix}.failed_over_in": float(self.failed_over_in),
+            f"{prefix}.failed_over_out": float(self.failed_over_out),
+            f"{prefix}.ejections": float(self.ejections),
+            f"{prefix}.readmissions": float(self.readmissions),
+        }

@@ -1,0 +1,107 @@
+"""Per-device `Router`: pick a healthy, admitting server for each attempt.
+
+The router is a pure policy seam over the shared
+:class:`~repro.fleet.pool.ServerPool`.  Each device owns its own router
+(so the round-robin cursor is deterministic per device regardless of how
+many devices share the pool), while health state and admission buckets
+live in the pool and are shared fleet-wide.
+
+Candidate ordering is one of three policies (all with the topology index
+as the final, deterministic tie-break):
+
+* ``round_robin``  — rotate through the healthy set;
+* ``least_loaded`` — shallowest server queue first;
+* ``latency_aware`` — lowest observed EWMA RTT first; servers with no
+  observation yet sort first so fresh capacity gets probed.
+
+Each candidate is then charged against its per-server admission token
+bucket; a denied bucket means "full right now" and the router moves on.
+``route`` returns ``None`` only when no healthy server admits the
+request (brownout or fleet-wide overload) — the caller degrades to the
+local path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from .pool import ServerPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.server import EdgeServer
+
+
+class Router:
+    """Health- and admission-aware server selection for one device."""
+
+    def __init__(self, pool: ServerPool, policy: Optional[str] = None) -> None:
+        self.pool = pool
+        self.policy = policy or pool.config.policy
+        self._rr = 0
+
+    @property
+    def failover_enabled(self) -> bool:
+        return self.pool.config.failover
+
+    def available(self) -> bool:
+        """False during fleet-wide brownout (every server ejected)."""
+        return not self.pool.all_ejected
+
+    def route(
+        self,
+        model_name: Optional[str] = None,
+        exclude: Optional[str] = None,
+    ) -> Optional["EdgeServer"]:
+        """Pick a server for one attempt, or ``None`` if nothing admits.
+
+        ``exclude`` names a server that must not be chosen even if it is
+        still nominally healthy — the failover path uses it so a frame
+        never retargets the server it is fleeing.
+        """
+        pool = self.pool
+        candidates = pool.healthy()
+        if exclude is not None:
+            candidates = [s for s in candidates if s.name != exclude]
+        if not candidates:
+            return None
+        now = pool.env.now
+        if len(candidates) > 1:
+            candidates = self._order(candidates, model_name)
+        for server in candidates:
+            health = pool.health[server.name]
+            if health.admission.try_acquire(now):
+                health.routed += 1
+                if self.policy == "round_robin":
+                    self._rr += 1
+                return server
+        return None
+
+    def record_result(self, name: str, ok: bool, rtt: Optional[float] = None) -> None:
+        self.pool.record_result(name, ok, rtt=rtt)
+
+    def record_failover(self, dead: str, target: str) -> None:
+        self.pool.health[dead].failed_over_out += 1
+        self.pool.health[target].failed_over_in += 1
+
+    # ------------------------------------------------------------------
+
+    def _order(
+        self,
+        candidates: Sequence["EdgeServer"],
+        model_name: Optional[str],
+    ) -> List["EdgeServer"]:
+        if self.policy == "round_robin":
+            start = self._rr % len(candidates)
+            return list(candidates[start:]) + list(candidates[:start])
+        if self.policy == "least_loaded":
+            return sorted(
+                candidates,
+                key=lambda s: (s.queue_depth(model_name), self.pool.health[s.name].index),
+            )
+        # latency_aware: unprobed servers (no EWMA yet) sort first
+        def latency_key(server: "EdgeServer"):
+            health = self.pool.health[server.name]
+            ewma = health.ewma_rtt
+            return (0.0 if ewma is None else ewma, health.index)
+
+        return sorted(candidates, key=latency_key)

@@ -23,6 +23,7 @@ from typing import Optional
 from repro.device.config import DeviceConfig
 from repro.experiments.scenario import Scenario
 from repro.experiments.standard import extended_controllers
+from repro.fleet.config import FleetConfig, FleetTopology
 from repro.models.device_profiles import DEVICE_PROFILES
 from repro.models.frames import FrameSpec
 from repro.models.latency import GpuBatchModel
@@ -44,6 +45,7 @@ KNOWN_KEYS = (
     "load",
     "batch_policy",
     "uplink_queue_bytes",
+    "topology",
 )
 
 DEVICE_KEYS = (
@@ -60,6 +62,18 @@ DEVICE_KEYS = (
 )
 
 GPU_KEYS = ("base_latency", "per_item", "jitter_sigma")
+
+TOPOLOGY_KEYS = (
+    "servers",
+    "policy",
+    "failover",
+    "admission_rate",
+    "admission_burst",
+    "probe_period",
+    "stale_grace_periods",
+    "fail_threshold",
+    "probation",
+)
 
 
 def _reject_unknown(data: dict, allowed, where: str) -> None:
@@ -132,7 +146,46 @@ def scenario_to_dict(scenario: Scenario, controller_name: str) -> dict:
         ]
     if scenario.load is not None:
         out["load"] = [[p.start, p.rate] for p in scenario.load.phases]
+    if scenario.topology is not None:
+        topo = scenario.topology
+        out["topology"] = {
+            "servers": list(topo.servers),
+            "policy": topo.config.policy,
+            "failover": topo.config.failover,
+            "admission_rate": topo.config.admission_rate,
+            "admission_burst": topo.config.admission_burst,
+            "probe_period": topo.config.probe_period,
+            "stale_grace_periods": topo.config.stale_grace_periods,
+            "fail_threshold": topo.config.fail_threshold,
+            "probation": topo.config.probation,
+        }
     return out
+
+
+def _topology_from_dict(data: dict) -> FleetTopology:
+    """Rebuild a fleet topology block, rejecting unknown/typoed keys."""
+    _reject_unknown(data, TOPOLOGY_KEYS, "topology")
+    servers = data.get("servers")
+    if not isinstance(servers, (list, tuple)) or not servers:
+        raise ValueError(
+            f"topology.servers: expected a non-empty list of names, got {servers!r}"
+        )
+    kwargs: dict = {}
+    for key in ("policy",):
+        if key in data:
+            kwargs[key] = str(data[key])
+    for key in ("failover",):
+        if key in data:
+            kwargs[key] = bool(data[key])
+    for key in ("admission_rate", "admission_burst", "probe_period",
+                "stale_grace_periods", "probation"):
+        if key in data:
+            kwargs[key] = float(data[key])
+    if "fail_threshold" in data:
+        kwargs["fail_threshold"] = int(data["fail_threshold"])
+    return FleetTopology(
+        servers=tuple(str(s) for s in servers), config=FleetConfig(**kwargs)
+    )
 
 
 def scenario_from_dict(data: dict) -> Scenario:
@@ -187,6 +240,10 @@ def scenario_from_dict(data: dict) -> Scenario:
     if data.get("load") is not None:
         load = LoadSchedule.from_rows(_schedule_rows(data, "load"))
 
+    topology: Optional[FleetTopology] = None
+    if data.get("topology") is not None:
+        topology = _topology_from_dict(data["topology"])
+
     return Scenario(
         controller_factory=controllers[name],
         device=device,
@@ -197,4 +254,5 @@ def scenario_from_dict(data: dict) -> Scenario:
         gpu_model=gpu,
         batch_policy=BatchPolicy(data.get("batch_policy", "fifo")),
         uplink_queue_bytes=float(data.get("uplink_queue_bytes", 131_072.0)),
+        topology=topology,
     )

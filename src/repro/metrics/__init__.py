@@ -8,7 +8,7 @@ consume *time series* of per-second rates; EXPERIMENTS.md consumes
 
 from repro.metrics.breakdown import BreakdownCollector, LatencySample, TimeoutCause
 from repro.metrics.counters import EventCounter, WindowedRate
-from repro.metrics.qos import PhaseSummary, QosReport, summarize_phases
+from repro.metrics.qos import PhaseSummary, QosReport, fleet_extras, summarize_phases
 from repro.metrics.streaming import StreamingHistogram
 from repro.metrics.taxonomy import FailureKind, FailureTaxonomy
 from repro.metrics.timeseries import TimeSeries
@@ -26,6 +26,7 @@ __all__ = [
     "TimeoutCause",
     "TimeSeries",
     "WindowedRate",
+    "fleet_extras",
     "span_duration_stats",
     "summarize_phases",
     "trace_latency_summary",

@@ -97,3 +97,13 @@ class QosReport:
             f"({100 * self.success_fraction:5.1f}%)  "
             f"timeouts={self.timeouts:<5d} rejected={self.rejected:<5d}"
         )
+
+
+def fleet_extras(extras: Dict[str, float]) -> Dict[str, float]:
+    """The ``fleet.*`` slice of a report's extras, sorted by key.
+
+    Fleet runs publish per-server routing/failover/ejection counters
+    and fleet-wide MTTR through :attr:`QosReport.extras`; this pulls
+    them out in one stable order for reports and goldens.
+    """
+    return {k: extras[k] for k in sorted(extras) if k.startswith("fleet.")}

@@ -40,6 +40,15 @@ class FailureKind(enum.Enum):
     RETRY_WINDOW_CLOSED = "retry_window_closed"
     #: half-open trial probe that came back dead
     PROBE_FAILED = "probe_failed"
+    #: in-flight frame re-routed to a healthy server after its server
+    #: was ejected from the fleet (watchdog unchanged: no extension)
+    FAILED_OVER = "failed_over"
+    #: in-flight frame settled at ejection time because no failover was
+    #: possible (budget too thin, already failed over, or no target)
+    CRASH_DROPPED = "crash_dropped"
+    #: offload attempt with no routable server (fleet brownout or
+    #: fleet-wide admission denial)
+    NO_ROUTE = "no_route"
 
 
 class FailureTaxonomy:

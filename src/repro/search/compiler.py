@@ -217,7 +217,7 @@ def compile_flat(spec: ScenarioSpec) -> Dict[str, Any]:
     """
     out: Dict[str, Any] = {}
     for key in ("controller", "seed", "duration", "device", "gpu",
-                "batch_policy", "uplink_queue_bytes"):
+                "batch_policy", "uplink_queue_bytes", "topology"):
         if key in spec.data:
             out[key] = spec.to_dict()[key]
     net = network_rows(spec)

@@ -48,13 +48,13 @@ FAULT_KINDS: Dict[str, Dict[str, type]] = {
     "bandwidth_collapse": {"factor": float},
     "burst_loss": {"loss": float, "burst": float},
     "latency_spike": {"extra_delay": float, "extra_jitter": float},
-    "server_crash": {},
-    "server_slowdown": {"factor": float},
-    "gpu_contention": {"mean_factor": float, "sigma": float},
+    "server_crash": {"server": str},
+    "server_slowdown": {"factor": float, "server": str},
+    "gpu_contention": {"mean_factor": float, "sigma": float, "server": str},
     "cpu_throttle": {"factor": float},
     "camera_stall": {},
     "controller_kill": {"restart": str},
-    "server_kill": {},
+    "server_kill": {"server": str},
     "device_reboot": {},
 }
 
@@ -106,6 +106,20 @@ POPULATION_KEYS: Dict[str, type] = {
     "name_prefix": str,
 }
 
+#: multi-server fleet topology block (mirrors
+#: :class:`repro.fleet.config.FleetConfig`; ``servers`` is required)
+TOPOLOGY_KEYS: Dict[str, Optional[type]] = {
+    "servers": None,
+    "policy": str,
+    "failover": bool,
+    "admission_rate": float,
+    "admission_burst": float,
+    "probe_period": float,
+    "stale_grace_periods": float,
+    "fail_threshold": int,
+    "probation": float,
+}
+
 #: top-level keys of the extended language (superset of the base format)
 TOP_LEVEL_KEYS = (
     "controller",
@@ -117,6 +131,7 @@ TOP_LEVEL_KEYS = (
     "load",
     "faults",
     "population",
+    "topology",
     "resilience",
     "supervision",
     "batch_policy",
@@ -313,6 +328,29 @@ class ScenarioSpec:
                 raise SpecError(f"faults: expected a list, got {faults!r}")
             out["faults"] = [_norm_fault(f, i) for i, f in enumerate(faults)]
 
+        if "topology" in raw:
+            topo = raw["topology"]
+            if not isinstance(topo, dict):
+                raise SpecError(f"topology: expected an object, got {topo!r}")
+            _reject_unknown(topo, TOPOLOGY_KEYS, "topology")
+            if "servers" not in topo:
+                raise SpecError("topology: needs 'servers'")
+            servers = topo["servers"]
+            if not isinstance(servers, (list, tuple)) or not servers:
+                raise SpecError(
+                    "topology.servers: expected a non-empty list of names, "
+                    f"got {servers!r}"
+                )
+            names = [_coerce(n, str, "topology.servers[]") for n in servers]
+            if len(set(names)) != len(names):
+                raise SpecError(f"topology.servers: duplicate names in {names}")
+            norm_topo: Dict[str, Any] = {"servers": names}
+            for key, typ in TOPOLOGY_KEYS.items():
+                if key == "servers" or key not in topo:
+                    continue
+                norm_topo[key] = _coerce(topo[key], typ, f"topology.{key}")
+            out["topology"] = norm_topo
+
         if "population" in raw:
             pop = raw["population"]
             if not isinstance(pop, dict):
@@ -372,6 +410,34 @@ class ScenarioSpec:
             raise SpecError(
                 f"unknown model {model!r}; available: {sorted(MODEL_ZOO)}"
             )
+        topo = self.data.get("topology")
+        if topo is not None:
+            from repro.fleet.config import ROUTER_POLICIES
+
+            policy = topo.get("policy")
+            if policy is not None and policy not in ROUTER_POLICIES:
+                raise SpecError(
+                    f"topology.policy: unknown policy {policy!r}; "
+                    f"valid policies: {sorted(ROUTER_POLICIES)}"
+                )
+        # Fault timelines naming a server must target a declared member
+        # — a typoed name silently hitting nothing is the exact failure
+        # mode the unknown-key rule exists to kill.
+        servers = set(topo["servers"]) if topo is not None else None
+        for i, entry in enumerate(self.data.get("faults", [])):
+            target = entry.get("server")
+            if target is None:
+                continue
+            if servers is None:
+                raise SpecError(
+                    f"faults[{i}]: fault targets server {target!r} but the "
+                    "spec has no 'topology' block"
+                )
+            if target not in servers:
+                raise SpecError(
+                    f"faults[{i}]: unknown server {target!r}; "
+                    f"valid servers: {sorted(servers)}"
+                )
         pop = self.data.get("population")
         if pop:
             for name in pop.get("profiles", ()):

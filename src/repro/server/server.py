@@ -59,6 +59,7 @@ class EdgeServer:
         name: str = "edge-server",
         pushback: bool = False,
         admission_limit: Optional[int] = None,
+        trace_identity: bool = False,
     ) -> None:
         """``pushback`` turns on explicit overload signalling.
 
@@ -78,6 +79,10 @@ class EdgeServer:
             raise ValueError(f"admission limit must be >= 1, got {admission_limit}")
         self.env = env
         self.name = name
+        #: stamp this server's name on trace spans (fleet runs, where
+        #: "which host served this frame" matters; single-server runs
+        #: leave it off so existing goldens stay byte-stable)
+        self.trace_identity = trace_identity
         self.gpu = GpuExecutor(env, rng, cost_model)
         self.batch_limit = batch_limit
         self.batch_policy = batch_policy
@@ -106,11 +111,17 @@ class EdgeServer:
             # same silence a real connection-refused-into-timeout does.
             self.stats.dropped_on_crash += 1
             if tracer is not None:
-                tracer.server_dead(request, self.env.now)
+                tracer.server_dead(
+                    request, self.env.now,
+                    server=self.name if self.trace_identity else None,
+                )
             return
         request.arrived_at = self.env.now
         if tracer is not None:
-            tracer.server_submit(request, self.env.now)
+            tracer.server_submit(
+                request, self.env.now,
+                server=self.name if self.trace_identity else None,
+            )
         self.stats.received += 1
         self.stats._bump(self.stats.per_tenant_received, request.tenant)
         batcher = self._batchers.get(request.model_name)

@@ -32,7 +32,7 @@ from repro.trace.tracer import Tracer
 #: default stream length per scenario (frames at 30 fps); chosen so
 #: every fault window plus its recovery fits inside the run while the
 #: golden files stay reviewable
-DEFAULT_FRAMES = {"fig3": 270, "chaos": 240, "supervision": 240}
+DEFAULT_FRAMES = {"fig3": 270, "chaos": 240, "supervision": 240, "fleet": 240}
 
 
 def trace_fig3(seed: int = 0, frames: int = 270) -> Dict[str, Any]:
@@ -126,10 +126,34 @@ def trace_supervision(seed: int = 0, frames: int = 240) -> Dict[str, Any]:
     )
 
 
+def trace_fleet(seed: int = 0, frames: int = 240) -> Dict[str, Any]:
+    """Compressed fleet kill/failover plan on a three-server pool.
+
+    Every offload span's ``server`` child carries the serving host's
+    name, ejection/readmission land as ``fleet.eject``/``fleet.readmit``
+    events, and a rescued frame shows a ``fleet.failover`` event plus a
+    second uplink traversal under the same offload span.
+    """
+    from repro.experiments.chaos import run_chaos
+    from repro.fleet.chaos import fleet_chaos_scenario
+
+    chaos = fleet_chaos_scenario(
+        seed=seed, total_frames=frames, kill=("edge0", 3.14, 2.0)
+    )
+    tracer = Tracer()
+    result = run_chaos(chaos, tracer=tracer)
+    for t, state in result.breaker_transitions:
+        tracer.event(t, "breaker.transition", state=state.value)
+    return trace_document(
+        tracer, meta={"scenario": "fleet", "seed": seed, "frames": frames}
+    )
+
+
 TRACE_SCENARIOS = {
     "fig3": trace_fig3,
     "chaos": trace_chaos,
     "supervision": trace_supervision,
+    "fleet": trace_fleet,
 }
 
 

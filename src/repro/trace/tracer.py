@@ -174,14 +174,20 @@ class Tracer:
     # ------------------------------------------------------------------
     # server
     # ------------------------------------------------------------------
-    def server_submit(self, request: Any, time: float) -> None:
+    def server_submit(
+        self, request: Any, time: float, server: Optional[str] = None
+    ) -> None:
+        """``server`` carries the host's identity in fleet runs; the
+        single-server path passes None so existing goldens stay
+        byte-stable."""
         key = self._payload_key(request)
         if key is None:
             return
         parent = self._offload.get(key) or self.frames.get(key)
         if parent is None:
             return
-        self._server[id(request)] = parent.child("server", time)
+        attrs = {"server": server} if server is not None else None
+        self._server[id(request)] = parent.child("server", time, attrs)
 
     def server_respond(
         self, request: Any, time: float, outcome: str, **attrs: Any
@@ -190,14 +196,17 @@ class Tracer:
         if span is not None:
             span.finish(time, outcome, **attrs)
 
-    def server_dead(self, request: Any, time: float) -> None:
+    def server_dead(
+        self, request: Any, time: float, server: Optional[str] = None
+    ) -> None:
         """A request landed on a crashed host: answered by silence."""
         key = self._payload_key(request)
         if key is None:
             return
         parent = self._offload.get(key) or self.frames.get(key)
         if parent is not None:
-            parent.child("server", time).finish(time, "dropped-crash")
+            attrs = {"server": server} if server is not None else None
+            parent.child("server", time, attrs).finish(time, "dropped-crash")
 
     # ------------------------------------------------------------------
     @staticmethod

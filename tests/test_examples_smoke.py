@@ -55,6 +55,13 @@ def test_chaos_supervision():
     assert "verdict: PASS" in out
 
 
+def test_chaos_fleet():
+    out = run_example("chaos_fleet.py")
+    assert "failover rescued" in out
+    assert "failover-beats-none" in out
+    assert "verdict: PASS" in out
+
+
 @pytest.mark.slow
 def test_drone_fleet():
     out = run_example("drone_fleet_multitenancy.py")

@@ -1,0 +1,202 @@
+"""Unit tests for the fleet tier: pool health lifecycle + router policies."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetConfig, FleetTopology, Router, ServerPool
+from repro.server.server import EdgeServer
+from repro.sim import Environment
+
+
+def make_pool(n=3, config=None, env=None):
+    env = env or Environment()
+    servers = [
+        EdgeServer(env, np.random.default_rng(i), name=f"edge{i}") for i in range(n)
+    ]
+    return env, ServerPool(env, servers, config)
+
+
+# ----------------------------------------------------------------------
+# config validation
+# ----------------------------------------------------------------------
+def test_fleet_config_rejects_bad_values():
+    with pytest.raises(ValueError):
+        FleetConfig(policy="bogus")
+    with pytest.raises(ValueError):
+        FleetConfig(admission_rate=0.0)
+    with pytest.raises(ValueError):
+        FleetConfig(fail_threshold=0)
+    with pytest.raises(ValueError):
+        FleetConfig(probation=-1.0)
+
+
+def test_topology_rejects_empty_and_duplicates():
+    with pytest.raises(ValueError):
+        FleetTopology(servers=())
+    with pytest.raises(ValueError):
+        FleetTopology(servers=("a", "a"))
+
+
+def test_pool_rejects_duplicate_server_names():
+    env = Environment()
+    servers = [
+        EdgeServer(env, np.random.default_rng(0), name="dup"),
+        EdgeServer(env, np.random.default_rng(1), name="dup"),
+    ]
+    with pytest.raises(ValueError):
+        ServerPool(env, servers)
+
+
+# ----------------------------------------------------------------------
+# routing policies
+# ----------------------------------------------------------------------
+def test_round_robin_rotates_in_topology_order():
+    env, pool = make_pool(3)
+    router = Router(pool)
+    picks = [router.route().name for _ in range(6)]
+    assert picks == ["edge0", "edge1", "edge2", "edge0", "edge1", "edge2"]
+
+
+def test_least_loaded_prefers_shallowest_queue():
+    env, pool = make_pool(2, FleetConfig(policy="least_loaded"))
+    router = Router(pool)
+    # both empty -> topology index tie-break
+    assert router.route().name == "edge0"
+    # load up edge0's queue directly; edge1 becomes the shallow one
+    from repro.server.requests import InferenceRequest
+
+    for i in range(4):
+        pool.by_name["edge0"].submit(
+            InferenceRequest(
+                tenant="t",
+                model_name="mobilenet_v3_small",
+                sent_at=env.now,
+                payload_bytes=100,
+                respond=lambda r: None,
+                frame_id=i,
+            )
+        )
+    assert router.route().name == "edge1"
+
+
+def test_latency_aware_prefers_unprobed_then_fastest():
+    env, pool = make_pool(3, FleetConfig(policy="latency_aware"))
+    router = Router(pool)
+    pool.record_result("edge0", ok=True, rtt=0.05)
+    pool.record_result("edge1", ok=True, rtt=0.01)
+    # edge2 has no observation yet: probed first
+    assert router.route().name == "edge2"
+    pool.record_result("edge2", ok=True, rtt=0.2)
+    assert router.route().name == "edge1"
+
+
+def test_route_excludes_named_server():
+    env, pool = make_pool(2)
+    router = Router(pool)
+    for _ in range(4):
+        assert router.route(exclude="edge0").name == "edge1"
+
+
+# ----------------------------------------------------------------------
+# admission token bucket
+# ----------------------------------------------------------------------
+def test_admission_bucket_denies_burst_overflow():
+    env, pool = make_pool(1, FleetConfig(admission_rate=10.0, admission_burst=2.0))
+    router = Router(pool)
+    assert router.route() is not None
+    assert router.route() is not None
+    assert router.route() is None  # burst exhausted, no time has passed
+    env.run(until=0.5)  # refill 10/s * 0.5s = 5 tokens (capped at burst 2)
+    assert router.route() is not None
+
+
+def test_admission_spills_to_next_healthy_server():
+    env, pool = make_pool(2, FleetConfig(admission_rate=10.0, admission_burst=1.0))
+    router = Router(pool)
+    assert router.route().name == "edge0"
+    # edge0's bucket is now empty; the same instant spills to edge1
+    assert router.route().name == "edge1"
+    assert router.route() is None
+
+
+# ----------------------------------------------------------------------
+# ejection / probation lifecycle
+# ----------------------------------------------------------------------
+def test_kill_ejects_and_probation_readmits():
+    config = FleetConfig(probe_period=0.5, probation=2.0)
+    env, pool = make_pool(2, config)
+    router = Router(pool)
+    down = []
+    pool.subscribe_down(down.append)
+
+    env.run(until=1.0)
+    pool.kill("edge0")
+    assert down == ["edge0"]
+    assert [s.name for s in pool.healthy()] == ["edge1"]
+    assert router.route().name == "edge1"
+
+    # still crashed: probation clock must not start
+    env.run(until=3.0)
+    assert pool.health["edge0"].ejected
+    pool.restart("edge0")
+    # alive again: readmitted only after a full probation window
+    env.run(until=4.0)
+    assert pool.health["edge0"].ejected
+    env.run(until=6.0)
+    assert not pool.health["edge0"].ejected
+    assert pool.health["edge0"].readmissions == 1
+    assert len(pool.mttr_samples) == 1
+
+
+def test_stale_heartbeat_ejects_paused_server():
+    config = FleetConfig(probe_period=0.5, stale_grace_periods=2.5)
+    env, pool = make_pool(2, config)
+    env.run(until=1.0)
+    pool.by_name["edge0"].pause(30.0)  # ServerCrash-style stall
+    env.run(until=4.0)
+    assert pool.health["edge0"].ejected
+    assert [s.name for s in pool.healthy()] == ["edge1"]
+
+
+def test_consecutive_failures_eject():
+    env, pool = make_pool(2, FleetConfig(fail_threshold=3))
+    for _ in range(2):
+        pool.record_result("edge0", ok=False)
+    assert not pool.health["edge0"].ejected
+    pool.record_result("edge0", ok=True)  # success resets the streak
+    for _ in range(3):
+        pool.record_result("edge0", ok=False)
+    assert pool.health["edge0"].ejected
+
+
+def test_mark_down_is_idempotent():
+    env, pool = make_pool(2)
+    down = []
+    pool.subscribe_down(down.append)
+    pool.mark_down("edge0")
+    pool.mark_down("edge0")
+    assert down == ["edge0"]
+    assert pool.health["edge0"].ejections == 1
+
+
+def test_failover_disabled_makes_recovery_tier_inert():
+    env, pool = make_pool(2, FleetConfig(failover=False))
+    down = []
+    pool.subscribe_down(down.append)
+    pool.kill("edge0")
+    assert down == []
+    assert not pool.health["edge0"].ejected
+    assert len(pool.healthy()) == 2  # still nominally routable
+
+
+# ----------------------------------------------------------------------
+# brownout
+# ----------------------------------------------------------------------
+def test_brownout_when_all_servers_ejected():
+    env, pool = make_pool(2)
+    router = Router(pool)
+    pool.kill("edge0")
+    pool.kill("edge1")
+    assert pool.all_ejected
+    assert not router.available()
+    assert router.route() is None

@@ -110,6 +110,18 @@ def scenario_dicts(draw):
         data["load"] = draw(load_fields())
     if draw(st.booleans()):
         data["faults"] = draw(st.lists(fault_entries(), min_size=1, max_size=3))
+    # a fault naming a server is only valid against a topology block
+    # declaring that member (compile-time cross-check); also exercise
+    # topologies with no named faults at all
+    names_server = any("server" in f for f in data.get("faults", []))
+    if names_server or draw(st.booleans()):
+        topology = {"servers": ["warm", "cold"]}
+        if draw(st.booleans()):
+            topology["policy"] = draw(st.sampled_from(
+                ["round_robin", "least_loaded", "latency_aware"]))
+        if draw(st.booleans()):
+            topology["probation"] = draw(pos_float)
+        data["topology"] = topology
     if draw(st.booleans()):
         data["population"] = {"size": draw(st.integers(min_value=1, max_value=5))}
     for flag in ("resilience", "supervision"):
