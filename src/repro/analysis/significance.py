@@ -59,3 +59,55 @@ def effect_size(a: Sequence[float], b: Sequence[float]) -> float:
     if sd == 0.0:
         return float("inf") if diffs.mean() != 0 else 0.0
     return float(diffs.mean() / sd)
+
+
+def bootstrap_mean_diff_ci(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple:
+    """Percentile bootstrap CI for the paired mean difference ``a - b``.
+
+    Resamples the paired differences with replacement; no normality
+    assumption, honest at the small seed counts used here (the CI just
+    gets wide).  Returns ``(lo, hi)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    diffs = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    n = diffs.size
+    if n == 0:
+        raise ValueError("need at least one pair")
+    rng = rng or np.random.default_rng(0)
+    idx = rng.integers(0, n, size=(n_resamples, n))
+    means = diffs[idx].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, (tail, 1.0 - tail))
+    return float(lo), float(hi)
+
+
+def equivalent_within(
+    a: Sequence[float],
+    b: Sequence[float],
+    margin: float,
+    confidence: float = 0.95,
+    n_resamples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> bool:
+    """Bootstrap equivalence test: is ``mean(a - b)`` within ``±margin``?
+
+    Two one-sided tests by CI inclusion: ``a`` and ``b`` are declared
+    equivalent when the whole bootstrap confidence interval of the
+    paired mean difference lies inside ``[-margin, +margin]``.  Used to
+    assert the hybrid kernel's fluid windows leave QoS statistically
+    indistinguishable from exact DES — a *non-inferiority* claim, which
+    a non-significant p-value alone cannot make.
+    """
+    if margin <= 0.0:
+        raise ValueError(f"margin must be positive, got {margin!r}")
+    lo, hi = bootstrap_mean_diff_ci(
+        a, b, confidence=confidence, n_resamples=n_resamples, rng=rng
+    )
+    return -margin <= lo and hi <= margin

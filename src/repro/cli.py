@@ -11,6 +11,7 @@ Installed as ``framefeedback`` (see pyproject).  Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -817,11 +818,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON summary (chaos) or the "
         "canonical golden trace (trace)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("exact", "hybrid"),
+        default=None,
+        help="simulation kernel: exact per-frame DES (default) or the "
+        "hybrid kernel that advances steady-state windows analytically "
+        "(statistically equivalent QoS, byte-exact traced runs)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel is not None:
+        # Every scenario built below this point — including ones built
+        # inside worker processes that re-read the environment — picks
+        # the kernel up from build_runtime's REPRO_KERNEL override.
+        os.environ["REPRO_KERNEL"] = args.kernel
     commands = _PAPER_ORDER if args.command == "all" else [args.command]
     exit_code = 0
     for i, name in enumerate(commands):

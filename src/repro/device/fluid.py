@@ -1,0 +1,430 @@
+"""The device-side fluid model: analytic per-frame outcomes in bulk.
+
+When the :class:`~repro.sim.fluid.FluidRegime` opens a steady window,
+the camera hands the whole window to this model instead of emitting
+per-frame events.  Every frame in the window is routed through the
+*real* :class:`~repro.device.splitter.TokenBucketSplitter` (routing is
+deterministic and cheap, so fluid routing is identical to exact
+routing), and its outcome is computed arithmetically:
+
+* **offloaded frames** ride an analytic copy of the pipeline — a
+  virtual uplink serializer clock (closed-form serialization time, the
+  D/D/1 busy-period carry the exact serializer produces under
+  token-bucket-spaced arrivals), propagation plus per-frame Gaussian
+  jitter, a steady-state batch-formation model of the server
+  (self-consistent batch size ``n* = lam*t0 / (1 - lam*k)`` for the
+  affine GPU curve ``t(n) = t0 + k*n``, queue wait via
+  :func:`repro.analysis.queueing.mg1_wait`), and the response trip
+  through a virtual downlink clock.  Success is the same predicate the
+  deadline watchdog applies: ``rtt < deadline``.
+
+* **local frames** run on a virtual copy of the single-slot engine
+  (busy-until clock plus the 1-deep prefetch slot), reproducing the
+  exact pipeline's ``min(demand, P_l)`` completion rate and its skips.
+
+All bookkeeping the exact path would have produced — device buckets,
+cumulative QoS counters, the RTT histogram, link/server/GPU stats — is
+credited through the same counters, so ``_close_buckets`` and
+:meth:`~repro.device.device.EdgeDevice.qos_report` cannot tell the
+regimes apart.  Stochastic draws come from the dedicated ``"fluid"``
+rng stream: hybrid runs are deterministic, but fluid regions are
+*statistically* (not byte-) equivalent to exact runs — see
+docs/performance.md ("Hybrid kernel") for the validation methodology.
+Known approximations: the §II-B breakdown attribution and resilience
+hedging are not modeled inside windows (windows only open with enough
+RTT margin that hedges are rare), and background tenants keep
+event-stepping exactly — only their *rate* enters the server model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.analysis.queueing import mg1_wait, utilization
+from repro.models.zoo import ModelSpec, get_model
+from repro.netem.link import LinkConditions
+from repro.netem.packet import PACKET_OVERHEAD_BYTES, packets_for
+from repro.sim.fluid import FluidRegime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.device.camera import FrameSource
+    from repro.device.device import EdgeDevice
+
+_INF = float("inf")
+
+
+def serialize_time(cond: LinkConditions, nbytes: int) -> float:
+    """Closed-form serialization seconds for one ``nbytes`` payload.
+
+    Equals summing :meth:`LinkConditions.packet_time` over the exact
+    serializer's packet sizes — per-packet overhead is linear in the
+    packet count, so the sum collapses.
+    """
+    wire_bytes = nbytes + packets_for(nbytes) * PACKET_OVERHEAD_BYTES
+    return wire_bytes * 8.0 / cond.bits_per_second
+
+
+class DeviceFluidModel:
+    """Bulk-advances one device's frames through a steady window."""
+
+    #: fraction of the deadline the *mean* analytic RTT must stay under
+    #: for fluid advance — past it, individual frames start racing the
+    #: watchdog and exact DES must arbitrate the photo finish
+    RTT_MARGIN = 0.8
+    #: offered GPU load above which the window is refused (near
+    #: saturation, queue dynamics are transient by definition)
+    MAX_UTILIZATION = 0.9
+    #: offered uplink load cap: token-bucket spacing makes the uplink
+    #: D/D/1 (waits stay ~0 right up to rho = 1), so only genuine
+    #: overload is refused — the paper's full-offload steady state
+    #: sits at rho ~ 0.93 and must stay fluid-eligible
+    MAX_UPLINK_UTILIZATION = 0.98
+
+    def __init__(
+        self,
+        device: "EdgeDevice",
+        regime: FluidRegime,
+        rng: np.random.Generator,
+        bg_rate_fn: Optional[Callable[[float], float]] = None,
+        bg_model_names: Sequence[str] = (),
+    ) -> None:
+        self.device = device
+        self.regime = regime
+        self.rng = rng
+        #: background load offered to the shared server (req/s at t);
+        #: None when the scenario has no background tenants
+        self.bg_rate_fn = bg_rate_fn
+        self.bg_models: List[ModelSpec] = [get_model(n) for n in bg_model_names]
+        # virtual serializer/engine clocks, persisted across windows so
+        # back-to-back windows see a warm pipeline
+        self._up_free_at = 0.0
+        self._dn_free_at = 0.0
+        self._local_free_at = 0.0
+        self._local_pending = 0
+        self._spec = get_model(device.offload.model_name)
+
+    # ------------------------------------------------------------------
+    # steadiness
+    # ------------------------------------------------------------------
+    def _steady_reason(self, now: float) -> Optional[str]:
+        """Device-level veto, or None when fluid advance is sound."""
+        device = self.device
+        if device.resilience is not None and not device.resilience.breaker.is_closed:
+            return "breaker-open"
+        if not device.measure_alive:
+            return "controller-down"
+        router = device.router
+        if router is not None:
+            pool = router.pool
+            if len(pool.servers) > 1:
+                # Multi-server routing interleaves per-server admission
+                # buckets and failover state; fleet runs stay exact
+                # (the fleet invariants are about transients anyway).
+                return "multi-server"
+            if len(pool.healthy()) != len(pool.servers):
+                return "fleet-degraded"
+        client = device.offload
+        server = client.server
+        if not server.service_alive or server.paused:
+            return "server-down"
+        if client.uplink.queue_length > 0:
+            return "uplink-backlog"
+        cond = client.uplink.conditions
+        if cond.loss > 1e-6:
+            # ARQ retransmission dynamics (stalls, abandonment, burst
+            # correlation) are exactly what exact DES is for.
+            return "lossy-link"
+        return None
+
+    # ------------------------------------------------------------------
+    # the analytic pipeline model
+    # ------------------------------------------------------------------
+    def _bg_service_time(self, lam_bg: float, gpu) -> float:
+        """Mean amortized GPU seconds per background request (inf when
+        any background class alone saturates its batcher)."""
+        if lam_bg <= 0 or not self.bg_models:
+            return 0.0
+        base = gpu.cost_model.base_latency * gpu.slowdown
+        per = gpu.cost_model.per_item * gpu.slowdown
+        limit = float(self.device.offload.server.batch_limit)
+        lam_m = lam_bg / len(self.bg_models)
+        total = 0.0
+        for spec in self.bg_models:
+            k = per * spec.gpu_cost
+            denom = 1.0 - lam_m * k
+            if denom <= 0.05:
+                return _INF
+            n_star = min(max(lam_m * base / denom, 1.0), limit)
+            total += base / n_star + k
+        return total / len(self.bg_models)
+
+    def _offload_profile(
+        self, now: float, nbytes: int
+    ) -> Tuple[Optional[str], Optional[dict]]:
+        """Analytic RTT decomposition for the current rates.
+
+        Returns ``(reason, None)`` when the offload path is too close
+        to saturation (or the deadline) for analytic advance, else
+        ``(None, profile)`` with every constant the per-frame loop
+        needs.
+        """
+        device = self.device
+        client = device.offload
+        cond = client.uplink.conditions
+        lam_o = device.splitter.target
+        ser_up = serialize_time(cond, nbytes)
+        ser_dn = serialize_time(cond, client.response_bytes)
+
+        server = client.server
+        gpu = server.gpu
+        base = gpu.cost_model.base_latency * gpu.slowdown
+        k = gpu.cost_model.per_item * self._spec.gpu_cost * gpu.slowdown
+        gpu_sigma = gpu.cost_model.jitter_sigma
+
+        if lam_o <= 1e-9:
+            # Pure-local window: nothing rides the wire, so the offload
+            # leg needs no feasibility check at all.
+            profile = dict(
+                ser_up=ser_up, ser_dn=ser_dn, prop=cond.propagation_delay,
+                srv_wait=0.0, exec_mean=base + k, gpu_sigma=gpu_sigma,
+                jitter_sigma=cond.jitter_sigma, gpu_per_frame=base + k,
+                n_star=1.0,
+            )
+            return None, profile
+
+        if utilization(lam_o, ser_up) >= self.MAX_UPLINK_UTILIZATION:
+            return "uplink-saturated", None
+
+        lam_bg = float(self.bg_rate_fn(now)) if self.bg_rate_fn is not None else 0.0
+        s_bg = self._bg_service_time(lam_bg, gpu)
+        denom = 1.0 - lam_o * k
+        if denom <= 0.05 or s_bg == _INF:
+            return "server-saturated", None
+        n_star = min(max(lam_o * base / denom, 1.0), float(server.batch_limit))
+        s_ours = base / n_star + k  # amortized GPU seconds per frame
+        rho = lam_o * s_ours + lam_bg * s_bg
+        if rho >= self.MAX_UTILIZATION:
+            return "server-saturated", None
+        lam_tot = lam_o + lam_bg
+        s_mean = rho / lam_tot
+        srv_wait = mg1_wait(lam_tot, s_mean, gpu_sigma * gpu_sigma)
+        # a frame waits for its whole batch, not its amortized share
+        exec_mean = base + k * n_star
+
+        # No uplink queue-wait term: token-bucket spacing keeps the
+        # D/D/1 serializer's wait at ~0 below saturation (the virtual
+        # clock carries any residual busy period per frame); the
+        # Poisson bound md1_wait(lam_o, ser_up) would veto the paper's
+        # own full-offload steady state.
+        mean_rtt = (
+            ser_up
+            + cond.propagation_delay
+            + srv_wait
+            + exec_mean
+            + ser_dn
+            + cond.propagation_delay
+        )
+        if mean_rtt > self.RTT_MARGIN * device.config.deadline:
+            return "no-rtt-margin", None
+        profile = dict(
+            ser_up=ser_up, ser_dn=ser_dn, prop=cond.propagation_delay,
+            srv_wait=srv_wait, exec_mean=exec_mean, gpu_sigma=gpu_sigma,
+            jitter_sigma=cond.jitter_sigma, gpu_per_frame=s_ours,
+            n_star=n_star,
+        )
+        return None, profile
+
+    # ------------------------------------------------------------------
+    # camera hook
+    # ------------------------------------------------------------------
+    def camera_hook(self, source: "FrameSource") -> Optional[float]:
+        """Called by the camera at a capture instant, before emission.
+
+        Returns the absolute time of the next capture to simulate
+        (having consumed every tick in between analytically), or None
+        to emit this frame through the normal exact path.
+        """
+        device = self.device
+        env = device.env
+        now = env.now
+        regime = self.regime
+        if env.event_horizon() == _INF:
+            # Runs bounded by an event (or unbounded) give the regime
+            # no horizon to respect; stay exact rather than leap past
+            # a stop condition the heap cannot show us.
+            regime.note_forced("unbounded-run")
+            return None
+        reason = self._steady_reason(now)
+        if reason is not None:
+            regime.note_forced(reason)
+            return None
+        from repro.models.frames import frame_bytes
+
+        spec = device.config.frame_spec
+        base_bytes = frame_bytes(spec.resolution, device.capture_quality)
+        reason, profile = self._offload_profile(now, base_bytes)
+        if reason is not None:
+            regime.note_forced(reason)
+            return None
+        t1 = regime.open_window(now, hard_edge=device.next_measure_at)
+        if t1 is None:
+            return None
+
+        # ----- the window's capture instants --------------------------
+        # Repeated addition mirrors the exact camera's per-tick float
+        # accumulation; the final value is the camera's resume time.
+        period = 1.0 / source.frame_rate
+        total = source.total_frames
+        remaining = _INF if total is None else total - source._next_id
+        ticks: List[float] = []
+        t = now
+        while t < t1 - 1e-9 and len(ticks) < remaining:
+            ticks.append(t)
+            t = t + period
+
+        n_frames = len(ticks)
+        sampled = device._video_sampler is not None
+        # same draw cadence as the exact path: one size per capture
+        sizes = (
+            [device._frame_nbytes() for _ in range(n_frames)]
+            if sampled
+            else None
+        )
+        routes = [device.splitter.route() for _ in range(n_frames)]
+        n_off = sum(routes)
+
+        cond = device.offload.uplink.conditions
+        prop = profile["prop"]
+        ser_up = profile["ser_up"]
+        ser_dn = profile["ser_dn"]
+        srv_wait = profile["srv_wait"]
+        rng = self.rng
+        if n_off:
+            jit = rng.normal(0.0, profile["jitter_sigma"], size=2 * n_off)
+            gs = profile["gpu_sigma"]
+            exec_draws = profile["exec_mean"] * np.exp(
+                rng.normal(-0.5 * gs * gs, gs, size=n_off)
+            )
+        svc_local = device.local.latency_model.mean_latency * device.local.slowdown
+
+        deadline = device.config.deadline
+        up_free = max(self._up_free_at, now)
+        dn_free = max(self._dn_free_at, now)
+        local_free = max(self._local_free_at, now)
+        local_pending = self._local_pending
+        if device.local.busy and local_free <= now:
+            # the real engine is mid-inference from the exact region;
+            # assume it is halfway through its mean service
+            local_free = now + 0.5 * svc_local
+        off_i = 0
+        n_ok = n_timeout = 0
+        local_done = local_skip = 0
+        rtts: List[float] = []
+        up_bytes = up_pkts = 0
+
+        for i in range(n_frames):
+            t_i = ticks[i]
+            if routes[i]:
+                if sampled:
+                    nbytes = sizes[i]
+                    ser_up = serialize_time(cond, nbytes)
+                else:
+                    nbytes = base_bytes
+                start = up_free if up_free > t_i else t_i
+                up_free = start + ser_up
+                d_up = prop + jit[2 * off_i]
+                if d_up < 0.0:
+                    d_up = 0.0
+                depart = up_free + d_up + srv_wait + exec_draws[off_i]
+                start = dn_free if dn_free > depart else depart
+                dn_free = start + ser_dn
+                d_dn = prop + jit[2 * off_i + 1]
+                if d_dn < 0.0:
+                    d_dn = 0.0
+                rtt = dn_free + d_dn - t_i
+                off_i += 1
+                up_bytes += nbytes
+                up_pkts += packets_for(nbytes)
+                if rtt < deadline:
+                    n_ok += 1
+                    rtts.append(rtt if rtt > 1e-6 else 1e-6)
+                else:
+                    n_timeout += 1
+            else:
+                # virtual single-slot engine with 1-deep prefetch
+                while local_pending and local_free <= t_i:
+                    local_pending -= 1
+                    local_free += svc_local
+                    local_done += 1
+                if local_free <= t_i:
+                    local_free = t_i + svc_local
+                    local_pending = 0
+                    local_done += 1
+                elif local_pending == 0:
+                    local_pending = 1
+                else:
+                    local_skip += 1
+        # completions that land inside the window still belong to the
+        # bucket the measure tick at t1 is about to close
+        while local_pending and local_free <= t1:
+            local_pending -= 1
+            local_free += svc_local
+            local_done += 1
+
+        self._up_free_at = up_free
+        self._dn_free_at = dn_free
+        self._local_free_at = local_free
+        self._local_pending = local_pending
+
+        # ----- credit every counter the exact path would have ---------
+        device.frames_seen += n_frames
+        device._bucket_offload_attempts += n_off
+        device._bucket_offload_success += n_ok
+        device._bucket_timeouts += n_timeout
+        device._bucket_local_done += local_done
+        device.offload_successes += n_ok
+        device.timeouts += n_timeout
+        device.successes += n_ok + local_done
+        device.local_successes += local_done
+        device.local_skips += local_skip
+        if n_timeout:
+            device._t_window.record(n_timeout)
+        if rtts:
+            device._bucket_rtts.extend(rtts)
+            record = device.rtt_histogram.record
+            for r in rtts:
+                record(r)
+
+        client = device.offload
+        client.sent += n_off
+        client.successes += n_ok
+        client.timeouts += n_timeout
+        if rtts:
+            client.last_rtt = rtts[-1]
+
+        if n_off:
+            client.uplink.stats.absorb_fluid(n_off, up_pkts, up_bytes)
+            client.downlink.stats.absorb_fluid(
+                n_off,
+                n_off * packets_for(client.response_bytes),
+                n_off * client.response_bytes,
+            )
+            client.server.absorb_fluid(
+                client.tenant,
+                n_off,
+                gpu_seconds=n_off * profile["gpu_per_frame"],
+                batches=max(1, round(n_off / profile["n_star"])),
+            )
+        if local_done or local_skip:
+            local = device.local
+            local.completed += local_done
+            local.skipped += local_skip
+            local.busy_seconds += local_done * svc_local
+
+        # id continuity with the exact path: the window consumed these
+        source._next_id += n_frames
+        source.frames_emitted += n_frames
+        regime.account(n_frames, t1 - now)
+        return t

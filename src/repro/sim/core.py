@@ -68,6 +68,12 @@ class EnvStats:
     events_skipped: int = 0
     heap_compactions: int = 0
     peak_heap_size: int = 0
+    #: hybrid-kernel regime counters (zero on exact-kernel runs):
+    #: analytic windows entered, frames advanced without events, and
+    #: times the regime refused a window and stayed on exact DES
+    fluid_windows: int = 0
+    fluid_frames: int = 0
+    fluid_forced_exact: int = 0
     #: scheduling process name -> events scheduled while it was active
     events_by_process: Counter = field(default_factory=Counter)
 
@@ -80,8 +86,17 @@ class EnvStats:
             f"scheduled, {self.events_cancelled} cancelled "
             f"({self.events_skipped} lazily skipped, "
             f"{self.heap_compactions} compactions), "
-            f"peak heap {self.peak_heap_size}, top schedulers: {top or '-'}"
+            f"peak heap {self.peak_heap_size}, "
+            f"fluid: {self.fluid_windows} windows / "
+            f"{self.fluid_frames} frames analytic / "
+            f"{self.fluid_forced_exact} forced-exact, "
+            f"top schedulers: {top or '-'}"
         )
+
+    # Reports and ``repro profile`` print the stats block directly;
+    # before the hybrid kernel this fell back to the dataclass repr,
+    # which silently hid every counter added after the fact.
+    __str__ = summary
 
     def as_dict(self) -> dict:
         return {
@@ -91,6 +106,9 @@ class EnvStats:
             "events_skipped": self.events_skipped,
             "heap_compactions": self.heap_compactions,
             "peak_heap_size": self.peak_heap_size,
+            "fluid_windows": self.fluid_windows,
+            "fluid_frames": self.fluid_frames,
+            "fluid_forced_exact": self.fluid_forced_exact,
             "events_by_process": dict(self.events_by_process),
         }
 
@@ -119,6 +137,17 @@ class Environment:
     ``(priority, insertion sequence)`` so runs are fully deterministic.
     """
 
+    def __new__(cls, *args, **kwargs):
+        # ``REPRO_SIM_CALENDAR=1`` swaps the binary heap for the
+        # bucketed calendar-queue prototype without touching any of the
+        # hot-path code below (see repro/sim/calendar.py and the bench
+        # comparison in docs/performance.md).
+        if cls is Environment and os.environ.get("REPRO_SIM_CALENDAR"):
+            from repro.sim.calendar import CalendarEnvironment
+
+            return super().__new__(CalendarEnvironment)
+        return super().__new__(cls)
+
     def __init__(self, initial_time: float = 0.0, stats: bool = False) -> None:
         self._now = float(initial_time)
         # heap entries: (time, priority, seq, event)
@@ -127,6 +156,14 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: cancelled entries still sitting in the heap (lazy deletion)
         self._dead = 0
+        #: active numeric ``run(until=...)`` bound — the event horizon
+        #: the fluid regime may never advance past (inf outside run()
+        #: or when running to an Event / to exhaustion)
+        self._run_horizon = float("inf")
+        #: hybrid-kernel regime manager (:class:`repro.sim.fluid.
+        #: FluidRegime`), attached by scenario wiring under
+        #: ``--kernel hybrid``; None = pure exact DES
+        self.regime: Optional[Any] = None
         sink = _stats_sink
         if stats or sink is not None:
             self._stats: Optional[EnvStats] = EnvStats()
@@ -177,6 +214,16 @@ class Environment:
         the simulation will actually execute.
         """
         return len(self._queue) - self._dead
+
+    def event_horizon(self) -> float:
+        """Furthest time the current run is allowed to reach.
+
+        A numeric ``run(until=t)`` bounds it at ``t``; running to an
+        event or to heap exhaustion leaves it at ``inf``.  The fluid
+        regime queries this so an analytic window can never leap past
+        the stop time and report work from beyond the end of the run.
+        """
+        return self._run_horizon
 
     # ------------------------------------------------------------------
     # event factories
@@ -362,6 +409,7 @@ class Environment:
                 stop._ok = True
                 stop._value = None
                 self.schedule(stop, priority=EventPriority.LOW, delay=horizon - self._now)
+                self._run_horizon = horizon
             stop.add_callback(self._stop_callback)
 
         try:
@@ -373,6 +421,7 @@ class Environment:
         except StopSimulation as exc:
             return exc.value
         finally:
+            self._run_horizon = float("inf")
             # Teardown: detach the stop callback only when the stop
             # event is still pending (a processed stop already consumed
             # it, and a triggered one is about to) — the O(n) scan of a

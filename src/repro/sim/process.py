@@ -65,11 +65,18 @@ class Process(Event):
         self._sleep_cbs: Optional[list] = None
         # Kick-start: resume at the current time, before normal events
         # at this instant settle, so a freshly spawned process can react
-        # to the same-instant world state.
-        init = Event(env)
-        init._ok = True
+        # to the same-instant world state.  Built field-by-field (not
+        # via Event.__init__) so spawning stays one allocation + one
+        # heappush: the event is born already-succeeded with its one
+        # callback in place.
+        init = Event.__new__(Event)
+        init.env = env
+        init.callbacks = [self._resume_cb]
         init._value = None
-        init.callbacks.append(self._resume_cb)
+        init._ok = True
+        init._scheduled = False
+        init._defused = False
+        init._cancelled = False
         env.schedule(init, priority=EventPriority.URGENT)
 
     # ------------------------------------------------------------------

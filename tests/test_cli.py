@@ -122,6 +122,23 @@ def test_cli_profile_fig3_reports_kernel_stats(capsys):
     assert "cumulative" in out  # cProfile table
 
 
+def test_cli_profile_reports_hybrid_regime_counters(capsys):
+    """EnvStats.__str__ must surface the fluid-regime counters (ISSUE 8)."""
+    assert main(["profile", "fig3", "--frames", "300"]) == 0
+    out = capsys.readouterr().out
+    # present (as zeros) even on the default exact kernel
+    assert "fluid:" in out
+    assert "windows" in out
+    assert "forced-exact" in out
+
+
+def test_parser_accepts_kernel_flag():
+    args = build_parser().parse_args(["--kernel", "hybrid", "fig3"])
+    assert args.kernel == "hybrid"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--kernel", "warp", "fig3"])
+
+
 def test_cli_profile_defaults_to_fig3(capsys):
     assert main(["profile", "--frames", "300"]) == 0
     assert "profile: fig3" in capsys.readouterr().out

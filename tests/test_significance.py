@@ -3,7 +3,44 @@
 import numpy as np
 import pytest
 
-from repro.analysis.significance import effect_size, paired_permutation_test
+from repro.analysis.significance import (
+    bootstrap_mean_diff_ci,
+    effect_size,
+    equivalent_within,
+    paired_permutation_test,
+)
+
+
+def test_bootstrap_ci_brackets_true_mean_difference():
+    rng = np.random.default_rng(1)
+    base = rng.normal(10.0, 1.0, 30)
+    lo, hi = bootstrap_mean_diff_ci(base + 0.5, base, rng=rng)
+    assert lo <= 0.5 <= hi
+    assert hi - lo < 0.5  # paired noise cancels: tight interval
+
+
+def test_bootstrap_ci_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        bootstrap_mean_diff_ci([], [])
+    with pytest.raises(ValueError):
+        bootstrap_mean_diff_ci([1.0], [1.0], confidence=1.5)
+
+
+def test_equivalent_within_accepts_matched_and_rejects_shifted():
+    rng = np.random.default_rng(2)
+    base = rng.normal(100.0, 5.0, 20)
+    noise = rng.normal(0.0, 0.2, 20)
+    assert equivalent_within(base, base + noise, margin=1.0, rng=rng)
+    assert not equivalent_within(base, base + 5.0, margin=1.0, rng=rng)
+    with pytest.raises(ValueError):
+        equivalent_within(base, base, margin=0.0)
+
+
+def test_equivalence_needs_ci_inside_margin_not_just_small_mean():
+    # differences averaging ~0 but wildly spread: not equivalent
+    a = [0.0, 0.0, 0.0, 0.0]
+    b = [10.0, -10.0, 12.0, -12.0]
+    assert not equivalent_within(a, b, margin=1.0)
 
 
 def test_identical_samples_p_one():

@@ -1,0 +1,141 @@
+"""Calendar-queue prototype (``REPRO_SIM_CALENDAR=1``): same results.
+
+The bucketed calendar queue must be a pure data-structure swap: event
+ordering is the exact ``(time, priority, seq)`` key of the binary
+heap, so a same-seed run on either structure produces *byte-identical*
+transcripts and QoS.  Pinned for the Fig. 3 scenario and the PR-1
+chaos scenario (the same pair the fast-vs-slowpath determinism tests
+use), plus unit coverage of the calendar's own mechanics: cross-bucket
+ordering, lazy cancellation, and compaction.
+"""
+
+import heapq
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.calendar import CalendarEnvironment
+from repro.sim.events import EventPriority
+
+from tests.test_sim_determinism import _chaos_snapshot, _fig3_snapshot
+
+
+def test_calendar_flag_reaches_new_environments(monkeypatch):
+    assert type(Environment()) is Environment
+    monkeypatch.setenv("REPRO_SIM_CALENDAR", "1")
+    assert type(Environment()) is CalendarEnvironment
+    # explicit construction never depends on the flag
+    monkeypatch.delenv("REPRO_SIM_CALENDAR")
+    assert type(CalendarEnvironment()) is CalendarEnvironment
+
+
+def test_fig3_heap_vs_calendar_bit_identical(monkeypatch):
+    heap_run = _fig3_snapshot()
+    monkeypatch.setenv("REPRO_SIM_CALENDAR", "1")
+    calendar_run = _fig3_snapshot()
+    assert heap_run == calendar_run
+
+
+def test_chaos_heap_vs_calendar_bit_identical(monkeypatch):
+    heap_run = _chaos_snapshot()
+    monkeypatch.setenv("REPRO_SIM_CALENDAR", "1")
+    calendar_run = _chaos_snapshot()
+    assert heap_run == calendar_run
+
+
+def test_ordering_matches_heap_kernel_exactly():
+    """Pops come out in the heap's (time, priority, seq) order.
+
+    The same workload — ties at one instant, zero-delay re-arms, and
+    events far beyond one bucket width — runs on both structures; the
+    observed (time, label) sequences must match element-for-element.
+    """
+    width = CalendarEnvironment.BUCKET_WIDTH
+
+    def workload(env):
+        order = []
+        env.call_later(5 * width, lambda *_: order.append((env.now, "far")))
+        env.call_later(0.5 * width, lambda *_: order.append((env.now, "near")))
+
+        def ticker(env, label):
+            yield env.timeout(2 * width)
+            order.append((env.now, f"{label}-a"))
+            yield env.timeout(0.0)
+            order.append((env.now, f"{label}-b"))
+
+        env.process(ticker(env, "first"))
+        env.process(ticker(env, "second"))
+        env.run()
+        return order
+
+    assert workload(CalendarEnvironment()) == workload(Environment())
+
+
+def test_lazy_cancellation_and_queue_size():
+    env = CalendarEnvironment()
+    timers = [env.timeout(0.05 * i) for i in range(10)]
+    assert env.queue_size() == 10
+    for t in timers[::2]:
+        t.cancel()
+    assert env.queue_size() == 5
+    env.run()
+    assert env.queue_size() == 0
+    # only the live half advanced the clock
+    assert env.now == pytest.approx(0.45)
+
+
+def test_compaction_rebuilds_buckets():
+    from repro.sim.core import _COMPACT_DEAD_MIN
+
+    env = CalendarEnvironment()
+    n = _COMPACT_DEAD_MIN + 200
+    doomed = [env.timeout(1.0 + 0.001 * i) for i in range(n)]
+    keeper = env.timeout(5.0)
+    for t in doomed:
+        t.cancel()
+    # the threshold crossing compacted at least once: most tombstones
+    # are gone, and the structure's books are consistent
+    assert env._dead < n
+    assert env.queue_size() == 1
+    assert sum(len(b) for b in env._buckets.values()) == env._count
+    # an explicit compaction removes the post-threshold stragglers
+    env._compact()
+    assert env._dead == 0
+    assert sum(len(b) for b in env._buckets.values()) == 1
+    assert env.peek() == pytest.approx(5.0)
+    env.run()
+    assert keeper.triggered
+    assert env.now == pytest.approx(5.0)
+
+
+def test_peek_skips_dead_entries_at_front():
+    env = CalendarEnvironment()
+    first = env.timeout(0.1)
+    env.timeout(0.2)
+    first.cancel()
+    assert env.peek() == pytest.approx(0.2)
+    assert env.queue_size() == 1
+
+
+def test_bucket_heap_invariant_under_reuse():
+    """Draining and refilling the same bucket index keeps order sound."""
+    env = CalendarEnvironment()
+    seen = []
+
+    def pulse(env):
+        for i in range(50):
+            yield env.timeout(0.001)  # all land in a handful of buckets
+            seen.append(round(env.now, 6))
+
+    env.process(pulse(env))
+    env.run()
+    assert seen == sorted(seen)
+    assert len(seen) == 50
+    assert not env._buckets and not env._bucket_heap
+
+
+def test_scheduling_twice_is_rejected():
+    env = CalendarEnvironment()
+    ev = env.timeout(0.1)
+    with pytest.raises(RuntimeError):
+        env.schedule(ev, priority=EventPriority.NORMAL, delay=0.2)

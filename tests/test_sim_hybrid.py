@@ -1,0 +1,329 @@
+"""Hybrid fluid/frame kernel validation (ISSUE 8).
+
+Three layers of correctness, matching docs/performance.md:
+
+* **Boundary exactness** — a fluid window may never straddle a
+  transient: property tests pin ``FluidRegime.open_window`` to end
+  *byte-for-byte* on the earliest pinned edge / measure tick, and the
+  degenerate hybrid (``min_window`` beyond the run length) must
+  reproduce the exact kernel's transcript bit-identically.
+* **Traced runs are exact runs** — the tracer vetoes fluid advance, so
+  every committed golden trace replays byte-exact under
+  ``REPRO_KERNEL=hybrid`` on both the fast and slow kernels.
+* **Fluid regions are statistically equivalent** — paired same-seed
+  sweeps of the Fig. 3 scenario must land inside a bootstrap
+  equivalence margin on QoS (:func:`repro.analysis.significance
+  .equivalent_within`), while the hybrid run actually engages windows.
+"""
+
+import dataclasses
+import json
+import struct
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.fluid as fluid_mod
+from repro.analysis.significance import bootstrap_mean_diff_ci, equivalent_within
+from repro.control.framefeedback import FrameFeedbackController
+from repro.device.config import DeviceConfig
+from repro.experiments.chaos import RecordingController
+from repro.experiments.scenario import Scenario, build_runtime, run_scenario
+from repro.netem.link import LinkConditions
+from repro.sim import Environment
+from repro.sim.core import capture_env_stats
+from repro.sim.fluid import FluidRegime
+from repro.workloads.schedules import steady_schedule, table_v_schedule
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _pack(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+# ----------------------------------------------------------------------
+# boundary exactness: the handoff lands ON the transient
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    now=st.floats(0.0, 1000.0),
+    gaps=st.lists(st.floats(1e-3, 30.0), min_size=1, max_size=6),
+)
+def test_window_ends_byte_exactly_on_first_pinned_edge(now, gaps):
+    """Fault/schedule boundaries bind as the *identical* float."""
+    env = Environment()
+    env._now = now
+    regime = FluidRegime(env, min_window=1e-9, max_window=1e9)
+    edges, t = [], now
+    for g in gaps:
+        t = t + g
+        edges.append(t)
+    regime.pin_edges(edges)
+    t1 = regime.open_window(now)
+    first = min(e for e in edges if e > now + 1e-12)
+    assert t1 is not None
+    assert _pack(t1) == _pack(first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    now=st.floats(0.0, 1000.0),
+    tick_gap=st.floats(0.3, 5.0),
+    gaps=st.lists(st.floats(1e-3, 30.0), min_size=0, max_size=4),
+    max_window=st.floats(0.5, 20.0),
+)
+def test_window_ends_byte_exactly_on_earliest_transient(
+    now, tick_gap, gaps, max_window
+):
+    """Measure tick vs pinned edges vs max_window: earliest wins, exactly."""
+    env = Environment()
+    env._now = now
+    regime = FluidRegime(env, min_window=1e-9, max_window=max_window)
+    edges, t = [], now
+    for g in gaps:
+        t = t + g
+        edges.append(t)
+    regime.pin_edges(edges)
+    hard_edge = now + tick_gap
+    candidates = [hard_edge, now + max_window]
+    candidates += [e for e in edges if e > now + 1e-12]
+    expected = min(candidates)
+    t1 = regime.open_window(now, hard_edge=hard_edge)
+    if t1 is None:
+        # only a sub-min_window candidate may veto
+        assert expected - now < regime.min_window + 1e-12
+        assert regime.forced_exact["short-window"] == 1
+    else:
+        assert _pack(t1) == _pack(expected)
+        assert t1 - now >= regime.min_window
+
+
+@settings(max_examples=40, deadline=None)
+@given(now=st.floats(0.0, 1000.0), tick_gap=st.floats(1e-6, 0.2))
+def test_sub_minimum_window_degenerates_to_exact(now, tick_gap):
+    """A zero-length/short window is refused: the run stays exact DES."""
+    env = Environment()
+    env._now = now
+    regime = FluidRegime(env)  # default min_window=0.25 > tick_gap
+    assert regime.open_window(now, hard_edge=now + tick_gap) is None
+    assert regime.forced_exact["short-window"] == 1
+    assert regime.windows_entered == 0
+
+
+def test_tracer_vetoes_fluid_advance():
+    env = Environment()
+    env.tracer = object()  # any attached tracer pins exact
+    regime = FluidRegime(env)
+    assert regime.open_window(0.0, hard_edge=100.0) is None
+    assert regime.forced_exact["tracer"] == 1
+
+
+# ----------------------------------------------------------------------
+# scenario-level: degenerate hybrid == exact, bit for bit
+# ----------------------------------------------------------------------
+def _fig3_snapshot(kernel: str, seed: int = 0, total_frames: int = 600) -> bytes:
+    device = DeviceConfig(total_frames=total_frames)
+    rec = {}
+
+    def factory(cfg):
+        rec["c"] = RecordingController(FrameFeedbackController(cfg.frame_rate))
+        return rec["c"]
+
+    result = run_scenario(
+        Scenario(
+            controller_factory=factory,
+            device=device,
+            network=table_v_schedule(),
+            duration=device.stream_duration + 1.0,
+            seed=seed,
+            kernel=kernel,
+        )
+    )
+    return json.dumps(
+        {
+            "transcript": rec["c"].transcript(device.frame_rate),
+            "qos": dataclasses.asdict(result.qos),
+        },
+        sort_keys=True,
+    ).encode()
+
+
+def test_unknown_kernel_rejected():
+    scenario = Scenario(
+        controller_factory=lambda cfg: FrameFeedbackController(cfg.frame_rate),
+        device=DeviceConfig(total_frames=30),
+        kernel="bogus",
+    )
+    with pytest.raises(ValueError, match="bogus"):
+        build_runtime(scenario)
+
+
+def test_degenerate_hybrid_is_byte_identical_to_exact(monkeypatch):
+    """min_window beyond the run length => pure exact DES, same bytes."""
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    exact = _fig3_snapshot("exact")
+
+    class Degenerate(FluidRegime):
+        def __init__(self, env, **kwargs):
+            kwargs["min_window"] = 1e12
+            kwargs["max_window"] = 1e12
+            super().__init__(env, **kwargs)
+
+    monkeypatch.setattr(fluid_mod, "FluidRegime", Degenerate)
+    assert _fig3_snapshot("hybrid") == exact
+
+
+# ----------------------------------------------------------------------
+# scenario-level: the real hybrid engages and stays equivalent
+# ----------------------------------------------------------------------
+def _steady_scenario(kernel: str, seed: int, total_frames: int) -> Scenario:
+    device = DeviceConfig(total_frames=total_frames)
+    return Scenario(
+        controller_factory=lambda cfg: FrameFeedbackController(cfg.frame_rate),
+        device=device,
+        network=steady_schedule(LinkConditions(bandwidth=10.0, loss=0.0)),
+        duration=device.stream_duration + 1.0,
+        seed=seed,
+        kernel=kernel,
+    )
+
+
+def test_hybrid_engages_fluid_windows(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    sink: list = []
+    capture_env_stats(sink)
+    try:
+        run_scenario(_steady_scenario("hybrid", seed=0, total_frames=900))
+    finally:
+        capture_env_stats(None)
+    stats = sink[-1]
+    assert stats.fluid_windows > 0
+    assert stats.fluid_frames > 0
+    # the analytic windows must carry the bulk of a steady run
+    assert stats.fluid_frames > 450
+
+
+def test_hybrid_hits_every_measure_tick(monkeypatch):
+    """Windows end on the controller's measure tick: no tick is ever
+    skipped or displaced, so both kernels record the same number of
+    control steps (the transient itself is always event-stepped)."""
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+
+    def steps(kernel: str) -> int:
+        rec = {}
+
+        def factory(cfg):
+            rec["c"] = RecordingController(
+                FrameFeedbackController(cfg.frame_rate)
+            )
+            return rec["c"]
+
+        device = DeviceConfig(total_frames=900)
+        run_scenario(
+            Scenario(
+                controller_factory=factory,
+                device=device,
+                network=steady_schedule(
+                    LinkConditions(bandwidth=10.0, loss=0.0)
+                ),
+                duration=device.stream_duration + 1.0,
+                seed=0,
+                kernel=kernel,
+            )
+        )
+        return len(rec["c"].steps)
+
+    assert steps("hybrid") == steps("exact")
+
+
+def test_hybrid_qos_statistically_equivalent_to_exact(monkeypatch):
+    """Paired seed sweep: QoS inside a bootstrap equivalence margin."""
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    seeds = [0, 1, 2, 3, 4]
+    exact_ok, hybrid_ok, exact_t, hybrid_t = [], [], [], []
+    for seed in seeds:
+        qe = run_scenario(_fig3_like(seed, "exact")).qos
+        qh = run_scenario(_fig3_like(seed, "hybrid")).qos
+        exact_ok.append(qe.successful)
+        hybrid_ok.append(qh.successful)
+        exact_t.append(qe.mean_violation_rate)
+        hybrid_t.append(qh.mean_violation_rate)
+    # success count: equivalent within 3 % of the exact mean
+    margin_ok = 0.03 * (sum(exact_ok) / len(exact_ok))
+    assert equivalent_within(exact_ok, hybrid_ok, margin=margin_ok), (
+        exact_ok,
+        hybrid_ok,
+        bootstrap_mean_diff_ci(exact_ok, hybrid_ok),
+    )
+    # violation rate T: equivalent within 0.5 violations/s
+    assert equivalent_within(exact_t, hybrid_t, margin=0.5), (
+        exact_t,
+        hybrid_t,
+        bootstrap_mean_diff_ci(exact_t, hybrid_t),
+    )
+
+
+def _fig3_like(seed: int, kernel: str, total_frames: int = 1200) -> Scenario:
+    device = DeviceConfig(total_frames=total_frames)
+    return Scenario(
+        controller_factory=lambda cfg: FrameFeedbackController(cfg.frame_rate),
+        device=device,
+        network=table_v_schedule(),
+        duration=device.stream_duration + 1.0,
+        seed=seed,
+        kernel=kernel,
+    )
+
+
+# ----------------------------------------------------------------------
+# traced runs: goldens replay byte-exact under the hybrid kernel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scenario", ["fig3", "chaos", "fleet"])
+def test_trace_golden_replays_under_hybrid(scenario, monkeypatch):
+    from repro.trace import dumps_trace, run_trace_scenario
+
+    monkeypatch.setenv("REPRO_KERNEL", "hybrid")
+    fresh = dumps_trace(run_trace_scenario(scenario))
+    golden = (GOLDEN_DIR / f"trace_{scenario}.json").read_text()
+    assert fresh == golden
+
+
+def test_trace_golden_replays_under_hybrid_slowpath(monkeypatch):
+    from repro.trace import dumps_trace, run_trace_scenario
+
+    monkeypatch.setenv("REPRO_KERNEL", "hybrid")
+    monkeypatch.setenv("REPRO_SIM_SLOWPATH", "1")
+    fresh = dumps_trace(run_trace_scenario("fig3"))
+    golden = (GOLDEN_DIR / "trace_fig3.json").read_text()
+    assert fresh == golden
+
+
+# ----------------------------------------------------------------------
+# fleet: multi-server pools veto fluid, so hybrid == exact exactly
+# ----------------------------------------------------------------------
+def test_fleet_chaos_under_hybrid_matches_exact(monkeypatch):
+    from repro.experiments.chaos import run_chaos
+    from repro.fleet.chaos import fleet_chaos_scenario
+
+    def snapshot() -> bytes:
+        result = run_chaos(
+            fleet_chaos_scenario(
+                seed=0, total_frames=300, kill=("edge0", 3.14, 2.0)
+            )
+        )
+        return json.dumps(
+            {
+                "transcript": result.transcript,
+                "qos": dataclasses.asdict(result.run.qos),
+            },
+            sort_keys=True,
+            default=str,
+        ).encode()
+
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    exact = snapshot()
+    monkeypatch.setenv("REPRO_KERNEL", "hybrid")
+    assert snapshot() == exact
