@@ -249,6 +249,9 @@ def _cmd_chaos(args: argparse.Namespace):
     """
     import json as _json
 
+    if args.realtime:
+        return _chaos_realtime(args)
+
     from repro.control.aimd import AimdController
     from repro.control.headroom import HeadroomController
     from repro.device.config import DeviceConfig
@@ -419,6 +422,110 @@ def _cmd_chaos(args: argparse.Namespace):
             ),
         ]
     lines += ["", f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}"]
+    return "\n".join(lines), code
+
+
+def _chaos_realtime(args: argparse.Namespace):
+    """Wall-clock chaos: kill/restart a live asyncio gateway under load.
+
+    The same ScenarioSpec fault language as the simulated chaos run,
+    replayed against real sockets (:mod:`repro.realtime.chaos`), judged
+    by the wall-clock invariants: breaker opens during the outage,
+    local fallback is served, the breaker re-closes after the restart,
+    completions resume, and accounting is closed on both wire ends.
+    """
+    import json as _json
+
+    from repro.experiments.report import ascii_table
+    from repro.realtime.chaos import default_realtime_spec, run_realtime_chaos
+
+    spec = default_realtime_spec(seed=args.seed)
+    if args.clients:
+        spec = spec.replace(
+            population={"size": args.clients, "name_prefix": "dev"}
+        )
+    result = run_realtime_chaos(spec)
+    code = 0 if result.all_invariants_hold else 1
+    if args.json:
+        return _json.dumps(result.to_dict(), indent=1, sort_keys=True), code
+    report = result.report
+    gw = result.gateway_stats
+    outcomes = ", ".join(f"{k}={v}" for k, v in sorted(report.outcomes.items()) if v)
+    lines = [
+        f"Wall-clock chaos run (seed={args.seed}, {report.clients} clients, "
+        f"{report.duration:g}s, {result.incarnations} gateway incarnation(s))",
+        "",
+        f"client outcomes: {outcomes}",
+        f"tick jitter: p50={report.jitter_p50 * 1e3:.1f}ms  "
+        f"p99={report.jitter_p99 * 1e3:.1f}ms  max={report.jitter_max * 1e3:.1f}ms",
+        f"gateway: received={gw.get('received', 0)}  "
+        f"completed={gw.get('completed', 0)}  "
+        f"overloaded={gw.get('overloaded', 0)}  expired={gw.get('expired', 0)}  "
+        f"resets={gw.get('resets', 0)}  batches={gw.get('batches', 0)}",
+        "",
+        "Wall-clock invariants:",
+        ascii_table(
+            ["invariant", "window", "observed", "expected", "verdict"],
+            [c.row() for c in result.invariants],
+        ),
+        "",
+        f"verdict: {'PASS' if result.all_invariants_hold else 'FAIL'}",
+    ]
+    return "\n".join(lines), code
+
+
+def _cmd_loadgen(args: argparse.Namespace):
+    """Async load burst against an in-process gateway.
+
+    ``repro loadgen --clients 200 --duration 3`` boots the asyncio
+    gateway, drives N resilient clients at a fixed cadence, and prints
+    the QoS/taxonomy rollup plus the event-loop health canary (p99 tick
+    jitter).  Exits non-zero when accounting fails to close.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.realtime.gateway import GatewayConfig, InferenceGateway
+    from repro.realtime.loadgen import LoadgenConfig, run_loadgen
+
+    clients = args.clients or 40
+    duration = args.duration if args.duration != 60.0 else 3.0
+    config = LoadgenConfig(clients=clients, duration=duration, seed=args.seed)
+
+    async def _run():
+        gateway = InferenceGateway(GatewayConfig())
+        await gateway.start()
+        try:
+            report = await run_loadgen(config, gateway.address)
+        finally:
+            await gateway.stop()
+        return report, gateway.stats.as_dict()
+
+    report, gw = asyncio.run(_run())
+    closed = report.accounting_closed and (
+        gw["received"]
+        == gw["completed"] + gw["rejected"] + gw["overloaded"] + gw["expired"]
+    )
+    code = 0 if closed else 1
+    if args.json:
+        doc = {"report": report.to_dict(), "gateway": gw,
+               "accounting_closed": closed}
+        return _json.dumps(doc, indent=1, sort_keys=True), code
+    outcomes = ", ".join(f"{k}={v}" for k, v in sorted(report.outcomes.items()) if v)
+    taxonomy = ", ".join(f"{k}={v}" for k, v in sorted(report.taxonomy.items()) if v)
+    lines = [
+        f"loadgen burst: {clients} clients x {config.frame_rate:g} fps "
+        f"for {duration:g}s (seed={args.seed})",
+        report.qos().row(),
+        f"outcomes: {outcomes or '(none)'}",
+        f"taxonomy: {taxonomy or '(clean)'}",
+        f"tick jitter: p50={report.jitter_p50 * 1e3:.1f}ms  "
+        f"p99={report.jitter_p99 * 1e3:.1f}ms  max={report.jitter_max * 1e3:.1f}ms",
+        f"gateway: received={gw['received']}  completed={gw['completed']}  "
+        f"overloaded={gw['overloaded']}  expired={gw['expired']}  "
+        f"batches={gw['batches']}",
+        f"accounting: {'closed' if closed else 'LEAK DETECTED'}",
+    ]
     return "\n".join(lines), code
 
 
@@ -711,6 +818,7 @@ _COMMANDS = {
     "controllers": _cmd_controllers,
     "breakdown": _cmd_breakdown,
     "fleet": _cmd_fleet,
+    "loadgen": _cmd_loadgen,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
     "trace-diff": _cmd_trace_diff,
@@ -804,6 +912,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(failover on vs off) and assert the fleet accounting, "
         "failover-exercised, readmission, and failover-beats-none "
         "invariants",
+    )
+    parser.add_argument(
+        "--realtime",
+        action="store_true",
+        help="run the chaos scenario against a live asyncio gateway "
+        "over real sockets (kill/restart mid-load) and assert the "
+        "wall-clock breaker/fallback/accounting invariants",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent async clients (loadgen, chaos --realtime)",
     )
     parser.add_argument(
         "--supervision",

@@ -116,6 +116,21 @@ class FaultTimeline:
                 merged.append(w)
         return FaultTimeline(merged)
 
+    def edges(self) -> List[Tuple[float, bool]]:
+        """Every transition as ``(time, active)``, in time order.
+
+        Each window contributes ``(start, True)`` and ``(end, False)``;
+        windows are already validated non-overlapping, so the flat list
+        is the exact on/off schedule a wall-clock injector replays
+        (:mod:`repro.realtime.chaos`) and a timeline-driven process can
+        sleep against.
+        """
+        out: List[Tuple[float, bool]] = []
+        for w in self.windows:
+            out.append((w.start, True))
+            out.append((w.end, False))
+        return out
+
     def clipped_from(self, now: float) -> "FaultTimeline":
         """The timeline as seen from ``now``: past windows dropped,
         a straddling window clipped to its remaining duration."""

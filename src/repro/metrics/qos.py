@@ -107,3 +107,13 @@ def fleet_extras(extras: Dict[str, float]) -> Dict[str, float]:
     them out in one stable order for reports and goldens.
     """
     return {k: extras[k] for k in sorted(extras) if k.startswith("fleet.")}
+
+
+def realtime_extras(extras: Dict[str, float]) -> Dict[str, float]:
+    """The ``realtime.*`` slice of a report's extras, sorted by key.
+
+    Wall-clock runs (:mod:`repro.realtime.loadgen`) publish tick-jitter
+    percentiles, breaker-open counts and local-fallback totals through
+    :attr:`QosReport.extras`; this pulls them out in one stable order.
+    """
+    return {k: extras[k] for k in sorted(extras) if k.startswith("realtime.")}

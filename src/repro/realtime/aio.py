@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, List
+from typing import Awaitable, Callable, List, Optional
 
 import numpy as np
 
@@ -57,17 +57,26 @@ class AsyncRealTimeLoop:
     def __init__(
         self,
         controller: Controller,
-        submit: Callable[[], Awaitable[bool]],
+        submit: Optional[Callable[[], Awaitable[bool]]] = None,
         frame_rate: float = 30.0,
         deadline: float = 0.25,
         local_latency: float = 0.03,
         measure_period: float = 1.0,
         t_window_buckets: int = 3,
+        remote: Optional[object] = None,
     ) -> None:
+        """``submit`` is any ``async () -> bool``; alternatively pass
+        ``remote=`` an object with ``async submit_frame() -> FrameOutcome``
+        (e.g. :class:`~repro.realtime.client.ResilientSocketRemote`) and
+        the loop also routes breaker fallbacks onto the local pipeline
+        instead of counting them as plain offload failures."""
         if frame_rate <= 0 or deadline <= 0 or measure_period <= 0:
             raise ValueError("rates, deadline and period must be positive")
+        if submit is None and remote is None:
+            raise ValueError("need either a submit callable or a remote")
         self.controller = controller
-        self.submit = submit
+        self.remote = remote
+        self.submit = submit if submit is not None else remote.submit
         self.frame_rate = frame_rate
         self.deadline = deadline
         self.local_latency = local_latency
@@ -76,7 +85,13 @@ class AsyncRealTimeLoop:
         self.splitter.set_target(controller.initial_target(frame_rate))
         self._t_window = WindowedRate(t_window_buckets)
         self._local_busy = False
-        self._counts = {"attempts": 0, "success": 0, "timeouts": 0, "local": 0}
+        self._counts = {
+            "attempts": 0,
+            "success": 0,
+            "timeouts": 0,
+            "local": 0,
+            "fallback_dropped": 0,
+        }
 
     # ------------------------------------------------------------------
     async def run(self, duration: float) -> AsyncLoopResult:
@@ -119,12 +134,36 @@ class AsyncRealTimeLoop:
                 task.cancel()
 
     async def _offload_one(self) -> None:
+        if self.remote is not None:
+            await self._offload_one_resilient()
+            return
         try:
             ok = await asyncio.wait_for(self.submit(), timeout=self.deadline)
         except (asyncio.TimeoutError, OSError):
             ok = False
         if ok:
             self._counts["success"] += 1
+        else:
+            self._counts["timeouts"] += 1
+            self._t_window.record(1)
+
+    async def _offload_one_resilient(self) -> None:
+        """Offload through a resilient remote (deadline owned there).
+
+        A breaker fallback re-routes the frame to the local pipeline —
+        the frame is *saved*, not failed, so the controller never sees
+        it as a timeout (the sim's breaker has the same contract).
+        """
+        from repro.realtime.client import FrameOutcome
+
+        outcome = await self.remote.submit_frame()
+        if outcome is FrameOutcome.COMPLETED:
+            self._counts["success"] += 1
+        elif outcome is FrameOutcome.FALLBACK_LOCAL:
+            if self._local_busy:
+                self._counts["fallback_dropped"] += 1
+            else:
+                await self._local_one()
         else:
             self._counts["timeouts"] += 1
             self._t_window.record(1)

@@ -1,0 +1,319 @@
+"""Resilient asyncio offload client for the inference gateway.
+
+This is :mod:`repro.resilience` ported onto real sockets: the same
+deadline-budgeted hedged retry, the same token-bucket retry budget,
+the same :class:`~repro.resilience.breaker.CircuitBreaker` state
+machine — every ``now`` fed from ``loop.time()`` instead of simulated
+time, exactly the reuse the breaker's design promised ("deliberately
+simulation-free — every method takes ``now`` explicitly").
+
+Two layers:
+
+* :class:`AsyncSocketRemote` — a plain wire-protocol-v2 client with a
+  small connection pool (persistent connections, one frame in flight
+  per connection, stale pooled sockets discarded);
+* :class:`ResilientSocketRemote` — the defended path: per-frame
+  deadline budget, hedged retransmission gated by the retry budget,
+  breaker-with-local-fallback, submit-driven half-open probes, and the
+  shared :class:`~repro.metrics.taxonomy.FailureTaxonomy` so
+  wall-clock runs emit the same failure counters the simulator does.
+
+Every ``submit_frame`` call resolves to exactly one
+:class:`FrameOutcome` — the closed-accounting contract the chaos
+invariants (:mod:`repro.realtime.chaos`) assert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.taxonomy import FailureKind, FailureTaxonomy
+from repro.realtime import protocol
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import RetryBudget
+from repro.resilience.config import ResilienceConfig
+
+
+class FrameOutcome(enum.Enum):
+    """The single terminal state of one submitted frame."""
+
+    COMPLETED = "completed"
+    #: no useful reply within the deadline budget (network silence,
+    #: connect failure, reset, or a reply that arrived too late)
+    TIMEOUT = "timeout"
+    #: explicit server rejection (batch overflow / drain)
+    REJECTED = "rejected"
+    #: explicit overload pushback (admission or queue shed)
+    OVERLOADED = "overloaded"
+    #: server shed the frame because its deadline had already lapsed
+    EXPIRED = "expired"
+    #: breaker open: frame diverted to the local pipeline unsent
+    FALLBACK_LOCAL = "fallback_local"
+
+
+#: outcomes that indicate the remote path failed (feed the breaker)
+FAILURE_OUTCOMES = (
+    FrameOutcome.TIMEOUT,
+    FrameOutcome.REJECTED,
+    FrameOutcome.OVERLOADED,
+    FrameOutcome.EXPIRED,
+)
+
+
+class AsyncSocketRemote:
+    """Pooled wire-protocol-v2 client: one frame in flight per socket."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        tenant: str = "device0",
+        frame_bytes: int = 11_700,
+        connect_timeout: float = 0.2,
+        pool_idle: float = 3.0,
+        pool_limit: int = 8,
+    ) -> None:
+        if frame_bytes <= 0:
+            raise ValueError(f"frame bytes must be positive, got {frame_bytes}")
+        if connect_timeout <= 0 or pool_idle <= 0:
+            raise ValueError("connect_timeout and pool_idle must be positive")
+        self.address = address
+        self.tenant = tenant
+        self.frame_bytes = frame_bytes
+        self.connect_timeout = connect_timeout
+        self.pool_idle = pool_idle
+        self.pool_limit = pool_limit
+        self._payload = b"\x00" * frame_bytes
+        self._pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter, float]] = []
+
+    async def exchange(self, deadline: Optional[float]) -> protocol.Reply:
+        """One request/response round trip (raises on transport error).
+
+        The caller bounds the whole call with ``asyncio.wait_for``; the
+        connect step carries its own smaller timeout so a dead address
+        fails fast instead of eating the whole deadline budget.
+        """
+        conn = self._acquire()
+        if conn is None:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*self.address), timeout=self.connect_timeout
+            )
+        else:
+            reader, writer = conn
+        try:
+            writer.write(protocol.encode_request(self.tenant, self._payload, deadline))
+            await writer.drain()
+            reply = await protocol.read_reply(reader)
+        except BaseException:
+            writer.close()
+            raise
+        self._release(reader, writer)
+        return reply
+
+    def _acquire(self):
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        while self._pool:
+            reader, writer, last_used = self._pool.pop()
+            if now - last_used > self.pool_idle or writer.is_closing():
+                writer.close()
+                continue
+            return reader, writer
+        return None
+
+    def _release(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        if writer.is_closing() or len(self._pool) >= self.pool_limit:
+            writer.close()
+            return
+        self._pool.append((reader, writer, asyncio.get_running_loop().time()))
+
+    async def close(self) -> None:
+        while self._pool:
+            _reader, writer, _t = self._pool.pop()
+            writer.close()
+
+
+class ResilientSocketRemote:
+    """Deadline-budgeted retries + circuit breaker over real sockets."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        deadline: float = 0.25,
+        config: Optional[ResilienceConfig] = None,
+        tenant: str = "device0",
+        frame_bytes: int = 11_700,
+        connect_timeout: Optional[float] = None,
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.deadline = deadline
+        self.config = config or ResilienceConfig.wallclock()
+        self.remote = AsyncSocketRemote(
+            address,
+            tenant=tenant,
+            frame_bytes=frame_bytes,
+            connect_timeout=connect_timeout or max(0.2 * deadline, 0.05),
+        )
+        self.breaker = CircuitBreaker(self.config)
+        self.breaker.on_open = self._arm_probe
+        self.retry_budget = RetryBudget(
+            rate=self.config.retry_budget_rate, burst=self.config.retry_budget_burst
+        )
+        self.taxonomy = FailureTaxonomy()
+        self.submitted = 0
+        self.counts: Dict[FrameOutcome, int] = {o: 0 for o in FrameOutcome}
+        self._next_probe_at = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def settled(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def accounting_closed(self) -> bool:
+        """Every submitted frame reached exactly one terminal outcome."""
+        return self.submitted == self.settled
+
+    def _arm_probe(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._next_probe_at = loop.time() + self.breaker.current_backoff
+
+    # ------------------------------------------------------------------
+    async def submit(self) -> bool:
+        """Bool-shaped entry point (plugs into ``AsyncRealTimeLoop``)."""
+        return (await self.submit_frame()) is FrameOutcome.COMPLETED
+
+    async def submit_frame(self) -> FrameOutcome:
+        """Offload one frame; always returns exactly one outcome."""
+        loop = asyncio.get_running_loop()
+        self.submitted += 1
+        try:
+            outcome = await self._submit_inner(loop)
+        except asyncio.CancelledError:
+            # a cancelled offload still settles (the loop was torn down
+            # mid-flight); classify as timeout so accounting stays closed
+            self.counts[FrameOutcome.TIMEOUT] += 1
+            self.taxonomy.record(FailureKind.SILENT_TIMEOUT)
+            raise
+        self.counts[outcome] += 1
+        return outcome
+
+    async def _submit_inner(self, loop: asyncio.AbstractEventLoop) -> FrameOutcome:
+        now = loop.time()
+        if not self.breaker.is_closed:
+            if self.breaker.is_open and now >= self._next_probe_at:
+                return await self._probe(loop)
+            self.taxonomy.record(FailureKind.BREAKER_FALLBACK)
+            return FrameOutcome.FALLBACK_LOCAL
+        outcome, retry_after = await self._attempt_with_retry(loop)
+        if outcome is FrameOutcome.COMPLETED:
+            self.breaker.record_success(loop.time())
+        else:
+            self._record_failure_kind(outcome)
+            self.breaker.record_failure(loop.time(), retry_after)
+        return outcome
+
+    # ------------------------------------------------------------------
+    async def _probe(self, loop: asyncio.AbstractEventLoop) -> FrameOutcome:
+        """Submit-driven half-open trial probe (no hedging, no budget)."""
+        self.breaker.on_probe_sent(loop.time())
+        self._next_probe_at = float("inf")  # one probe in flight at a time
+        outcome, _hint = await self._single_attempt(self.deadline)
+        ok = outcome is FrameOutcome.COMPLETED
+        self.breaker.record_probe(ok, loop.time())
+        if not ok:
+            self.taxonomy.record(FailureKind.PROBE_FAILED)
+            self._record_failure_kind(outcome)
+            self._arm_probe()
+        return outcome
+
+    def _record_failure_kind(self, outcome: FrameOutcome) -> None:
+        kind = {
+            FrameOutcome.TIMEOUT: FailureKind.SILENT_TIMEOUT,
+            FrameOutcome.REJECTED: FailureKind.REJECTED,
+            FrameOutcome.OVERLOADED: FailureKind.OVERLOADED,
+            # a server-side deadline shed is an explicit rejection of a
+            # frame that had already missed its budget
+            FrameOutcome.EXPIRED: FailureKind.REJECTED,
+        }.get(outcome)
+        if kind is not None:
+            self.taxonomy.record(kind)
+
+    async def _single_attempt(self, budget: float):
+        """One exchange bounded by ``budget``; never raises."""
+        try:
+            reply = await asyncio.wait_for(
+                self.remote.exchange(deadline=budget), timeout=budget
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError, protocol.ProtocolError):
+            return FrameOutcome.TIMEOUT, None
+        return self._classify(reply), reply.retry_after
+
+    @staticmethod
+    def _classify(reply: protocol.Reply) -> FrameOutcome:
+        return {
+            protocol.STATUS_OK: FrameOutcome.COMPLETED,
+            protocol.STATUS_REJECTED: FrameOutcome.REJECTED,
+            protocol.STATUS_OVERLOADED: FrameOutcome.OVERLOADED,
+            protocol.STATUS_EXPIRED: FrameOutcome.EXPIRED,
+        }[reply.status]
+
+    # ------------------------------------------------------------------
+    async def _attempt_with_retry(self, loop: asyncio.AbstractEventLoop):
+        """Deadline-budgeted hedged retransmission; first OK wins.
+
+        Mirrors the simulator's :class:`~repro.resilience.layer` retry
+        discipline: the hedge fires at ``retry_after_frac`` of the
+        deadline, only if at least ``min_reply_frac`` of the budget
+        remains and the token bucket grants it.
+        """
+        start = loop.time()
+        budget = self.deadline
+        attempts = [asyncio.ensure_future(self._single_attempt(budget))]
+        hedge_wait = self.config.retry_after_frac * budget
+        done, _pending = await asyncio.wait(attempts, timeout=hedge_wait)
+        if not done and self.config.max_retries > 0:
+            now = loop.time()
+            remaining = budget - (now - start)
+            if remaining < self.config.min_reply_frac * budget:
+                self.taxonomy.record(FailureKind.RETRY_WINDOW_CLOSED)
+            elif not self.retry_budget.try_acquire(now):
+                self.taxonomy.record(FailureKind.RETRY_DENIED)
+            else:
+                self.taxonomy.record(FailureKind.RETRY_SENT)
+                attempts.append(
+                    asyncio.ensure_future(self._single_attempt(remaining))
+                )
+        # race the in-flight attempts to the overall deadline: the first
+        # COMPLETED wins immediately; otherwise the best non-OK verdict
+        deadline_at = start + budget
+        fallback: Optional[Tuple[FrameOutcome, Optional[float]]] = None
+        pending = {t for t in attempts if not t.done()}
+        for task in attempts:
+            if task.done():
+                outcome, hint = task.result()
+                if outcome is FrameOutcome.COMPLETED:
+                    return outcome, hint
+                fallback = fallback or (outcome, hint)
+        while pending:
+            timeout = deadline_at - loop.time()
+            if timeout <= 0:
+                break
+            done, pending = await asyncio.wait(
+                pending, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                outcome, hint = task.result()
+                if outcome is FrameOutcome.COMPLETED:
+                    for stray in pending:
+                        stray.cancel()
+                    return outcome, hint
+                fallback = fallback or (outcome, hint)
+        for stray in pending:
+            stray.cancel()
+        return fallback if fallback is not None else (FrameOutcome.TIMEOUT, None)
+
+    async def close(self) -> None:
+        await self.remote.close()

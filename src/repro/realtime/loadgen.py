@@ -1,0 +1,234 @@
+"""Async load generator: hundreds of device clients on one event loop.
+
+Drives N concurrent :class:`~repro.realtime.client.ResilientSocketRemote`
+clients against a gateway, each on its own seeded frame cadence, and
+rolls the outcome up into the same QoS/taxonomy shape the simulator
+emits — so a wall-clock burst and a simulated run are comparable
+row-for-row.
+
+Two health signals matter beyond throughput:
+
+* **closed accounting** — every submitted frame reached exactly one
+  terminal :class:`~repro.realtime.client.FrameOutcome`;
+* **tick jitter** — how late each client's frame tick fired versus its
+  intended schedule.  Jitter is the event-loop-starvation canary: if
+  the loop can't keep 200 coroutine tickers on schedule, p99 jitter
+  blows up long before sockets error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.qos import QosReport
+from repro.realtime.client import FrameOutcome, ResilientSocketRemote
+from repro.resilience.config import ResilienceConfig
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load burst, fully described."""
+
+    clients: int = 8
+    frame_rate: float = 10.0
+    deadline: float = 0.25
+    duration: float = 3.0
+    frame_bytes: int = 2_000
+    seed: int = 0
+    #: resilience stack for every client (None = wallclock preset)
+    resilience: Optional[ResilienceConfig] = None
+    tenant_prefix: str = "c"
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.frame_rate <= 0 or self.deadline <= 0 or self.duration <= 0:
+            raise ValueError("frame_rate, deadline and duration must be positive")
+        if self.frame_bytes <= 0:
+            raise ValueError(f"frame_bytes must be positive, got {self.frame_bytes}")
+
+
+@dataclass
+class LoadgenReport:
+    """Whole-burst rollup (plus live client handles for invariants)."""
+
+    clients: int
+    duration: float
+    submitted: int
+    outcomes: Dict[str, int]
+    taxonomy: Dict[str, int]
+    jitter_p50: float
+    jitter_p99: float
+    jitter_max: float
+    breakers_opened: int
+    breakers_all_closed: bool
+    accounting_closed: bool
+    #: the client objects themselves (not serialized; invariant checks
+    #: and probes read breaker state/taxonomy off them directly)
+    remotes: List[ResilientSocketRemote] = field(default_factory=list, repr=False)
+
+    @property
+    def completed(self) -> int:
+        return self.outcomes.get("completed", 0)
+
+    @property
+    def deadline_violations(self) -> int:
+        """Frames that missed their deadline on the offload path."""
+        return self.outcomes.get("timeout", 0) + self.outcomes.get("expired", 0)
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.deadline_violations / self.submitted if self.submitted else 0.0
+
+    def qos(self) -> QosReport:
+        """The burst as a :class:`~repro.metrics.qos.QosReport`."""
+        return QosReport(
+            name="loadgen",
+            total_frames=self.submitted,
+            successful=self.completed,
+            timeouts=self.deadline_violations,
+            rejected=self.outcomes.get("rejected", 0)
+            + self.outcomes.get("overloaded", 0),
+            mean_throughput=self.completed / self.duration,
+            mean_violation_rate=self.deadline_violations / self.duration,
+            extras={
+                "realtime.jitter_p50": self.jitter_p50,
+                "realtime.jitter_p99": self.jitter_p99,
+                "realtime.jitter_max": self.jitter_max,
+                "realtime.breakers_opened": float(self.breakers_opened),
+                "realtime.fallback_local": float(
+                    self.outcomes.get("fallback_local", 0)
+                ),
+            },
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "duration": self.duration,
+            "submitted": self.submitted,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "taxonomy": {k: v for k, v in sorted(self.taxonomy.items()) if v},
+            "jitter_p50": self.jitter_p50,
+            "jitter_p99": self.jitter_p99,
+            "jitter_max": self.jitter_max,
+            "breakers_opened": self.breakers_opened,
+            "breakers_all_closed": self.breakers_all_closed,
+            "accounting_closed": self.accounting_closed,
+        }
+
+
+async def _client_loop(
+    remote: ResilientSocketRemote,
+    start: float,
+    phase: float,
+    period: float,
+    duration: float,
+    jitter_sink: List[float],
+) -> None:
+    """One device: submit on a fixed cadence, record tick lateness."""
+    loop = asyncio.get_running_loop()
+    next_tick = start + phase
+    end = start + duration
+    inflight: set = set()
+    while next_tick < end:
+        delay = next_tick - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        jitter_sink.append(max(loop.time() - next_tick, 0.0))
+        task = asyncio.ensure_future(remote.submit_frame())
+        inflight.add(task)
+        task.add_done_callback(inflight.discard)
+        next_tick += period
+    if inflight:
+        await asyncio.gather(*inflight, return_exceptions=True)
+
+
+async def run_loadgen(
+    config: LoadgenConfig,
+    address: Tuple[str, int],
+    remotes: Optional[List[ResilientSocketRemote]] = None,
+) -> LoadgenReport:
+    """Run one burst against ``address``; returns the rollup.
+
+    Pass ``remotes`` to reuse pre-built clients (the chaos runner does,
+    so it can snapshot breaker state mid-run); otherwise one client per
+    tenant is built here.  Client start phases are seeded so two bursts
+    with the same config offer the same arrival pattern.
+    """
+    loop = asyncio.get_running_loop()
+    period = 1.0 / config.frame_rate
+    rng = np.random.default_rng(config.seed)
+    phases = rng.uniform(0.0, period, size=config.clients)
+    if remotes is None:
+        remotes = [
+            ResilientSocketRemote(
+                address,
+                deadline=config.deadline,
+                config=config.resilience or ResilienceConfig.wallclock(),
+                tenant=f"{config.tenant_prefix}{i}",
+                frame_bytes=config.frame_bytes,
+            )
+            for i in range(config.clients)
+        ]
+    if len(remotes) != config.clients:
+        raise ValueError(
+            f"got {len(remotes)} remotes for {config.clients} clients"
+        )
+    jitter: List[float] = []
+    start = loop.time()
+    try:
+        await asyncio.gather(
+            *(
+                _client_loop(
+                    remotes[i], start, float(phases[i]), period, config.duration, jitter
+                )
+                for i in range(config.clients)
+            )
+        )
+    finally:
+        for remote in remotes:
+            await remote.close()
+    return summarize(config, remotes, jitter)
+
+
+def summarize(
+    config: LoadgenConfig,
+    remotes: List[ResilientSocketRemote],
+    jitter: List[float],
+) -> LoadgenReport:
+    """Roll per-client counters up into one report."""
+    outcomes: Dict[str, int] = {}
+    taxonomy: Dict[str, int] = {}
+    submitted = 0
+    opened = 0
+    all_closed = True
+    closed_accounting = True
+    for remote in remotes:
+        submitted += remote.submitted
+        closed_accounting = closed_accounting and remote.accounting_closed
+        opened += remote.breaker.opened_count
+        all_closed = all_closed and remote.breaker.is_closed
+        for outcome, n in remote.counts.items():
+            outcomes[outcome.value] = outcomes.get(outcome.value, 0) + n
+        for kind, n in remote.taxonomy.as_dict().items():
+            taxonomy[kind] = taxonomy.get(kind, 0) + n
+    arr = np.asarray(jitter, dtype=float) if jitter else np.zeros(1)
+    return LoadgenReport(
+        clients=config.clients,
+        duration=config.duration,
+        submitted=submitted,
+        outcomes=outcomes,
+        taxonomy=taxonomy,
+        jitter_p50=float(np.percentile(arr, 50.0)),
+        jitter_p99=float(np.percentile(arr, 99.0)),
+        jitter_max=float(arr.max()),
+        breakers_opened=opened,
+        breakers_all_closed=all_closed,
+        accounting_closed=closed_accounting,
+        remotes=remotes,
+    )

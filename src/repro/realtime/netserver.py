@@ -24,7 +24,6 @@ import socket
 import struct
 import threading
 import time
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 _LEN = struct.Struct(">I")
@@ -33,11 +32,25 @@ _LEN = struct.Struct(">I")
 MAX_PAYLOAD = 1 << 20
 
 
-def _recv_exact(conn: socket.socket, n: int) -> Optional[bytes]:
-    """Read exactly ``n`` bytes or None on EOF."""
+def _recv_exact(
+    conn: socket.socket, n: int, deadline: Optional[float] = None
+) -> Optional[bytes]:
+    """Read exactly ``n`` bytes or None on EOF.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant bounding
+    the *whole* read: each ``recv`` gets only the remaining budget, so
+    a drip-feeding client (one byte per almost-timeout) cannot hold a
+    handler thread forever the way a fixed per-``recv`` timeout allows.
+    Raises ``socket.timeout`` when the budget runs out.
+    """
     chunks = []
     remaining = n
     while remaining:
+        if deadline is not None:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise socket.timeout("read deadline exhausted")
+            conn.settimeout(budget)
         chunk = conn.recv(remaining)
         if not chunk:
             return None
@@ -46,12 +59,31 @@ def _recv_exact(conn: socket.socket, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-@dataclass
 class ServerStats:
-    received: int = 0
-    completed: int = 0
-    rejected: int = 0
-    batches: int = 0
+    """Thread-safe counters: accept, handler and GPU threads all bump.
+
+    Plain ``int`` attribute reads stay lock-free (a torn read of an
+    ``int`` is impossible in CPython); every *write* goes through
+    :meth:`bump` so no increment is ever lost between threads.
+    """
+
+    FIELDS = ("received", "completed", "rejected", "batches")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        if name not in self.FIELDS:
+            raise ValueError(f"unknown counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
 
 
 class InferenceServer:
@@ -64,12 +96,16 @@ class InferenceServer:
         batch_limit: int = 15,
         base_latency: float = 0.022,
         per_item: float = 0.0055,
+        read_timeout: float = 5.0,
     ) -> None:
         if batch_limit < 1:
             raise ValueError(f"batch limit must be >= 1, got {batch_limit}")
+        if read_timeout <= 0:
+            raise ValueError(f"read_timeout must be positive, got {read_timeout}")
         self.batch_limit = batch_limit
         self.base_latency = base_latency
         self.per_item = per_item
+        self.read_timeout = read_timeout
         self.stats = ServerStats()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -80,6 +116,7 @@ class InferenceServer:
         self._queue: List[socket.socket] = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._handlers: List[threading.Thread] = []
         self._threads = [
             threading.Thread(target=self._accept_loop, name="srv-accept", daemon=True),
             threading.Thread(target=self._gpu_loop, name="srv-gpu", daemon=True),
@@ -92,10 +129,30 @@ class InferenceServer:
         return self
 
     def stop(self) -> None:
+        """Graceful shutdown: join every worker, drain the queue.
+
+        Handler threads are bounded by the read deadline, so the joins
+        terminate; queued-but-unserved requests get an explicit ``b"-"``
+        instead of a silent reset, keeping accounting closed
+        (``completed + rejected == received``) through shutdown.
+        """
         self._stop.set()
         for t in self._threads:
             t.join(timeout=2.0)
+        with self._lock:
+            handlers, self._handlers = self._handlers, []
+        for t in handlers:
+            t.join(timeout=self.read_timeout + 1.0)
+        # only after every handler has quiesced can the queue no longer
+        # grow; drain what is left with an explicit rejection
+        with self._lock:
+            queued, self._queue = self._queue, []
+        for conn in queued:
+            self.stats.bump("rejected")
+            self._reply(conn, b"-")
         self._sock.close()
+
+    close = stop
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -112,27 +169,40 @@ class InferenceServer:
                 continue
             except OSError:
                 return
-            threading.Thread(
+            handler = threading.Thread(
                 target=self._read_request, args=(conn,), daemon=True
-            ).start()
+            )
+            with self._lock:
+                self._handlers.append(handler)
+                # opportunistically reap finished handlers so a long-
+                # lived server does not accumulate dead thread objects
+                self._handlers = [t for t in self._handlers if t.is_alive()]
+            handler.start()
 
     def _read_request(self, conn: socket.socket) -> None:
         try:
-            conn.settimeout(5.0)
-            header = _recv_exact(conn, _LEN.size)
+            deadline = time.monotonic() + self.read_timeout
+            header = _recv_exact(conn, _LEN.size, deadline)
             if header is None:
                 conn.close()
                 return
             (length,) = _LEN.unpack(header)
             if length > MAX_PAYLOAD:
-                conn.sendall(b"-")
+                # clean protocol-level rejection: count it, answer it
+                self.stats.bump("received")
+                self.stats.bump("rejected")
+                self._reply(conn, b"-")
+                return
+            if _recv_exact(conn, length, deadline) is None:
                 conn.close()
                 return
-            if _recv_exact(conn, length) is None:
-                conn.close()
-                return
+            self.stats.bump("received")
             with self._lock:
-                self.stats.received += 1
+                if self._stop.is_set():
+                    # raced with shutdown: reply here, the GPU loop is gone
+                    self.stats.bump("rejected")
+                    self._reply(conn, b"-")
+                    return
                 self._queue.append(conn)
         except OSError:
             conn.close()
@@ -144,16 +214,16 @@ class InferenceServer:
                 rejected = self._queue[self.batch_limit :]
                 self._queue = []
             for conn in rejected:
-                self.stats.rejected += 1
+                self.stats.bump("rejected")
                 self._reply(conn, b"-")
             if not batch:
                 time.sleep(0.002)
                 continue
             # the "GPU": calibrated sleep, affine in batch size
             time.sleep(self.base_latency + self.per_item * len(batch))
-            self.stats.batches += 1
+            self.stats.bump("batches")
             for conn in batch:
-                self.stats.completed += 1
+                self.stats.bump("completed")
                 self._reply(conn, b"+")
 
     @staticmethod

@@ -63,6 +63,24 @@ class ResilienceConfig:
     #: (its frames are being saved by the local fallback)
     open_target_frac: float = 0.1
 
+    @classmethod
+    def wallclock(cls) -> "ResilienceConfig":
+        """Preset for wall-clock gateway clients (:mod:`repro.realtime`).
+
+        Same state machine, faster clock: a wall-clock chaos run lasts
+        seconds rather than simulated minutes, so the breaker trips a
+        hair earlier and the probe backoff ceiling drops from 8 s to
+        2 s — otherwise a single failed probe could park the breaker
+        open for longer than the whole run, and the re-close invariant
+        would be untestable inside a CI-sized window.
+        """
+        return cls(
+            trip_threshold=4,
+            backoff_initial=0.3,
+            backoff_max=2.0,
+            close_after=1,
+        )
+
     def __post_init__(self) -> None:
         if not 0.0 < self.retry_after_frac < 1.0:
             raise ValueError(

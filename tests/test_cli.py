@@ -351,3 +351,63 @@ def test_cli_search_json_summary(capsys):
     assert doc["evaluated"] <= 4
     assert "minimized" in doc
     assert code in (0, 1)  # tiny budgets may legitimately find nothing
+
+
+# ----------------------------------------------------------------------
+# wall-clock gateway: loadgen + chaos --realtime (ISSUE 9)
+# ----------------------------------------------------------------------
+def test_parser_accepts_loadgen_and_realtime_flags():
+    args = build_parser().parse_args(["loadgen", "--clients", "5", "--duration", "1.5"])
+    assert args.command == "loadgen"
+    assert args.clients == 5
+    args = build_parser().parse_args(["chaos", "--realtime", "--clients", "3"])
+    assert args.realtime is True
+    assert args.clients == 3
+
+
+def test_cli_loadgen_burst_json(capsys):
+    """Real seconds elapse (a 1 s burst against a live gateway)."""
+    assert main(["loadgen", "--clients", "4", "--duration", "1", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["accounting_closed"] is True
+    assert doc["report"]["submitted"] > 0
+    assert doc["gateway"]["received"] > 0
+
+
+def test_cli_loadgen_human_output(capsys):
+    assert main(["loadgen", "--clients", "3", "--duration", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "loadgen burst" in out
+    assert "tick jitter" in out
+    assert "accounting: closed" in out
+
+
+def test_cli_chaos_realtime_invariant_failure_exits_nonzero(monkeypatch, capsys):
+    """CI gates on the exit code: a failed wall-clock invariant must be
+    non-zero, same contract as the simulated chaos run."""
+    import repro.realtime.chaos as rt_chaos
+    from repro.faults.invariants import InvariantCheck
+
+    real = rt_chaos.run_realtime_chaos
+
+    def sabotaged(spec, resilience=None):
+        # shrink to a benign 1 s run, then inject a failed row
+        result = real(spec.replace(duration=1.0, faults=[]), resilience)
+        result.invariants.append(
+            InvariantCheck(
+                name="forced-fail",
+                passed=False,
+                observed=1.0,
+                expected=0.0,
+                tolerance=0.0,
+                detail="injected by the test",
+            )
+        )
+        return result
+
+    monkeypatch.setattr(rt_chaos, "run_realtime_chaos", sabotaged)
+    assert main(["chaos", "--realtime"]) == 1
+    assert "verdict: FAIL" in capsys.readouterr().out
+    assert main(["chaos", "--realtime", "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["all_invariants_hold"] is False

@@ -1,5 +1,6 @@
 """Tests for the TCP inference server + socket client (wall clock)."""
 
+import socket
 import threading
 import time
 
@@ -71,6 +72,81 @@ def test_flood_beyond_batch_limit_rejects():
     assert results.count(False) > 0
     assert server.stats.rejected > 0
     assert server.stats.completed + server.stats.rejected == 10
+
+
+def test_oversized_payload_is_counted_and_answered():
+    with InferenceServer() as server:
+        remote = SocketRemote(server.address, frame_bytes=2 << 20, timeout=2.0)
+        assert remote.submit() is False
+    # a clean protocol rejection, not a silent reset: the request is
+    # counted and gets an explicit b"-", so accounting stays closed
+    snap = server.stats.snapshot()
+    assert snap["received"] == 1
+    assert snap["rejected"] == 1
+    assert snap["completed"] == 0
+
+
+def test_slow_header_hits_read_deadline():
+    with InferenceServer(read_timeout=0.2) as server:
+        conn = socket.create_connection(server.address, timeout=2.0)
+        conn.sendall(b"\x00")  # one header byte, then silence
+        # server abandons the read at the deadline and closes; the
+        # half-sent request is never counted as received
+        assert conn.recv(1) == b""
+        conn.close()
+    assert server.stats.snapshot()["received"] == 0
+
+
+def test_stats_bump_validates_counter_name():
+    from repro.realtime.netserver import ServerStats
+
+    stats = ServerStats()
+    with pytest.raises(ValueError):
+        stats.bump("not_a_counter")
+
+
+def test_stats_concurrent_hammer_loses_no_increments():
+    from repro.realtime.netserver import ServerStats
+
+    stats = ServerStats()
+    per_thread = 5_000
+    threads = 8
+
+    def hammer():
+        for _ in range(per_thread):
+            stats.bump("received")
+            stats.bump("completed", 2)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(timeout=30.0)
+    snap = stats.snapshot()
+    assert snap["received"] == threads * per_thread
+    assert snap["completed"] == 2 * threads * per_thread
+
+
+def test_close_is_graceful_and_accounting_closes():
+    # a slow GPU guarantees requests are still queued when close() runs
+    server = InferenceServer(base_latency=0.3, per_item=0.0, batch_limit=1).start()
+    remote = SocketRemote(server.address, frame_bytes=200, timeout=5.0)
+    results = []
+
+    def worker():
+        results.append(remote.submit())
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    time.sleep(0.1)  # let requests land in the queue
+    server.close()  # alias of stop(): drains queue with explicit b"-"
+    for t in threads:
+        t.join(timeout=10.0)
+    assert len(results) == 4
+    snap = server.stats.snapshot()
+    # every received request got exactly one verdict through shutdown
+    assert snap["completed"] + snap["rejected"] == snap["received"]
 
 
 def test_framefeedback_over_real_sockets():

@@ -1,0 +1,203 @@
+"""Tests for wall-clock chaos: fault lowering, harness, invariants.
+
+The full chaos run at the bottom is the tentpole check — a real
+gateway killed and restarted mid-burst, judged by the same invariant
+rows the simulator's chaos harness emits.  It is sized to ~4 s of wall
+clock; everything above it is sub-second.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.faults.windows import FaultTimeline
+from repro.realtime.chaos import (
+    KNOB_DEFAULTS,
+    STALL_UNIT,
+    GatewayHarness,
+    WallClockInjector,
+    kill_timeline,
+    lower_faults,
+    run_realtime_chaos_async,
+)
+from repro.realtime.client import AsyncSocketRemote
+from repro.realtime.gateway import GatewayConfig
+from repro.search.language import ScenarioSpec, SpecError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# fault lowering
+# ----------------------------------------------------------------------
+
+
+def test_edges_interleaves_on_off():
+    timeline = FaultTimeline.from_rows([(1.0, 2.0), (5.0, 1.0)])
+    assert timeline.edges() == [(1.0, True), (3.0, False), (5.0, True), (6.0, False)]
+
+
+def test_lower_kill_fault():
+    actions = lower_faults(
+        [{"kind": "server_crash", "windows": [[2.0, 1.5]]}]
+    )
+    assert [(a.at, a.kind) for a in actions] == [(2.0, "kill"), (3.5, "restart")]
+
+
+def test_lower_knob_faults():
+    actions = lower_faults(
+        [
+            {"kind": "server_slowdown", "factor": 5.0, "windows": [[1.0, 1.0]]},
+            {"kind": "latency_spike", "extra_delay": 0.04, "windows": [[3.0, 1.0]]},
+            {"kind": "bandwidth_collapse", "factor": 6.0, "windows": [[5.0, 1.0]]},
+        ]
+    )
+    by_time = [(a.at, a.kind, a.knob, a.value) for a in actions]
+    assert by_time == [
+        (1.0, "set", "slowdown_factor", 5.0),
+        (2.0, "clear", "slowdown_factor", 0.0),
+        (3.0, "set", "extra_latency", 0.04),
+        (4.0, "clear", "extra_latency", 0.0),
+        (5.0, "set", "read_stall", pytest.approx(5.0 * STALL_UNIT)),
+        (6.0, "clear", "read_stall", 0.0),
+    ]
+
+
+def test_unmappable_kind_raises_spec_error():
+    with pytest.raises(SpecError, match="camera_stall"):
+        lower_faults([{"kind": "camera_stall", "windows": [[1.0, 1.0]]}])
+
+
+def test_overlapping_kill_windows_rejected():
+    with pytest.raises(SpecError, match="overlapping kill"):
+        lower_faults(
+            [
+                {"kind": "server_crash", "windows": [[1.0, 2.0]]},
+                {"kind": "server_kill", "windows": [[2.0, 2.0]]},
+            ]
+        )
+
+
+def test_kill_timeline_unions_kill_kinds_only():
+    timeline = kill_timeline(
+        [
+            {"kind": "server_crash", "windows": [[1.0, 1.0]]},
+            {"kind": "server_slowdown", "factor": 2.0, "windows": [[0.0, 9.0]]},
+            {"kind": "server_kill", "windows": [[5.0, 1.0]]},
+        ]
+    )
+    assert len(timeline) == 2
+    assert timeline.last_end == 6.0
+
+
+def test_injector_rejects_bad_spec_up_front():
+    harness = GatewayHarness()
+    with pytest.raises(SpecError):
+        WallClockInjector(harness, [{"kind": "device_reboot", "windows": [[0, 1]]}])
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+
+def test_harness_restart_keeps_port_and_knobs():
+    async def scenario():
+        harness = GatewayHarness(GatewayConfig())
+        await harness.start()
+        try:
+            port = harness.address[1]
+            harness.set_knob("slowdown_factor", 4.0)
+            await harness.kill()
+            assert not harness.running
+            await harness.restart()
+            assert harness.address[1] == port
+            assert harness.incarnations == 2
+            # knob values survive the respawn
+            assert harness.gateway.slowdown_factor == 4.0
+            harness.clear_knob("slowdown_factor")
+            assert harness.gateway.slowdown_factor == KNOB_DEFAULTS["slowdown_factor"]
+            # and the revived incarnation actually serves
+            remote = AsyncSocketRemote(harness.address, tenant="dev", frame_bytes=64)
+            assert (await remote.exchange(deadline=0.5)).ok
+            await remote.close()
+        finally:
+            await harness.stop()
+        # stats accumulate across incarnations
+        assert len(harness.all_stats) == 2
+        assert harness.accounting_closed
+
+    run(scenario())
+
+
+def test_harness_rejects_unknown_knob():
+    harness = GatewayHarness()
+    with pytest.raises(ValueError):
+        harness.set_knob("not_a_knob", 1.0)
+
+
+# ----------------------------------------------------------------------
+# the full run
+# ----------------------------------------------------------------------
+
+
+def test_chaos_run_invariants_hold():
+    # shrunken default scenario: 4 clients, 3.5 s, a 1 s mid-run kill —
+    # long enough for trip -> fallback -> probe -> re-close (real
+    # seconds elapse; this is the expensive test of the file)
+    spec = ScenarioSpec.from_dict(
+        {
+            "seed": 0,
+            "duration": 3.5,
+            "device": {"frame_rate": 10.0, "deadline": 0.25},
+            "gpu": {"base_latency": 0.022, "per_item": 0.0055},
+            "population": {"size": 4, "name_prefix": "dev"},
+            "faults": [{"kind": "server_crash", "windows": [[1.0, 1.0]]}],
+        }
+    )
+    result = run(run_realtime_chaos_async(spec))
+    by_name = {c.name: c for c in result.invariants}
+    assert set(by_name) == {
+        "client-accounting-closed",
+        "gateway-accounting-closed",
+        "breaker-opened",
+        "fallback-served",
+        "breakers-reclosed",
+        "recovered-after-restart",
+        "gateway-restarted",
+    }
+    for check in result.invariants:
+        assert check.passed, f"{check.name}: {check.detail} (obs={check.observed})"
+    assert result.all_invariants_hold
+    assert result.incarnations == 2
+    # the injector actually fired both actions
+    assert [kind for _t, kind in result.applied] == ["kill", "restart"]
+    # outcome shape: work completed on both sides of the outage, and
+    # the open breaker diverted frames locally during it
+    assert result.report.outcomes.get("completed", 0) > 0
+    assert result.report.outcomes.get("fallback_local", 0) > 0
+    # serializes cleanly for --json
+    payload = result.to_dict()
+    assert payload["all_invariants_hold"] is True
+    assert payload["incarnations"] == 2
+
+
+def test_chaos_run_without_faults_judges_accounting_only():
+    spec = ScenarioSpec.from_dict(
+        {
+            "seed": 0,
+            "duration": 1.0,
+            "device": {"frame_rate": 10.0, "deadline": 0.25},
+            "gpu": {"base_latency": 0.022, "per_item": 0.0055},
+            "population": {"size": 2, "name_prefix": "dev"},
+        }
+    )
+    result = run(run_realtime_chaos_async(spec))
+    assert [c.name for c in result.invariants] == [
+        "client-accounting-closed",
+        "gateway-accounting-closed",
+    ]
+    assert result.all_invariants_hold
+    assert result.incarnations == 1

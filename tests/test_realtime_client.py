@@ -1,0 +1,128 @@
+"""Tests for the resilient socket client (breaker, probes, taxonomy).
+
+The client is :mod:`repro.resilience` on real sockets; these tests
+drive it against a real gateway (and a dead port) and assert the same
+contracts the simulator's resilience layer carries: closed accounting,
+breaker trip/fallback/re-close, and shared taxonomy counters.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.metrics.taxonomy import FailureKind
+from repro.realtime.client import FrameOutcome, ResilientSocketRemote
+from repro.realtime.gateway import GatewayConfig, InferenceGateway
+from repro.resilience.config import ResilienceConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def dead_address():
+    """An address nothing listens on (bind, read the port, close)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ResilientSocketRemote(("127.0.0.1", 1), deadline=0.0)
+    with pytest.raises(ValueError):
+        ResilientSocketRemote(("127.0.0.1", 1), frame_bytes=0)
+
+
+def test_completed_round_trip_and_submit_bool():
+    async def scenario():
+        async with InferenceGateway(GatewayConfig()) as gateway:
+            remote = ResilientSocketRemote(
+                gateway.address, deadline=0.5, frame_bytes=128
+            )
+            assert await remote.submit_frame() is FrameOutcome.COMPLETED
+            assert await remote.submit() is True
+            await remote.close()
+            assert remote.submitted == 2
+            assert remote.counts[FrameOutcome.COMPLETED] == 2
+            assert remote.accounting_closed
+
+    run(scenario())
+
+
+def test_breaker_trips_to_local_fallback_on_dead_address():
+    async def scenario():
+        config = ResilienceConfig.wallclock()
+        remote = ResilientSocketRemote(
+            dead_address(), deadline=0.05, config=config, frame_bytes=64
+        )
+        outcomes = [await remote.submit_frame() for _ in range(config.trip_threshold + 3)]
+        await remote.close()
+        # first trip_threshold attempts fail fast (connection refused),
+        # then the breaker opens and frames divert locally, unsent
+        assert outcomes[: config.trip_threshold] == (
+            [FrameOutcome.TIMEOUT] * config.trip_threshold
+        )
+        assert FrameOutcome.FALLBACK_LOCAL in outcomes
+        assert remote.breaker.is_open
+        assert remote.accounting_closed
+        taxonomy = remote.taxonomy.as_dict()
+        assert taxonomy[FailureKind.BREAKER_FALLBACK.value] >= 1
+        assert taxonomy[FailureKind.SILENT_TIMEOUT.value] >= config.trip_threshold
+
+    run(scenario())
+
+
+def test_overload_pushback_is_classified_not_timed_out():
+    async def scenario():
+        gw_config = GatewayConfig(tenant_rate=1.0, tenant_burst=1.0)
+        async with InferenceGateway(gw_config) as gateway:
+            remote = ResilientSocketRemote(
+                gateway.address, deadline=0.5, tenant="greedy", frame_bytes=64
+            )
+            first = await remote.submit_frame()
+            second = await remote.submit_frame()
+            await remote.close()
+            assert first is FrameOutcome.COMPLETED
+            assert second is FrameOutcome.OVERLOADED
+            assert remote.taxonomy.as_dict()[FailureKind.OVERLOADED.value] == 1
+            assert remote.accounting_closed
+
+    run(scenario())
+
+
+def test_probe_recovers_breaker_when_gateway_returns():
+    async def scenario():
+        config = ResilienceConfig.wallclock()
+        gateway = await InferenceGateway(GatewayConfig()).start()
+        port = gateway.address[1]
+        remote = ResilientSocketRemote(
+            gateway.address, deadline=0.2, config=config, frame_bytes=64
+        )
+        assert await remote.submit_frame() is FrameOutcome.COMPLETED
+        # outage: kill the gateway, drive the breaker open
+        await gateway.stop(abort=True)
+        for _ in range(config.trip_threshold):
+            assert await remote.submit_frame() in (
+                FrameOutcome.TIMEOUT,
+                FrameOutcome.REJECTED,
+            )
+        assert remote.breaker.is_open
+        assert await remote.submit_frame() is FrameOutcome.FALLBACK_LOCAL
+        # recovery: rebind the same port, wait out the probe backoff
+        revived = await InferenceGateway(GatewayConfig(port=port)).start()
+        try:
+            await asyncio.sleep(config.backoff_initial + 0.05)
+            probe = await remote.submit_frame()
+            assert probe is FrameOutcome.COMPLETED
+            assert remote.breaker.is_closed  # close_after=1 in wallclock preset
+            assert await remote.submit_frame() is FrameOutcome.COMPLETED
+        finally:
+            await remote.close()
+            await revived.stop()
+        assert remote.accounting_closed
+
+    run(scenario())

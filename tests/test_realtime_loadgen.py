@@ -1,0 +1,101 @@
+"""Loadgen smoke: hundreds of async clients on one loop, jitter bounded.
+
+The 200-client test is the event-loop-starvation canary the ISSUE asks
+for: if the loop cannot keep 200 coroutine tickers on schedule, p99
+tick jitter blows up long before sockets error.  Real seconds elapse;
+the burst is kept under two seconds.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.metrics.qos import realtime_extras
+from repro.realtime.gateway import GatewayConfig, InferenceGateway
+from repro.realtime.loadgen import LoadgenConfig, run_loadgen
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LoadgenConfig(clients=0)
+    with pytest.raises(ValueError):
+        LoadgenConfig(duration=0.0)
+    with pytest.raises(ValueError):
+        LoadgenConfig(frame_bytes=-1)
+
+
+def test_small_burst_accounting_and_qos_shape():
+    async def scenario():
+        gateway = await InferenceGateway(GatewayConfig()).start()
+        try:
+            config = LoadgenConfig(
+                clients=4, frame_rate=10.0, deadline=0.3, duration=1.0, seed=3
+            )
+            report = await run_loadgen(config, gateway.address)
+        finally:
+            # gateway books close once the graceful stop drains whatever
+            # the clients abandoned at their deadlines
+            await gateway.stop()
+        assert report.accounting_closed
+        assert gateway.stats.accounting_closed
+        assert report.submitted >= config.clients  # every client ticked
+        qos = report.qos()
+        extras = realtime_extras(qos.extras)
+        assert set(extras) == {
+            "realtime.breakers_opened",
+            "realtime.fallback_local",
+            "realtime.jitter_max",
+            "realtime.jitter_p50",
+            "realtime.jitter_p99",
+        }
+        assert qos.total_frames == report.submitted
+        # serializable for --json
+        payload = report.to_dict()
+        assert payload["accounting_closed"] is True
+
+    run(scenario())
+
+
+def test_loadgen_rejects_mismatched_remote_list():
+    async def scenario():
+        async with InferenceGateway(GatewayConfig()) as gateway:
+            config = LoadgenConfig(clients=2, duration=0.2)
+            with pytest.raises(ValueError):
+                await run_loadgen(config, gateway.address, remotes=[])
+
+    run(scenario())
+
+
+def test_200_clients_sustained_with_bounded_jitter():
+    async def scenario():
+        gateway = await InferenceGateway(GatewayConfig()).start()
+        try:
+            config = LoadgenConfig(
+                clients=200,
+                frame_rate=4.0,
+                deadline=0.3,
+                duration=1.5,
+                frame_bytes=512,
+                seed=0,
+            )
+            report = await run_loadgen(config, gateway.address)
+        finally:
+            await gateway.stop()
+        # every submitted frame reached exactly one terminal state, on
+        # both sides of the wire, under 800 fps of offered load (the
+        # gateway's ledger closes at stop(), when frames the clients
+        # abandoned at their deadlines are drained)
+        assert report.accounting_closed
+        assert gateway.stats.accounting_closed
+        assert report.submitted >= 200 * 4  # >= 4 ticks per client
+        # the loop kept 200 tickers on schedule: p99 lateness stays
+        # well under one frame period (generous CI bound)
+        assert report.jitter_p99 < 0.15
+        # work still completes under overload; pushback, not collapse
+        assert report.outcomes.get("completed", 0) > 0
+
+    run(scenario())

@@ -1,0 +1,115 @@
+"""Tests for wire protocol v2 (framing, validation, round trips)."""
+
+import asyncio
+
+import pytest
+
+from repro.realtime import protocol
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_request_round_trip():
+    async def scenario():
+        raw = protocol.encode_request("dev3", b"\x01" * 64, 0.25)
+        request = await protocol.read_request(_reader_with(raw))
+        assert request is not None
+        assert request.tenant == "dev3"
+        assert request.payload_bytes == 64
+        assert request.deadline == pytest.approx(0.25, abs=1e-6)
+
+    run(scenario())
+
+
+def test_request_without_deadline():
+    async def scenario():
+        raw = protocol.encode_request("d", b"x", None)
+        request = await protocol.read_request(_reader_with(raw))
+        assert request.deadline is None
+
+    run(scenario())
+
+
+def test_clean_eof_returns_none():
+    async def scenario():
+        assert await protocol.read_request(_reader_with(b"")) is None
+
+    run(scenario())
+
+
+def test_truncated_frame_is_protocol_error():
+    async def scenario():
+        raw = protocol.encode_request("dev", b"\x00" * 100, 0.1)
+        with pytest.raises(protocol.ProtocolError):
+            await protocol.read_request(_reader_with(raw[:10]))
+
+    run(scenario())
+
+
+def test_bad_magic_rejected():
+    async def scenario():
+        raw = protocol.encode_request("dev", b"x", 0.1)
+        with pytest.raises(protocol.ProtocolError):
+            await protocol.read_request(_reader_with(b"\x00" + raw[1:]))
+
+    run(scenario())
+
+
+def test_oversize_payload_rejected_at_decode():
+    async def scenario():
+        raw = protocol.encode_request("d", b"x", None)
+        # patch the payload length field to exceed MAX_PAYLOAD
+        head = bytearray(raw)
+        bad = (protocol.MAX_PAYLOAD + 1).to_bytes(4, "big")
+        head[6:10] = bad
+        with pytest.raises(protocol.ProtocolError):
+            await protocol.read_request(_reader_with(bytes(head)))
+
+    run(scenario())
+
+
+def test_encode_validates_inputs():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.encode_request("x" * (protocol.MAX_TENANT + 1), b"x", None)
+    with pytest.raises(protocol.ProtocolError):
+        protocol.encode_request("d", b"\x00" * (protocol.MAX_PAYLOAD + 1), None)
+
+
+def test_reply_round_trip():
+    async def scenario():
+        for status, hint in (
+            (protocol.STATUS_OK, None),
+            (protocol.STATUS_REJECTED, None),
+            (protocol.STATUS_OVERLOADED, 0.125),
+            (protocol.STATUS_EXPIRED, None),
+        ):
+            raw = protocol.encode_reply(status, hint)
+            reply = await protocol.read_reply(_reader_with(raw))
+            assert reply.status == status
+            if hint is None:
+                assert reply.retry_after is None
+            else:
+                assert reply.retry_after == pytest.approx(hint, abs=1e-5)
+        assert (await protocol.read_reply(
+            _reader_with(protocol.encode_reply(protocol.STATUS_OK, None))
+        )).ok
+
+    run(scenario())
+
+
+def test_reply_truncation_is_protocol_error():
+    async def scenario():
+        raw = protocol.encode_reply(protocol.STATUS_OK, None)
+        with pytest.raises(protocol.ProtocolError):
+            await protocol.read_reply(_reader_with(raw[:2]))
+
+    run(scenario())

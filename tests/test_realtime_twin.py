@@ -1,0 +1,85 @@
+"""Sim-twin tests: the same spec through simulator and live gateway.
+
+The full twin comparison runs real wall-clock bursts, so it is bounded
+tightly: one seed, two-second spec, one degraded run.  The spec
+helpers are tested separately and cost nothing.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.realtime.twin import (
+    DEFAULT_MARGIN,
+    DEGRADED_FACTOR,
+    TwinPair,
+    default_twin_spec,
+    degraded_twin_spec,
+    run_twin_async,
+    sim_violation_fraction,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_default_spec_shape():
+    spec = default_twin_spec(seed=7, duration=3.0)
+    assert spec.seed == 7
+    assert spec.data["duration"] == 3.0
+    assert spec.faults == []
+    # localhost twin contract: effectively infinite sim bandwidth
+    assert spec.data["network"] == [[0.0, 1000.0, 0.0]]
+
+
+def test_degraded_spec_attaches_deadline_busting_slowdown():
+    spec = default_twin_spec(duration=2.0)
+    degraded = degraded_twin_spec(spec)
+    (fault,) = degraded.faults
+    assert fault["kind"] == "server_slowdown"
+    assert fault["factor"] == DEGRADED_FACTOR
+    # a single-frame batch already exceeds the 250 ms deadline budget
+    gpu = spec.data["gpu"]
+    assert (gpu["base_latency"] + gpu["per_item"]) * DEGRADED_FACTOR > 0.25
+
+
+def test_twin_pair_gap():
+    pair = TwinPair(seed=0, sim_fraction=0.10, real_fraction=0.04)
+    assert pair.gap == pytest.approx(0.06)
+
+
+def test_sim_side_is_deterministic():
+    spec = default_twin_spec(duration=2.0)
+    first, detail = sim_violation_fraction(spec)
+    second, _ = sim_violation_fraction(spec)
+    assert first == second
+    assert detail["total_frames"] > 0
+    # a benign spec should sit near zero violations
+    assert first <= DEFAULT_MARGIN
+
+
+def test_twin_verdict_on_benign_spec():
+    # one seed + directional degraded run: ~5 s of wall clock total.
+    # 2.5 s is the shortest spec where the slowdown window is long
+    # enough for the *simulator* to accrue deadline violations too.
+    report = run(
+        run_twin_async(default_twin_spec(duration=2.5), seeds=(0,), directional=True)
+    )
+    assert len(report.pairs) == 1
+    assert report.equivalent, f"gap {report.mean_gap:.3f} exceeded {report.margin}"
+    assert abs(report.mean_gap) <= report.margin
+    # degrading the server raises violations on BOTH executions
+    assert report.directional_holds is True
+    sim_rise, real_rise = report.degraded_rise
+    assert sim_rise > 0.0 and real_rise > 0.0
+    assert report.verdict
+    assert report.to_dict()["verdict"] == "PASS"
+    # the wall-clock side kept its books closed while degraded
+    for pair in report.pairs:
+        assert pair.real_detail["accounting_closed"]
+
+
+def test_twin_requires_seeds():
+    with pytest.raises(ValueError):
+        run(run_twin_async(default_twin_spec(), seeds=()))
