@@ -1,0 +1,46 @@
+"""Extension bench: the full controller-zoo tournament.
+
+Races every zoo member across the built-in scenario matrix and prints
+the mean-regret ranking (the same report ``repro tournament`` emits).
+The assertions pin the structural claims the tournament exists to
+make: the closed-loop policies beat the open-loop baselines on regret,
+and the scoring oracle is never beaten on its own clairvoyant terms by
+an always-offload policy.
+"""
+
+from repro.experiments.report import ascii_table
+from repro.experiments.tournament import (
+    TournamentConfig,
+    render_report,
+    run_tournament,
+)
+
+
+def test_zoo_tournament(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_tournament(TournamentConfig(seed=0, frames=900)),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(render_report(result))
+    rows = [
+        [s.controller, f"{s.mean_regret:+7.3f}", f"{s.max_regret:+7.3f}",
+         s.wins, f"{s.mean_throughput:6.2f}"]
+        for s in result.ranking
+    ]
+    emit(
+        "Mean deadline-violation regret vs the oracle (lower is better):\n"
+        + ascii_table(["controller", "mean", "max", "wins", "mean P"], rows)
+    )
+
+    standing = {s.controller: s for s in result.ranking}
+    # feedback control must beat blind offloading by a wide margin
+    assert standing["FrameFeedback"].mean_regret < standing["AlwaysOffload"].mean_regret
+    assert standing["AIMD"].mean_regret < standing["AlwaysOffload"].mean_regret
+    # the literature policies must be competitive: within 1 violation/s
+    # of FrameFeedback on mean regret across the matrix
+    assert standing["TokenBucket"].mean_regret < standing["FrameFeedback"].mean_regret + 1.0
+    assert standing["RateLimitedMDP"].mean_regret < standing["FrameFeedback"].mean_regret + 1.0
+    # every cell was scored against the oracle at its own seed
+    assert len(result.cells) == len(result.ranking) * len(result.scenarios)

@@ -797,6 +797,50 @@ def _cmd_search(args: argparse.Namespace):
     return "\n".join(lines), code
 
 
+def _cmd_tournament(args: argparse.Namespace):
+    """Race the controller zoo across the scenario matrix.
+
+    ``repro tournament`` runs the built-in matrix (fig3-style sweep,
+    chaos, fleet) — plus any committed search goldens under
+    ``tests/goldens/scenarios/`` when run from a checkout — scoring
+    every cell as deadline-violation regret against the clairvoyant
+    oracle at the same seed.  ``--json`` emits the canonical report
+    (byte-identical across runs at the same seed, and across
+    simulation kernels); the default output is a markdown ranking.
+    ``--lineup A,B`` and ``--matrix x,y`` shrink the race (the CI
+    smoke job runs a 2x2 mini-tournament this way).
+    """
+    import os as _os
+
+    from repro.experiments.tournament import (
+        TournamentConfig,
+        dumps_report,
+        render_report,
+        report_document,
+        run_tournament,
+    )
+
+    # tournaments want many short runs; only honor --frames when the
+    # user moved it off the global 4000-frame default
+    frames = args.frames if args.frames != 4000 else 900
+    scenario_dir = args.scenario_dir
+    if scenario_dir is None and _os.path.isdir("tests/goldens/scenarios"):
+        scenario_dir = "tests/goldens/scenarios"
+    config = TournamentConfig(
+        seed=args.seed,
+        frames=frames,
+        controllers=tuple(args.lineup.split(",")) if args.lineup else (),
+        scenarios=tuple(args.matrix.split(",")) if args.matrix else (),
+        scenario_dir=scenario_dir,
+        workers=args.workers,
+    )
+    result = run_tournament(config)
+    if args.json:
+        # main() prints with one trailing newline, matching dumps_report
+        return dumps_report(report_document(result))[:-1]
+    return render_report(result)
+
+
 def _schedule_kind(value) -> str:
     if value is None:
         return "-"
@@ -826,6 +870,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "search": _cmd_search,
     "sweep": _cmd_sweep,
+    "tournament": _cmd_tournament,
     "netem": _cmd_netem,
     "validate": _cmd_validate,
 }
@@ -886,6 +931,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--expand", action="store_true",
         help="emit one config per population member (compile)"
+    )
+    parser.add_argument(
+        "--lineup", type=str, default=None,
+        help="comma-separated controller names to race (tournament); "
+        "default: the full zoo"
+    )
+    parser.add_argument(
+        "--matrix", type=str, default=None,
+        help="comma-separated built-in scenario names to race on "
+        "(tournament); default: all"
+    )
+    parser.add_argument(
+        "--scenario-dir", type=str, default=None,
+        help="directory of extra golden scenario files to include in "
+        "the matrix (tournament); default: tests/goldens/scenarios "
+        "when present"
     )
     parser.add_argument(
         "--schedule", type=str, default="tablev", help="schedule name (netem)"

@@ -30,6 +30,13 @@ from repro.control.validity import (
     MeasurementValidity,
     sanitize_timeout_rate,
 )
+from repro.control.zoo import (
+    RateLimitedMDPController,
+    TokenBucketOptimalController,
+    ZooEntry,
+    zoo_controllers,
+    zoo_entries,
+)
 
 __all__ = [
     "AdaptiveQualityController",
@@ -51,7 +58,12 @@ __all__ = [
     "MeasurementValidity",
     "OracleController",
     "PidGains",
+    "RateLimitedMDPController",
+    "TokenBucketOptimalController",
+    "ZooEntry",
     "sanitize_timeout_rate",
     "sweep_gains",
     "tune_ziegler_nichols_like",
+    "zoo_controllers",
+    "zoo_entries",
 ]

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.control.base import Controller, Measurement
 from repro.control.pid import DiscretePid, PidGains
+from repro.control.validity import sanitize_timeout_rate
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,9 @@ class HeadroomController(Controller):
     def update(self, measurement: Measurement) -> float:
         s = self.settings
         fs = self.frame_rate
+        # degraded telemetry (NaN/±inf/negative T) must not poison the
+        # PD arithmetic; repair exactly like the measurement guard does
+        t_rate, _ = sanitize_timeout_rate(measurement.timeout_rate, fs)
 
         if measurement.rtt_p95 is not None:
             # normalized headroom error: +target_frac when instant,
@@ -96,13 +100,13 @@ class HeadroomController(Controller):
             e = (s.target_frac * self.deadline - measurement.rtt_p95) / self.deadline
             # violations eat into headroom too: each violated frame is
             # a sample at (beyond) the deadline the p95 cannot see
-            if measurement.timeout_rate > 0:
-                e -= measurement.timeout_rate / fs
+            if t_rate > 0:
+                e -= t_rate / fs
         else:
             # blind bucket: no successes to measure.  Same piecewise
             # fallback as FrameFeedback, in normalized units.
-            if measurement.timeout_rate > 0:
-                e = (s.t_threshold_frac * fs - measurement.timeout_rate) / fs
+            if t_rate > 0:
+                e = (s.t_threshold_frac * fs - t_rate) / fs
             else:
                 e = (fs - self._target) / fs
 

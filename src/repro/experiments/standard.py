@@ -92,11 +92,21 @@ def adaptive_quality_factory() -> ControllerFactory:
 
 
 def extended_controllers() -> Dict[str, ControllerFactory]:
-    """Standard lineup plus the extension controllers."""
+    """Standard lineup plus the extension controllers and the zoo.
+
+    Every device-local :func:`repro.control.zoo.zoo_controllers` member
+    resolves here too (``setdefault`` keeps the canonical factories for
+    names both registries know), so scenario configs, the sweep pool
+    and the tournament can address the whole zoo by name.
+    """
+    from repro.control.zoo import zoo_controllers
+
     out = standard_controllers()
     out["AIMD"] = aimd_factory()
     out["Reservation"] = reservation_factory()
     out["Headroom"] = headroom_factory()
     out["FrameFeedback+Q"] = adaptive_quality_factory()
     out["Oracle"] = oracle_factory()
+    for name, factory in zoo_controllers().items():
+        out.setdefault(name, factory)
     return out

@@ -5,6 +5,12 @@ This is the safety net behind the device's ``splitter.set_target``
 clamp: the clamp exists, but controllers should already be well
 behaved, and a controller raising mid-run would kill the measurement
 loop.
+
+The lineup is drawn from the zoo registry
+(:func:`repro.control.zoo.zoo_controllers`), not a hardcoded list, so
+every controller added to the zoo is fuzzed automatically — a new
+member silently escaping this net was exactly the staleness gap the
+registry closes.
 """
 
 import math
@@ -12,30 +18,19 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.control.aimd import AimdController
 from repro.control.base import Measurement
-from repro.control.baselines import (
-    AllOrNothingController,
-    AlwaysOffloadController,
-    FixedRateController,
-    LocalOnlyController,
-)
-from repro.control.framefeedback import FrameFeedbackController
-from repro.control.headroom import HeadroomController
-from repro.control.quality import AdaptiveQualityController
+from repro.control.zoo import zoo_controllers
+from repro.device.config import DeviceConfig
 
 FS = 30.0
+_CONFIG = DeviceConfig()
+assert _CONFIG.frame_rate == FS
 
-FACTORIES = [
-    lambda: FrameFeedbackController(FS),
-    lambda: LocalOnlyController(),
-    lambda: AlwaysOffloadController(),
-    lambda: AllOrNothingController(),
-    lambda: FixedRateController(11.0),
-    lambda: AimdController(FS),
-    lambda: HeadroomController(FS, 0.25),
-    lambda: AdaptiveQualityController(FS),
-]
+#: name -> zero-arg factory, one per registered zoo member
+FACTORIES = {
+    name: (lambda factory=factory: factory(_CONFIG))
+    for name, factory in sorted(zoo_controllers().items())
+}
 
 measurement_strategy = st.builds(
     dict,
@@ -48,12 +43,12 @@ measurement_strategy = st.builds(
 
 
 @given(
-    factory_idx=st.integers(min_value=0, max_value=len(FACTORIES) - 1),
+    name=st.sampled_from(sorted(FACTORIES)),
     raw=st.lists(measurement_strategy, min_size=1, max_size=60),
 )
 @settings(max_examples=200, deadline=None)
-def test_any_measurement_sequence_yields_bounded_targets(factory_idx, raw):
-    controller = FACTORIES[factory_idx]()
+def test_any_measurement_sequence_yields_bounded_targets(name, raw):
+    controller = FACTORIES[name]()
     target = controller.initial_target(FS)
     assert 0.0 <= target <= FS
     for i, r in enumerate(raw):
@@ -78,13 +73,13 @@ def test_any_measurement_sequence_yields_bounded_targets(factory_idx, raw):
 
 
 @given(
-    factory_idx=st.integers(min_value=0, max_value=len(FACTORIES) - 1),
+    name=st.sampled_from(sorted(FACTORIES)),
     raw=st.lists(measurement_strategy, min_size=1, max_size=20),
 )
 @settings(max_examples=100, deadline=None)
-def test_reset_restores_initial_behaviour(factory_idx, raw):
+def test_reset_restores_initial_behaviour(name, raw):
     """After reset(), a controller's first decisions repeat exactly."""
-    factory = FACTORIES[factory_idx]
+    factory = FACTORIES[name]
 
     def drive(controller):
         target = controller.initial_target(FS)

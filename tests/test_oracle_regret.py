@@ -1,0 +1,104 @@
+"""Oracle regret edge cases (ISSUE 10 satellite).
+
+The tournament's headline metric is deadline-violation regret against
+the clairvoyant oracle at the same seed.  That metric is only
+trustworthy at the edges:
+
+* an **empty scenario** (zero-duration stream) must score, not crash,
+  and carry an all-zero QoS;
+* an **all-frames-infeasible** scenario (deadline far below any
+  achievable end-to-end latency) must make the oracle offload nothing
+  — zero timeouts, zero violation rate — so every probing controller
+  shows non-negative regret against it;
+* **oracle ties** — the oracle raced against itself must have regret
+  *exactly* 0.0 (not merely small) at every seed, which is what makes
+  same-seed scoring sound.
+"""
+
+import pytest
+
+from repro.experiments.tournament import TournamentConfig, run_tournament
+from repro.search.language import ScenarioSpec
+from repro.search.runner import QOS_DECIMALS, qos_summary, run_spec
+
+LOSSY = [[0.0, 10.0, 2.0]]
+
+
+def _qos(spec: ScenarioSpec, controller: str):
+    return qos_summary(run_spec(spec, controller=controller).run.qos)
+
+
+# ----------------------------------------------------------------------
+# empty scenario
+# ----------------------------------------------------------------------
+def test_empty_scenario_scores_all_zero():
+    spec = ScenarioSpec.from_dict(
+        {"device": {"total_frames": 30}, "duration": 0.0,
+         "network": LOSSY, "seed": 0}
+    )
+    oracle = _qos(spec, "Oracle")
+    controller = _qos(spec, "FrameFeedback")
+    assert oracle["total_frames"] == 0
+    assert oracle["mean_violation_rate"] == 0.0
+    assert oracle["mean_throughput"] == 0.0
+    # regret on the empty scenario is exactly zero for everyone
+    assert controller["mean_violation_rate"] - oracle["mean_violation_rate"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# all frames infeasible
+# ----------------------------------------------------------------------
+def test_infeasible_deadline_makes_oracle_abstain():
+    spec = ScenarioSpec.from_dict(
+        {"device": {"total_frames": 150, "deadline": 0.001},
+         "network": LOSSY, "seed": 0}
+    )
+    oracle = _qos(spec, "Oracle")
+    # clairvoyance means never attempting a frame that cannot land
+    assert oracle["timeouts"] == 0
+    assert oracle["mean_violation_rate"] == 0.0
+
+
+@pytest.mark.parametrize("controller", ["FrameFeedback", "TokenBucket", "AIMD"])
+def test_infeasible_deadline_regret_is_nonnegative(controller):
+    spec = ScenarioSpec.from_dict(
+        {"device": {"total_frames": 150, "deadline": 0.001},
+         "network": LOSSY, "seed": 0}
+    )
+    oracle = _qos(spec, "Oracle")
+    cell = _qos(spec, controller)
+    regret = round(
+        cell["mean_violation_rate"] - oracle["mean_violation_rate"],
+        QOS_DECIMALS,
+    )
+    assert regret >= 0.0, (
+        f"{controller}: negative regret {regret} against an abstaining oracle"
+    )
+
+
+# ----------------------------------------------------------------------
+# oracle ties: regret vs itself is exactly 0 at every seed
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 7, 1234])
+def test_oracle_regret_against_itself_is_exactly_zero(seed):
+    spec = ScenarioSpec.from_dict(
+        {"device": {"total_frames": 240}, "network": LOSSY, "seed": seed}
+    )
+    first = _qos(spec, "Oracle")
+    second = _qos(spec, "Oracle")
+    assert first == second
+    assert first["mean_violation_rate"] - second["mean_violation_rate"] == 0.0
+
+
+def test_tournament_never_ranks_the_oracle():
+    """The scoring reference cannot be a contestant (it would tie at 0)."""
+    config = TournamentConfig(
+        frames=60,
+        controllers=("Oracle", "FrameFeedback", "LocalOnly"),
+        scenarios=("lossy_link",),
+        workers=1,
+    )
+    assert config.lineup() == ["FrameFeedback", "LocalOnly"]
+    result = run_tournament(config)
+    assert all(s.controller != "Oracle" for s in result.ranking)
+    assert set(result.oracle_qos) == {"lossy_link"}
